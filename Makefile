@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench fig5 fig5-plot fig5-real fairness stress clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full benchmark sweep (real-goroutine + simulated Figure 5 panels,
+# micro-benchmarks, ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's Figure 5 on the simulated T5440.
+fig5:
+	$(GO) run ./cmd/simfig5 -runs 2 -ops 200
+
+fig5-plot:
+	$(GO) run ./cmd/simfig5 -plot
+
+# Real goroutines on this host (meaningful on big multicore machines).
+fig5-real:
+	$(GO) run ./cmd/benchfig5
+
+fairness:
+	$(GO) run ./cmd/simfair
+
+stress:
+	$(GO) run ./cmd/locktest -threads 32 -ops 100000 -upgrade
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,127 @@
+// Command benchfig5 runs the paper's Figure 5 experiment with real
+// goroutines on the host machine (§5.1 methodology: every thread
+// acquires and releases one lock in a tight loop with an empty critical
+// section, read/write chosen by a private PRNG).
+//
+// On a machine with many cores this reproduces the relative ordering of
+// the locks directly; on small hosts use cmd/simfig5, which models the
+// paper's 256-thread T5440.
+//
+// Usage:
+//
+//	benchfig5 [-panel a|b|c|d|e|f|all] [-threads 1,2,4,...] [-ops N]
+//	          [-runs N] [-seed N] [-locks ...] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"ollock/internal/harness"
+	"ollock/internal/locksuite"
+)
+
+var panels = map[string]float64{
+	"a": 1.00, "b": 0.99, "c": 0.95, "d": 0.80, "e": 0.50, "f": 0.00,
+}
+
+var panelOrder = []string{"a", "b", "c", "d", "e", "f"}
+
+func defaultThreads() string {
+	max := runtime.GOMAXPROCS(0) * 4
+	var parts []string
+	for n := 1; n <= max; n *= 2 {
+		parts = append(parts, strconv.Itoa(n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func main() {
+	panel := flag.String("panel", "all", "panel: a..f or all")
+	threadsFlag := flag.String("threads", defaultThreads(), "comma-separated goroutine counts")
+	ops := flag.Int("ops", 20000, "acquisitions per goroutine (paper: 100000; 10000 at <=50% reads)")
+	runs := flag.Int("runs", 3, "runs to average (paper uses 3)")
+	seed := flag.Uint64("seed", 42, "base PRNG seed")
+	locksFlag := flag.String("locks", "goll,foll,roll,ksuh,solaris", "comma-separated lock subset (see -list)")
+	list := flag.Bool("list", false, "list available locks and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, impl := range locksuite.Locks {
+			fmt.Println(impl.Name)
+		}
+		return
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig5:", err)
+		os.Exit(2)
+	}
+	var impls []locksuite.Impl
+	for _, name := range strings.Split(*locksFlag, ",") {
+		impl := locksuite.ByName(strings.TrimSpace(name))
+		if impl == nil {
+			fmt.Fprintf(os.Stderr, "benchfig5: unknown lock %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		impls = append(impls, *impl)
+	}
+	var selected []string
+	if *panel == "all" {
+		selected = panelOrder
+	} else if _, ok := panels[*panel]; ok {
+		selected = []string{*panel}
+	} else {
+		fmt.Fprintf(os.Stderr, "benchfig5: unknown panel %q\n", *panel)
+		os.Exit(2)
+	}
+
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if *csv {
+		fmt.Println("panel,read_pct,lock,threads,throughput_acq_per_s")
+	}
+	for _, p := range selected {
+		frac := panels[p]
+		opsPerThread := *ops
+		if frac <= 0.5 && opsPerThread > 2000 {
+			// Mirror the paper's shorter runs under heavy writer load.
+			opsPerThread = *ops / 10
+		}
+		var panelOut harness.Panel
+		panelOut.ReadFraction = frac
+		for _, impl := range impls {
+			s := harness.Sweep(impl, threads, frac, opsPerThread, *runs, *seed)
+			panelOut.Series = append(panelOut.Series, s)
+			if *csv {
+				for _, pt := range s.Points {
+					fmt.Printf("%s,%.0f,%s,%d,%.6e\n", p, frac*100, s.Lock, pt.Threads, pt.Throughput)
+				}
+			}
+		}
+		if !*csv {
+			fmt.Printf("Figure 5(%s) — real goroutines, %d ops/thread, %d run(s)\n", p, opsPerThread, *runs)
+			if err := panelOut.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfig5:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

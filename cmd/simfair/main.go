@@ -1,0 +1,63 @@
+// Command simfair measures the fairness side of the Figure 5 tradeoff
+// on the simulated T5440: per-kind acquisition latency (cycles from
+// acquire call to ownership) for each lock under a read-heavy mix.
+//
+// The paper evaluates throughput only; this companion experiment
+// quantifies what each policy costs the minority writers — FIFO (FOLL)
+// bounds writer latency, reader preference (ROLL) trades it away, and
+// the Solaris policy (GOLL) sits between.
+//
+// Usage:
+//
+//	simfair [-threads 1,8,64,...] [-readpct 99] [-ops N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ollock/internal/sim"
+	"ollock/internal/sim/simlock"
+)
+
+func main() {
+	threadsFlag := flag.String("threads", "8,64,192", "comma-separated thread counts")
+	readPct := flag.Float64("readpct", 99, "percentage of read acquisitions")
+	ops := flag.Int("ops", 200, "acquisitions per simulated thread")
+	seed := flag.Uint64("seed", 42, "PRNG seed")
+	flag.Parse()
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfair:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Acquisition latency (cycles), simulated T5440, %.0f%% reads\n\n", *readPct)
+	for _, n := range threads {
+		fmt.Printf("threads = %d\n", n)
+		fmt.Printf("  %-9s %14s %14s %14s %14s %14s\n",
+			"lock", "read mean", "read max", "write mean", "write max", "acq/s")
+		for _, f := range simlock.Figure5Locks() {
+			r := simlock.RunLatencyExperiment(f, sim.T5440(), n, *readPct/100, *ops, *seed)
+			fmt.Printf("  %-9s %14.0f %14d %14.0f %14d %14.3e\n",
+				f.Name, r.Read.Mean, r.Read.Max, r.Write.Mean, r.Write.Max, r.Throughput)
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 || v > 256 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// kvstore: a read-mostly in-memory key-value store, the workload class
+// that motivates scalable reader-writer locks (lookups vastly outnumber
+// updates, and lookups should run concurrently without bouncing a
+// shared cache line).
+//
+// The example builds the same store around each lock algorithm in turn
+// — including sync.RWMutex as the standard-library reference — and
+// measures lookup/update throughput at a 99% read mix, the paper's
+// Figure 5(b) ratio.
+//
+// Run with: go run ./examples/kvstore [-threads N] [-ops N] [-readpct P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ollock"
+	"ollock/internal/xrand"
+)
+
+// store is a fixed-shard map guarded by one reader-writer lock; Procs
+// give each goroutine its handle.
+type store struct {
+	lock ollock.Lock
+	data map[uint64]uint64
+}
+
+func newStore(kind ollock.Kind, maxProcs int) *store {
+	return &store{
+		lock: ollock.MustNew(kind, maxProcs),
+		data: make(map[uint64]uint64),
+	}
+}
+
+// session is a goroutine's view of the store.
+type session struct {
+	s *store
+	p ollock.Proc
+}
+
+func (s *store) session() *session {
+	return &session{s: s, p: s.lock.NewProc()}
+}
+
+func (se *session) get(k uint64) (uint64, bool) {
+	se.p.RLock()
+	v, ok := se.s.data[k]
+	se.p.RUnlock()
+	return v, ok
+}
+
+func (se *session) put(k, v uint64) {
+	se.p.Lock()
+	se.s.data[k] = v
+	se.p.Unlock()
+}
+
+func main() {
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0)*2, "concurrent sessions")
+	ops := flag.Int("ops", 50000, "operations per session")
+	readPct := flag.Float64("readpct", 99, "percentage of lookups")
+	keys := flag.Int("keys", 1024, "key space size")
+	flag.Parse()
+
+	kinds := []struct {
+		name string
+		kind ollock.Kind
+	}{
+		{"roll", ollock.ROLL},
+		{"foll", ollock.FOLL},
+		{"goll", ollock.GOLL},
+		{"ksuh", ollock.KSUH},
+		{"solaris", ollock.Solaris},
+	}
+
+	fmt.Printf("kvstore: %d sessions x %d ops, %.0f%% lookups, %d keys\n",
+		*threads, *ops, *readPct, *keys)
+
+	for _, k := range kinds {
+		thr := run(newStore(k.kind, *threads), *threads, *ops, *readPct/100, *keys)
+		fmt.Printf("  %-12s %10.3e ops/s\n", k.name, thr)
+	}
+	// Standard library reference.
+	thr := runStd(*threads, *ops, *readPct/100, *keys)
+	fmt.Printf("  %-12s %10.3e ops/s\n", "sync.RWMutex", thr)
+}
+
+func run(s *store, threads, ops int, readFrac float64, keys int) float64 {
+	// Preload.
+	seed := s.session()
+	for k := 0; k < keys; k++ {
+		seed.put(uint64(k), uint64(k))
+	}
+	var hits atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < threads-1; g++ { // the seeding session counts as one proc
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			se := s.session()
+			rng := xrand.New(uint64(id)*2654435761 + 99)
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keys))
+				if rng.Bool(readFrac) {
+					if _, ok := se.get(k); ok {
+						hits.Add(1)
+					}
+				} else {
+					se.put(k, uint64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64((threads-1)*ops) / elapsed.Seconds()
+}
+
+func runStd(threads, ops int, readFrac float64, keys int) float64 {
+	var mu sync.RWMutex
+	data := make(map[uint64]uint64, keys)
+	for k := 0; k < keys; k++ {
+		data[uint64(k)] = uint64(k)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < threads-1; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id)*2654435761 + 99)
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keys))
+				if rng.Bool(readFrac) {
+					mu.RLock()
+					_ = data[k]
+					mu.RUnlock()
+				} else {
+					mu.Lock()
+					data[k] = uint64(i)
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return float64((threads-1)*ops) / time.Since(start).Seconds()
+}

@@ -1,0 +1,94 @@
+// upgrade: the read-then-maybe-write pattern using the GOLL lock's
+// write-upgrade operation (§3.2.1 of the paper).
+//
+// A cache lookup first takes the lock for reading; on a miss, instead of
+// the classic "release, reacquire for writing, re-check" dance — which
+// opens a window for redundant fills — the reader tries to upgrade its
+// read ownership in place. The upgrade succeeds exactly when the caller
+// is the only holder; otherwise it keeps its read lock and falls back to
+// the classic path.
+//
+// Run with: go run ./examples/upgrade
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ollock"
+)
+
+type cache struct {
+	lock *ollock.GOLLLock
+	data map[int]string
+
+	// statistics
+	upgraded, fallback, hits atomic.Int64
+}
+
+func newCache() *cache {
+	return &cache{lock: ollock.NewGOLL(), data: make(map[int]string)}
+}
+
+// getOrFill returns the cached value for key, filling it with fill() on
+// a miss.
+func (c *cache) getOrFill(p *ollock.GOLLProc, key int, fill func() string) string {
+	p.RLock()
+	if v, ok := c.data[key]; ok {
+		c.hits.Add(1)
+		p.RUnlock()
+		return v
+	}
+	// Miss. Try to become the writer without releasing.
+	if p.TryUpgrade() {
+		c.upgraded.Add(1)
+		v, ok := c.data[key]
+		if !ok {
+			v = fill()
+			c.data[key] = v
+		}
+		// Downgrade back to a read hold so concurrent readers resume
+		// immediately, then release.
+		p.Downgrade()
+		p.RUnlock()
+		return v
+	}
+	// Other readers present: classic release-and-reacquire.
+	c.fallback.Add(1)
+	p.RUnlock()
+	p.Lock()
+	v, ok := c.data[key]
+	if !ok {
+		v = fill()
+		c.data[key] = v
+	}
+	p.Unlock()
+	return v
+}
+
+func main() {
+	c := newCache()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := c.lock.NewProc().(*ollock.GOLLProc)
+			for i := 0; i < 2000; i++ {
+				key := (id*31 + i) % 64
+				v := c.getOrFill(p, key, func() string {
+					return fmt.Sprintf("value-%d", key)
+				})
+				if want := fmt.Sprintf("value-%d", key); v != want {
+					panic("cache returned " + v + ", want " + want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	fmt.Printf("cache: %d entries, %d hits\n", len(c.data), c.hits.Load())
+	fmt.Printf("misses filled via in-place upgrade: %d\n", c.upgraded.Load())
+	fmt.Printf("misses filled via release-and-reacquire fallback: %d\n", c.fallback.Load())
+}

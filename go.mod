@@ -1,0 +1,3 @@
+module ollock
+
+go 1.22

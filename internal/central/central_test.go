@@ -1,0 +1,89 @@
+package central
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryLockSemantics(t *testing.T) {
+	l := New()
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on write-held lock succeeded")
+	}
+	if l.TryRLock() {
+		t.Fatal("TryRLock on write-held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free lock failed")
+	}
+	if !l.TryRLock() {
+		t.Fatal("second TryRLock failed (readers must share)")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock with readers present succeeded")
+	}
+	l.RUnlock()
+	l.RUnlock()
+}
+
+func TestDiagnostics(t *testing.T) {
+	l := New()
+	if l.Readers() != 0 || l.WriteLocked() {
+		t.Fatal("fresh lock not clean")
+	}
+	l.RLock()
+	l.RLock()
+	if l.Readers() != 2 {
+		t.Fatalf("Readers = %d, want 2", l.Readers())
+	}
+	l.RUnlock()
+	l.RUnlock()
+	l.Lock()
+	if !l.WriteLocked() {
+		t.Fatal("WriteLocked false while held")
+	}
+	l.Unlock()
+}
+
+func TestRUnlockPanicsWithoutRLock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock on free lock did not panic")
+		}
+	}()
+	New().RUnlock()
+}
+
+func TestUnlockPanicsWithoutLock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock on free lock did not panic")
+		}
+	}()
+	New().Unlock()
+}
+
+func TestContendedCounter(t *testing.T) {
+	l := New()
+	n := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				n++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 12000 {
+		t.Fatalf("n = %d, want 12000", n)
+	}
+}

@@ -1,0 +1,182 @@
+package csnzi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests target the intermediate-state (half/fail) node protocol:
+// concurrent zero-crossing arrivals at one leaf, and the failure unwind
+// when the C-SNZI is closed mid-crossing.
+
+// TestZeroCrossingStorm hammers a single leaf with concurrent
+// arrive/depart pairs so the count crosses zero constantly, exercising
+// claim, provisional join, and resolution under real concurrency.
+func TestZeroCrossingStorm(t *testing.T) {
+	c := New(WithLeaves(1), WithDirectRetries(0))
+	const goroutines, iters = 8, 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tk := c.Arrive(id)
+				if !tk.Arrived() {
+					t.Error("arrival failed on an open C-SNZI")
+					return
+				}
+				if nz, _ := c.Query(); !nz {
+					t.Error("no surplus while holding an arrival")
+					return
+				}
+				c.Depart(tk)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if nz, open := c.Query(); nz || !open {
+		t.Fatalf("final state (nz=%v open=%v), want drained and open", nz, open)
+	}
+	// The leaf itself must be exactly zero (no stuck flags or counts).
+	leaf := &c.tree.Load().leaves[0]
+	if v := leaf.cnt.Load(); v != 0 {
+		t.Fatalf("leaf count = %#x after quiescence, want 0", v)
+	}
+}
+
+// TestFailureUnwindUnderClose: with the C-SNZI closed and empty
+// (write-acquired), a burst of concurrent tree arrivals must all fail
+// and leave every node at exactly zero.
+func TestFailureUnwindUnderClose(t *testing.T) {
+	c := New(WithLeaves(1), WithDirectRetries(0))
+	// Build the tree first (one arrival), then close empty.
+	tk := c.Arrive(0)
+	c.Depart(tk)
+	if !c.CloseIfEmpty() {
+		t.Fatal("CloseIfEmpty failed")
+	}
+	const goroutines = 8
+	var failed atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if c.Arrive(id).Arrived() {
+					t.Error("arrival succeeded on closed empty C-SNZI")
+					return
+				}
+				failed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failed.Load() != goroutines*500 {
+		t.Fatalf("%d failures recorded, want %d", failed.Load(), goroutines*500)
+	}
+	leaf := &c.tree.Load().leaves[0]
+	if v := leaf.cnt.Load(); v != 0 {
+		t.Fatalf("leaf count = %#x after failed burst, want 0", v)
+	}
+	c.Open()
+	if !c.Arrive(1).Arrived() {
+		t.Fatal("arrival failed after reopen")
+	}
+}
+
+// TestCloseRacingZeroCrossing interleaves closers with leaf arrivals so
+// some crossings succeed and some hit the closed root mid-claim; the
+// exclusive-ownership invariant must hold throughout.
+func TestCloseRacingZeroCrossing(t *testing.T) {
+	c := New(WithLeaves(2), WithDirectRetries(0))
+	var exclusive atomic.Int32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for !stop.Load() {
+				tk := c.Arrive(id)
+				if !tk.Arrived() {
+					continue
+				}
+				if !c.Depart(tk) {
+					// Last departer from a closed C-SNZI: exclusive.
+					if n := exclusive.Add(1); n != 1 {
+						t.Errorf("%d exclusive owners", n)
+					}
+					exclusive.Add(-1)
+					c.Open()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			if c.Close() {
+				if n := exclusive.Add(1); n != 1 {
+					t.Errorf("%d exclusive owners", n)
+				}
+				exclusive.Add(-1)
+				c.Open()
+			}
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+}
+
+// TestDepartPanicsOnOverDepart: the flag-protocol depart asserts it
+// never runs without a matching arrival.
+func TestDepartPanicsOnOverDepart(t *testing.T) {
+	c := New(WithLeaves(1), WithDirectRetries(0))
+	tk := c.Arrive(0)
+	c.Depart(tk)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double depart did not panic")
+		}
+	}()
+	c.Depart(tk) // ticket already spent
+}
+
+// TestDeepTreeZeroCrossing exercises the claim protocol recursively
+// through interior nodes.
+func TestDeepTreeZeroCrossing(t *testing.T) {
+	c := New(WithLeaves(8), WithFanout(2), WithDirectRetries(0))
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tk := c.Arrive(id)
+				c.Depart(tk)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if nz, _ := c.Query(); nz {
+		t.Fatal("surplus left after quiescence")
+	}
+	tr := c.tree.Load()
+	for i := range tr.leaves {
+		if v := tr.leaves[i].cnt.Load(); v != 0 {
+			t.Fatalf("leaf %d = %#x, want 0", i, v)
+		}
+	}
+	for _, layer := range tr.inner {
+		for i := range layer {
+			if v := layer[i].cnt.Load(); v != 0 {
+				t.Fatalf("interior node = %#x, want 0", v)
+			}
+		}
+	}
+}

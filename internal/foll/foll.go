@@ -1,0 +1,277 @@
+// Package foll implements the FOLL lock — the FIFO distributed-queue
+// OLL reader-writer lock of §4.2 (Figure 4) of "Scalable Reader-Writer
+// Locks".
+//
+// FOLL extends the MCS queue-lock idea: writers enqueue per-thread
+// nodes and spin locally, but successive readers share a single queue
+// node through a per-node C-SNZI, so under read-only workloads readers
+// never write the tail pointer — they just arrive at and depart from the
+// C-SNZI of the reader node at the tail. A writer enqueuing behind a
+// reader node closes that node's C-SNZI, which simultaneously blocks
+// later readers from joining the node and arranges for the last reader
+// to signal the writer.
+//
+// Reader nodes outlive the acquisition of the thread that enqueued them
+// (the enqueuer need not be the last to depart), so they are recycled
+// through a ring pool of N nodes for N threads, per the availability
+// argument of §4.2.1: a node is freed exactly once per allocation,
+// either by the thread that allocated but never enqueued it, or by the
+// unique thread that observed the node's C-SNZI become closed with zero
+// surplus (the last departing reader, or the closing writer when no
+// readers were present).
+package foll
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"ollock/internal/atomicx"
+	"ollock/internal/csnzi"
+)
+
+// Node kinds.
+const (
+	kindReader uint32 = iota
+	kindWriter
+)
+
+// Node allocation states (reader nodes only).
+const (
+	allocFree uint32 = iota
+	allocInUse
+)
+
+// Node is a queue node. Writer nodes belong to one thread each; reader
+// nodes live in the lock's ring pool and are shared by groups of
+// readers.
+type Node struct {
+	kind  uint32 // immutable
+	qNext atomicx.PaddedPointer[Node]
+	spin  atomicx.PaddedBool
+	// Reader-node-only fields.
+	csnzi      *csnzi.CSNZI // closed whenever the node is not enqueued
+	allocState atomic.Uint32
+	ringNext   *Node // immutable ring pointer for the pool
+}
+
+// RWLock is a FOLL reader-writer lock for up to a fixed number of
+// participating goroutines. Use New, then create one Proc per goroutine.
+type RWLock struct {
+	tail  atomicx.PaddedPointer[Node]
+	ring  []Node
+	procs atomic.Int64
+}
+
+// Proc is a per-goroutine handle. It carries the thread-local state of
+// the paper's pseudocode (default reader node, writer node, last arrival
+// ticket). A Proc supports one outstanding acquisition at a time.
+type Proc struct {
+	l          *RWLock
+	id         int
+	rNode      *Node // default ring start for allocation
+	wNode      *Node
+	departFrom *Node
+	ticket     csnzi.Ticket
+}
+
+// New returns a FOLL lock sized for maxProcs participating goroutines
+// (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
+// proves sufficient).
+func New(maxProcs int) *RWLock {
+	if maxProcs <= 0 {
+		panic("foll: maxProcs must be positive")
+	}
+	l := &RWLock{ring: make([]Node, maxProcs)}
+	for i := range l.ring {
+		n := &l.ring[i]
+		n.kind = kindReader
+		n.ringNext = &l.ring[(i+1)%maxProcs]
+		n.csnzi = csnzi.New()
+		// Fresh nodes start closed with no surplus (§4.2: "when just
+		// allocated, has a closed C-SNZI"): a node's C-SNZI is open only
+		// while the node is enqueued.
+		n.csnzi.CloseIfEmpty()
+	}
+	return l
+}
+
+// NewProc registers a goroutine with the lock; it panics if more than
+// maxProcs handles are created. Each handle gets a distinct default
+// ring node, which keeps allocation contention low.
+func (l *RWLock) NewProc() *Proc {
+	id := int(l.procs.Add(1)) - 1
+	if id >= len(l.ring) {
+		panic("foll: more procs than maxProcs")
+	}
+	return &Proc{
+		l:     l,
+		id:    id,
+		rNode: &l.ring[id],
+		wNode: &Node{kind: kindWriter},
+	}
+}
+
+// allocReaderNode returns a free reader node, walking the ring from the
+// proc's default node. Availability is guaranteed by the §4.2.1
+// accounting (N nodes, N threads), so the walk terminates.
+func (p *Proc) allocReaderNode() *Node {
+	cur := p.rNode
+	for {
+		if cur.allocState.Load() == allocFree &&
+			cur.allocState.CompareAndSwap(allocFree, allocInUse) {
+			return cur
+		}
+		cur = cur.ringNext
+		if cur == p.rNode {
+			// Full loop without success: another thread is between
+			// freeing and reallocating; yield and retry.
+			runtime.Gosched()
+		}
+	}
+}
+
+// freeReaderNode returns a node to the pool. At most one thread frees a
+// node per allocation (the §4.2.1 argument), so a plain store suffices.
+func freeReaderNode(n *Node) {
+	n.allocState.Store(allocFree)
+}
+
+// RLock acquires the lock for reading.
+func (p *Proc) RLock() {
+	l := p.l
+	var rNode *Node
+	for {
+		tail := l.tail.Load()
+		switch {
+		case tail == nil:
+			// Empty queue: enqueue a fresh reader node with spin=false
+			// (its readers may run immediately), then open its C-SNZI
+			// and join it.
+			if rNode == nil {
+				rNode = p.allocReaderNode()
+			}
+			rNode.spin.Store(false)
+			rNode.qNext.Store(nil)
+			if !l.tail.CompareAndSwap(nil, rNode) {
+				continue // tail changed; retry (keep rNode)
+			}
+			rNode.csnzi.Open()
+			t := rNode.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				p.departFrom = rNode
+				p.ticket = t
+				return
+			}
+			// A writer closed the node between Open and Arrive. The node
+			// is in the queue; the closer owns its cleanup. Retry with a
+			// new node.
+			rNode = nil
+
+		case tail.kind == kindWriter:
+			// Enqueue a fresh reader node behind the writer, waiting
+			// (spin=true) until the writer's release.
+			if rNode == nil {
+				rNode = p.allocReaderNode()
+			}
+			rNode.spin.Store(true)
+			rNode.qNext.Store(nil)
+			if !l.tail.CompareAndSwap(tail, rNode) {
+				continue
+			}
+			tail.qNext.Store(rNode)
+			rNode.csnzi.Open()
+			t := rNode.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				p.departFrom = rNode
+				p.ticket = t
+				atomicx.SpinUntil(func() bool { return !rNode.spin.Load() })
+				return
+			}
+			rNode = nil
+
+		default:
+			// Tail is a reader node: join it.
+			t := tail.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				if rNode != nil {
+					freeReaderNode(rNode) // allocated but never enqueued
+				}
+				p.departFrom = tail
+				p.ticket = t
+				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				return
+			}
+			// Arrive failed: a writer closed the node after enqueuing
+			// behind it, so the tail must have changed. Retry.
+		}
+	}
+}
+
+// RUnlock releases a read acquisition. If this thread is the last to
+// depart a closed C-SNZI, it signals the writer that closed it and
+// recycles the reader node.
+func (p *Proc) RUnlock() {
+	n := p.departFrom
+	if n.csnzi.Depart(p.ticket) {
+		return
+	}
+	// Last departer: the closing writer linked itself before closing, so
+	// qNext is set.
+	succ := n.qNext.Load()
+	succ.spin.Store(false)
+	n.qNext.Store(nil) // clean up before recycling
+	freeReaderNode(n)
+}
+
+// Lock acquires the lock for writing, exactly as in the MCS mutex except
+// for the reader-node predecessor handling.
+func (p *Proc) Lock() {
+	l := p.l
+	w := p.wNode
+	w.qNext.Store(nil)
+	oldTail := l.tail.Swap(w)
+	if oldTail == nil {
+		return // free lock acquired
+	}
+	w.spin.Store(true)
+	oldTail.qNext.Store(w)
+	if oldTail.kind == kindWriter {
+		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		return
+	}
+	// Reader predecessor. Its C-SNZI may not be open yet (the enqueuer
+	// opens it just after the enqueue; see also node recycling): wait
+	// until it is, then close it to stop further readers joining.
+	atomicx.SpinUntil(func() bool {
+		_, open := oldTail.csnzi.Query()
+		return open
+	})
+	if oldTail.csnzi.Close() {
+		// Closed empty: no readers will signal us. Wait for the
+		// predecessor node's own grant and recycle it ourselves.
+		atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
+		oldTail.qNext.Store(nil)
+		freeReaderNode(oldTail)
+		return
+	}
+	// Readers exist: the last departer will signal us.
+	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+}
+
+// Unlock releases a write acquisition.
+func (p *Proc) Unlock() {
+	l := p.l
+	w := p.wNode
+	if w.qNext.Load() == nil {
+		if l.tail.CompareAndSwap(w, nil) {
+			return
+		}
+		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
+	}
+	succ := w.qNext.Load()
+	succ.spin.Store(false)
+	w.qNext.Store(nil) // clean up
+}
+
+// MaxProcs returns the ring size (diagnostic).
+func (l *RWLock) MaxProcs() int { return len(l.ring) }

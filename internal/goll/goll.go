@@ -1,0 +1,221 @@
+// Package goll implements the GOLL lock — the general OLL reader-writer
+// lock of §3 (Figure 3) of "Scalable Reader-Writer Locks".
+//
+// GOLL has the shape of the Solaris kernel reader-writer lock, but the
+// central lockword is replaced by a C-SNZI, so uncontended readers never
+// touch shared central state beyond their arrival node:
+//
+//	lock free       = C-SNZI open with zero surplus
+//	write-acquired  = C-SNZI closed with zero surplus
+//	read-acquired   = surplus nonzero (closed iff a writer waits)
+//
+// Conflicted threads queue in a mutex-protected wait queue
+// (internal/waitq, the turnstile substitute), and releasing threads hand
+// ownership over directly — a woken thread already owns the lock. The
+// queue mutex is touched only in the presence of conflicting requests;
+// in particular read-only workloads never acquire it.
+//
+// Beyond the paper's pseudocode this implementation adds the
+// write-upgrade operation of §3.2.1 (using the two-counter C-SNZI root)
+// and the symmetric downgrade, both of which the Solaris lock offers.
+package goll
+
+import (
+	"sync/atomic"
+
+	"ollock/internal/csnzi"
+	"ollock/internal/spin"
+	"ollock/internal/waitq"
+)
+
+// RWLock is a GOLL reader-writer lock. Use New, then one Proc per
+// goroutine.
+type RWLock struct {
+	cs   *csnzi.CSNZI
+	meta spin.Mutex
+	q    waitq.Queue
+	ids  atomic.Int64
+}
+
+// Proc is a per-goroutine handle carrying the Local record of the
+// paper's pseudocode (the C-SNZI ticket of the current read
+// acquisition). A Proc supports one outstanding acquisition at a time.
+type Proc struct {
+	l        *RWLock
+	id       int
+	priority int
+	ticket   csnzi.Ticket
+}
+
+// SetPriority sets the scheduling priority used when this Proc has to
+// wait (higher wins; default 0). The GOLL hand-off policy lets a
+// strictly-higher-priority waiting writer overtake waiting readers —
+// the "robust priority" flexibility the Solaris-style queue provides
+// (§3). Priority has no effect on the conflict-free fast paths.
+func (p *Proc) SetPriority(priority int) { p.priority = priority }
+
+// Option configures the lock.
+type Option func(*RWLock)
+
+// WithCSNZI substitutes a custom-configured C-SNZI (tree width, fanout,
+// arrival policy) — used by the ablation benchmarks.
+func WithCSNZI(c *csnzi.CSNZI) Option { return func(l *RWLock) { l.cs = c } }
+
+// New returns an unlocked GOLL lock.
+func New(opts ...Option) *RWLock {
+	l := &RWLock{}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.cs == nil {
+		l.cs = csnzi.New()
+	}
+	return l
+}
+
+// NewProc registers a goroutine with the lock. Unlike the queue-based
+// OLL locks, GOLL has no fixed capacity: any number of Procs may be
+// created.
+func (l *RWLock) NewProc() *Proc {
+	return &Proc{l: l, id: int(l.ids.Add(1)) - 1}
+}
+
+// RLock acquires the lock for reading. On the conflict-free path this is
+// a single C-SNZI arrival; otherwise the reader enqueues itself and is
+// handed the lock (with a pre-made direct arrival) by a releasing
+// writer.
+func (p *Proc) RLock() {
+	l := p.l
+	for {
+		p.ticket = l.cs.Arrive(p.id)
+		if p.ticket.Arrived() {
+			return
+		}
+		l.meta.Lock()
+		if _, open := l.cs.Query(); open {
+			// The closer released before we got the mutex; retry the
+			// fast path.
+			l.meta.Unlock()
+			continue
+		}
+		e := l.q.Enqueue(waitq.Reader, p.priority)
+		l.meta.Unlock()
+		// The thread releasing the lock pre-arrives at the root for us
+		// (OpenWithArrivals), so we will depart directly.
+		p.ticket = l.cs.DirectTicket()
+		e.Wait()
+		return
+	}
+}
+
+// RUnlock releases a read acquisition. A last reader departing a closed
+// C-SNZI hands the lock to the waiting writer.
+func (p *Proc) RUnlock() {
+	l := p.l
+	if l.cs.Depart(p.ticket) {
+		return
+	}
+	// The C-SNZI is closed with zero surplus: write-acquired state, to
+	// be handed to the next waiter. A waiting writer must exist (readers
+	// only queue behind a closer), but the queue may also hand to
+	// readers if a policy lets them overtake (§3.2, footnote 1).
+	l.meta.Lock()
+	batch := l.q.DequeueHandoff(waitq.Reader)
+	if batch.Kind == waitq.Reader {
+		// Readers overtook the waiting writer: move the lock straight to
+		// the read-acquired state, keeping it closed while writers wait.
+		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
+	}
+	l.meta.Unlock()
+	batch.Signal()
+}
+
+// Lock acquires the lock for writing: one CAS (CloseIfEmpty) when the
+// lock is free, otherwise close-and-enqueue under the queue mutex.
+func (p *Proc) Lock() {
+	l := p.l
+	if l.cs.CloseIfEmpty() {
+		return
+	}
+	l.meta.Lock()
+	if l.cs.Close() {
+		// The lock drained between our fast path and here; Close
+		// acquired it.
+		l.meta.Unlock()
+		return
+	}
+	e := l.q.Enqueue(waitq.Writer, p.priority)
+	l.meta.Unlock()
+	e.Wait()
+}
+
+// Unlock releases a write acquisition, handing ownership to the next
+// batch of waiters if any.
+func (p *Proc) Unlock() {
+	l := p.l
+	l.meta.Lock()
+	batch := l.q.DequeueHandoff(waitq.Writer)
+	if batch == nil {
+		l.cs.Open()
+		l.meta.Unlock()
+		return
+	}
+	if batch.Kind == waitq.Reader {
+		// Convert to read-acquired: surplus = group size, closed iff
+		// writers still wait.
+		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
+	}
+	// For a writer batch the C-SNZI is already closed with zero surplus
+	// (write-acquired); nothing to change.
+	l.meta.Unlock()
+	batch.Signal()
+}
+
+// TryRLock attempts a read acquisition without waiting, reporting
+// whether it succeeded. It fails exactly when a writer holds the lock
+// or waits for it (the C-SNZI is closed) — the same condition that
+// would have queued the caller.
+func (p *Proc) TryRLock() bool {
+	p.ticket = p.l.cs.Arrive(p.id)
+	return p.ticket.Arrived()
+}
+
+// TryLock attempts a write acquisition without waiting, reporting
+// whether it succeeded. It is the writer fast path alone: one CAS on a
+// free lock.
+func (p *Proc) TryLock() bool {
+	return p.l.cs.CloseIfEmpty()
+}
+
+// TryUpgrade attempts to convert this Proc's read acquisition into a
+// write acquisition (§3.2.1). It succeeds iff the caller is the only
+// thread holding the lock; on failure the caller still holds the lock
+// for reading. After a successful upgrade the caller must release with
+// Unlock.
+//
+// The upgrade trades the caller's (possibly tree-based) arrival for a
+// direct arrival at the root, then atomically swaps "sole direct
+// arrival" for "closed, zero surplus" — even if the C-SNZI is already
+// closed by a queued writer, in which case the upgrader simply takes
+// ownership ahead of it (it will be handed the lock on our Unlock).
+func (p *Proc) TryUpgrade() bool {
+	l := p.l
+	p.ticket = l.cs.TradeToRoot(p.ticket)
+	return l.cs.TryUpgrade()
+}
+
+// Downgrade converts this Proc's write acquisition into a read
+// acquisition without ever releasing the lock, admitting any waiting
+// readers alongside (the Solaris rw_downgrade behaviour). The caller
+// must subsequently release with RUnlock.
+func (p *Proc) Downgrade() {
+	l := p.l
+	l.meta.Lock()
+	readers := l.q.TakeReaders()
+	// Surplus = us + admitted waiting readers; stays closed if writers
+	// still wait so late readers keep queuing behind them.
+	l.cs.OpenWithArrivals(1+readers.Count(), l.q.NumWriters() != 0)
+	l.meta.Unlock()
+	p.ticket = l.cs.DirectTicket()
+	readers.Signal()
+}

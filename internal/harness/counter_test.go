@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ollock/internal/locksuite"
+)
+
+// counterImpl is a test double: a real RWMutex that counts acquisitions.
+type counterImpl struct {
+	count atomic.Int64
+}
+
+type countingProc struct {
+	c *counterImpl
+	m *sync.RWMutex
+}
+
+func (p *countingProc) RLock()   { p.c.count.Add(1); p.m.RLock() }
+func (p *countingProc) RUnlock() { p.m.RUnlock() }
+func (p *countingProc) Lock()    { p.c.count.Add(1); p.m.Lock() }
+func (p *countingProc) Unlock()  { p.m.Unlock() }
+
+func (c *counterImpl) factory() func(int) locksuite.ProcMaker {
+	return func(maxProcs int) locksuite.ProcMaker {
+		m := new(sync.RWMutex)
+		return func() locksuite.Proc { return &countingProc{c: c, m: m} }
+	}
+}

@@ -1,0 +1,298 @@
+// Package harness implements the paper's evaluation methodology (§5.1)
+// for real-goroutine runs: every thread repeatedly acquires and releases
+// one shared lock in a tight loop with an empty critical section,
+// choosing read vs. write with a private PRNG against a target read
+// percentage; throughput is total acquisitions divided by the time for
+// all threads to finish, averaged over several runs.
+//
+// On machines with many cores this harness reproduces the relative
+// ordering of the locks directly; the companion package internal/sim
+// reproduces the paper's 256-hardware-thread topology when the host
+// cannot (see DESIGN.md §4).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ollock/internal/locksuite"
+	"ollock/internal/xrand"
+)
+
+// Config describes one throughput measurement.
+type Config struct {
+	// Impl is the lock implementation under test.
+	Impl locksuite.Impl
+	// Threads is the number of concurrently acquiring goroutines.
+	Threads int
+	// ReadFraction is the probability an acquisition is a read (the
+	// paper evaluates 1.0, 0.99, 0.95, 0.80, 0.50, 0.0).
+	ReadFraction float64
+	// OpsPerThread is the number of acquisitions each thread performs
+	// (the paper uses 100,000, or 10,000 at read fractions <= 0.5).
+	OpsPerThread int
+	// Runs is how many times to repeat the measurement; the reported
+	// throughput is the mean (the paper uses 3).
+	Runs int
+	// Seed makes the read/write decision sequences reproducible.
+	Seed uint64
+}
+
+// Result is the outcome of a measurement.
+type Result struct {
+	Config     Config
+	Throughput float64 // acquisitions per second, mean over runs
+	PerRun     []float64
+	Elapsed    time.Duration // total wall time across runs
+}
+
+// Run executes the measurement described by cfg.
+func Run(cfg Config) Result {
+	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
+		panic("harness: Threads and OpsPerThread must be positive")
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	res := Result{Config: cfg}
+	start := time.Now()
+	for r := 0; r < runs; r++ {
+		res.PerRun = append(res.PerRun, oneRun(cfg, uint64(r)))
+	}
+	res.Elapsed = time.Since(start)
+	var sum float64
+	for _, v := range res.PerRun {
+		sum += v
+	}
+	res.Throughput = sum / float64(len(res.PerRun))
+	return res
+}
+
+func oneRun(cfg Config, run uint64) float64 {
+	mk := cfg.Impl.New(cfg.Threads)
+	var ready, done sync.WaitGroup
+	startGate := make(chan struct{})
+	ready.Add(cfg.Threads)
+	done.Add(cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		go func(id int) {
+			defer done.Done()
+			p := mk()
+			rng := xrand.New(cfg.Seed + uint64(id)*0x9E3779B9 + run*0x85EBCA6B + 1)
+			ready.Done()
+			<-startGate
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				if rng.Bool(cfg.ReadFraction) {
+					p.RLock()
+					p.RUnlock()
+				} else {
+					p.Lock()
+					p.Unlock()
+				}
+			}
+		}(t)
+	}
+	ready.Wait()
+	begin := time.Now()
+	close(startGate)
+	done.Wait()
+	elapsed := time.Since(begin)
+	total := float64(cfg.Threads * cfg.OpsPerThread)
+	return total / elapsed.Seconds()
+}
+
+// LatencyStats summarizes acquisition latency for one kind of
+// acquisition.
+type LatencyStats struct {
+	Count int64
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// LatencyResult extends Result with per-kind acquisition latency (from
+// the start of the acquire call to lock ownership) — the fairness
+// measurement complementing the paper's throughput metric.
+type LatencyResult struct {
+	Result
+	Read, Write LatencyStats
+}
+
+// RunLatency executes the measurement with per-acquisition latency
+// accounting (one timestamped run; cfg.Runs is ignored).
+func RunLatency(cfg Config) LatencyResult {
+	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
+		panic("harness: Threads and OpsPerThread must be positive")
+	}
+	mk := cfg.Impl.New(cfg.Threads)
+	type acc struct {
+		sum, max time.Duration
+		n        int64
+		_        [4]uint64 // avoid false sharing between thread slots
+	}
+	readAcc := make([]acc, cfg.Threads)
+	writeAcc := make([]acc, cfg.Threads)
+	var ready, done sync.WaitGroup
+	startGate := make(chan struct{})
+	ready.Add(cfg.Threads)
+	done.Add(cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		go func(id int) {
+			defer done.Done()
+			p := mk()
+			rng := xrand.New(cfg.Seed + uint64(id)*0x9E3779B9 + 1)
+			ready.Done()
+			<-startGate
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				if rng.Bool(cfg.ReadFraction) {
+					t0 := time.Now()
+					p.RLock()
+					lat := time.Since(t0)
+					p.RUnlock()
+					a := &readAcc[id]
+					a.sum += lat
+					a.n++
+					if lat > a.max {
+						a.max = lat
+					}
+				} else {
+					t0 := time.Now()
+					p.Lock()
+					lat := time.Since(t0)
+					p.Unlock()
+					a := &writeAcc[id]
+					a.sum += lat
+					a.n++
+					if lat > a.max {
+						a.max = lat
+					}
+				}
+			}
+		}(t)
+	}
+	ready.Wait()
+	begin := time.Now()
+	close(startGate)
+	done.Wait()
+	elapsed := time.Since(begin)
+
+	out := LatencyResult{Result: Result{Config: cfg, Elapsed: elapsed}}
+	total := float64(cfg.Threads * cfg.OpsPerThread)
+	out.Throughput = total / elapsed.Seconds()
+	out.PerRun = []float64{out.Throughput}
+	fold := func(accs []acc) LatencyStats {
+		var s LatencyStats
+		var sum time.Duration
+		for i := range accs {
+			sum += accs[i].sum
+			s.Count += accs[i].n
+			if accs[i].max > s.Max {
+				s.Max = accs[i].max
+			}
+		}
+		if s.Count > 0 {
+			s.Mean = sum / time.Duration(s.Count)
+		}
+		return s
+	}
+	out.Read = fold(readAcc)
+	out.Write = fold(writeAcc)
+	return out
+}
+
+// Point is one (threads, throughput) sample of a sweep.
+type Point struct {
+	Threads    int
+	Throughput float64
+}
+
+// Series is a lock's throughput curve across thread counts — one line of
+// a Figure 5 panel.
+type Series struct {
+	Lock   string
+	Points []Point
+}
+
+// Sweep measures impl at every thread count in threads.
+func Sweep(impl locksuite.Impl, threads []int, readFraction float64, opsPerThread, runs int, seed uint64) Series {
+	s := Series{Lock: impl.Name}
+	for _, n := range threads {
+		r := Run(Config{
+			Impl:         impl,
+			Threads:      n,
+			ReadFraction: readFraction,
+			OpsPerThread: opsPerThread,
+			Runs:         runs,
+			Seed:         seed,
+		})
+		s.Points = append(s.Points, Point{Threads: n, Throughput: r.Throughput})
+	}
+	return s
+}
+
+// Panel is a full Figure 5 panel: every lock's curve at one read
+// fraction.
+type Panel struct {
+	ReadFraction float64
+	Series       []Series
+}
+
+// WriteTable renders the panel as an aligned text table, thread counts
+// as rows and locks as columns, mirroring how the paper's plots are
+// read.
+func (p Panel) WriteTable(w io.Writer) error {
+	threadSet := map[int]bool{}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			threadSet[pt.Threads] = true
+		}
+	}
+	threads := make([]int, 0, len(threadSet))
+	for n := range threadSet {
+		threads = append(threads, n)
+	}
+	sort.Ints(threads)
+
+	if _, err := fmt.Fprintf(w, "read%% = %g\n%-8s", p.ReadFraction*100, "threads"); err != nil {
+		return err
+	}
+	for _, s := range p.Series {
+		if _, err := fmt.Fprintf(w, " %14s", s.Lock); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, n := range threads {
+		if _, err := fmt.Fprintf(w, "%-8d", n); err != nil {
+			return err
+		}
+		for _, s := range p.Series {
+			v := lookup(s, n)
+			if v < 0 {
+				if _, err := fmt.Fprintf(w, " %14s", "-"); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, " %14.3e", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lookup(s Series, threads int) float64 {
+	for _, pt := range s.Points {
+		if pt.Threads == threads {
+			return pt.Throughput
+		}
+	}
+	return -1
+}

@@ -1,0 +1,81 @@
+// Package hsieh implements the Hsieh–Weihl scalable reader-writer lock
+// (IPPS '92), cited by the paper (§1) as the "trade writer throughput
+// for reader throughput" design: every thread owns a private mutex; a
+// reader acquires only its own mutex, while a writer must acquire all of
+// them.
+//
+// Read-only workloads scale perfectly (readers touch only their own
+// cache line), but writer cost grows linearly with the thread count,
+// which is why the paper judges the approach "feasible only for low
+// numbers of threads". It is included as the prior-work point of
+// comparison for the OLL locks' claim to scale reads without penalizing
+// writes.
+package hsieh
+
+import (
+	"sync/atomic"
+
+	"ollock/internal/spin"
+)
+
+// RWLock is a Hsieh–Weihl static reader-writer lock for up to a fixed
+// number of participating goroutines. Use New.
+type RWLock struct {
+	slots []paddedMutex
+	procs atomic.Int64
+}
+
+type paddedMutex struct {
+	m spin.Mutex
+	_ [64]byte
+}
+
+// New returns a lock sized for maxProcs participating goroutines.
+func New(maxProcs int) *RWLock {
+	if maxProcs <= 0 {
+		panic("hsieh: maxProcs must be positive")
+	}
+	return &RWLock{slots: make([]paddedMutex, maxProcs)}
+}
+
+// Proc is a per-goroutine handle; create one per participating goroutine
+// with NewProc.
+type Proc struct {
+	l  *RWLock
+	id int
+}
+
+// NewProc registers a goroutine with the lock. It panics when more than
+// maxProcs handles are created (the algorithm's writer loop is bounded
+// by the slot count fixed at construction).
+func (l *RWLock) NewProc() *Proc {
+	id := int(l.procs.Add(1)) - 1
+	if id >= len(l.slots) {
+		panic("hsieh: more procs than maxProcs")
+	}
+	return &Proc{l: l, id: id}
+}
+
+// RLock acquires the lock for reading: one private mutex acquisition.
+func (p *Proc) RLock() { p.l.slots[p.id].m.Lock() }
+
+// RUnlock releases a read acquisition.
+func (p *Proc) RUnlock() { p.l.slots[p.id].m.Unlock() }
+
+// Lock acquires the lock for writing by taking every private mutex in
+// ascending order (the total order prevents writer/writer deadlock).
+func (p *Proc) Lock() {
+	for i := range p.l.slots {
+		p.l.slots[i].m.Lock()
+	}
+}
+
+// Unlock releases a write acquisition.
+func (p *Proc) Unlock() {
+	for i := range p.l.slots {
+		p.l.slots[i].m.Unlock()
+	}
+}
+
+// MaxProcs returns the number of slots (diagnostic).
+func (l *RWLock) MaxProcs() int { return len(l.slots) }

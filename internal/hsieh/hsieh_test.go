@@ -1,0 +1,120 @@
+package hsieh
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadersIndependent(t *testing.T) {
+	l := New(4)
+	p1, p2 := l.NewProc(), l.NewProc()
+	p1.RLock()
+	done := make(chan struct{})
+	go func() {
+		p2.RLock()
+		close(done)
+		p2.RUnlock()
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("readers on distinct slots interfered")
+	}
+	p1.RUnlock()
+}
+
+func TestWriterTakesAllSlots(t *testing.T) {
+	l := New(3)
+	w := l.NewProc()
+	r := l.NewProc()
+	w.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		r.RLock()
+		close(acquired)
+		r.RUnlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("reader acquired during write hold")
+	case <-time.After(50 * time.Millisecond):
+	}
+	w.Unlock()
+	<-acquired
+}
+
+func TestWriterWaitsForEveryReader(t *testing.T) {
+	l := New(3)
+	r1, r2 := l.NewProc(), l.NewProc()
+	w := l.NewProc()
+	r1.RLock()
+	r2.RLock()
+	acquired := make(chan struct{})
+	go func() {
+		w.Lock()
+		close(acquired)
+		w.Unlock()
+	}()
+	time.Sleep(30 * time.Millisecond)
+	r1.RUnlock()
+	select {
+	case <-acquired:
+		t.Fatal("writer acquired with a reader still holding")
+	case <-time.After(30 * time.Millisecond):
+	}
+	r2.RUnlock()
+	select {
+	case <-acquired:
+	case <-time.After(20 * time.Second):
+		t.Fatal("writer never acquired")
+	}
+}
+
+func TestProcLimitPanics(t *testing.T) {
+	l := New(1)
+	l.NewProc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding maxProcs did not panic")
+		}
+	}()
+	l.NewProc()
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestMaxProcs(t *testing.T) {
+	if New(7).MaxProcs() != 7 {
+		t.Fatal("MaxProcs mismatch")
+	}
+}
+
+func TestWriterWriterExclusion(t *testing.T) {
+	l := New(4)
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := l.NewProc()
+			for i := 0; i < 500; i++ {
+				p.Lock()
+				counter++
+				p.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 2000 {
+		t.Fatalf("counter = %d, want 2000", counter)
+	}
+}

@@ -1,0 +1,240 @@
+// Package ksuh implements the fair, fast, scalable reader-writer lock of
+// Krieger, Stumm, Unrau and Hanna (ICPP '93) — the strongest prior
+// MCS-style baseline in the paper's evaluation ("the fastest MCS-style
+// reader-writer lock we found", §5.1).
+//
+// Like the MCS locks, every acquiring thread — reader or writer — swaps
+// its own node onto the tail of an implicit wait queue and spins on a
+// flag in that node. Unlike the MCS reader-writer lock, there is no
+// central reader count or next-writer word: the queue is doubly linked,
+// and a reader releasing the lock splices its own node out of the middle
+// of the queue, so release traffic stays between neighbours. The head
+// run of the queue is the set of active readers (or a single active
+// writer); a waiting thread is activated when everything ahead of it has
+// been spliced away, or when it joins an active-reader predecessor, or
+// through a chain wake-up from an activated reader.
+//
+// The tail pointer remains a single word updated by every acquisition,
+// which is exactly the serialization the paper measures as KSUH's
+// scalability ceiling.
+//
+// # Synchronization protocol
+//
+// Each node carries a tiny spin mutex. The protocol's lock orderings all
+// run left-to-right (toward the head), so no cycles arise:
+//
+//   - splice (release) locks (pred, self);
+//   - an arrival's wait/join decision locks (pred), and on join locks
+//     (self) while still holding (pred);
+//   - chain activation walks hand-over-hand (cur, next).
+//
+// A releasing node marks itself leaving under its lock and updates its
+// successor's prev pointer before unlocking, so any thread that finds a
+// leaving or replaced predecessor revalidates and retries against the
+// fresh prev pointer.
+package ksuh
+
+import (
+	"runtime"
+
+	"ollock/internal/atomicx"
+	"ollock/internal/spin"
+)
+
+// Node kinds.
+const (
+	kindReader uint32 = iota
+	kindWriter
+)
+
+// Node is the per-thread queue node. Each participating goroutine owns
+// one Node per lock (reused across acquisitions; safe to reuse as soon
+// as the matching unlock returns).
+type Node struct {
+	kind    uint32 // written by owner before publishing
+	prev    atomicx.PaddedPointer[Node]
+	next    atomicx.PaddedPointer[Node]
+	waiting atomicx.PaddedBool // the flag the owner spins on
+	leaving atomicx.PaddedBool // set (under lk) when being spliced out
+	lk      spin.Mutex
+}
+
+func (n *Node) reset(kind uint32) {
+	n.kind = kind
+	n.prev.Store(nil)
+	n.next.Store(nil)
+	n.waiting.Store(true)
+	n.leaving.Store(false)
+}
+
+// RWLock is the KSUH reader-writer lock. Use New.
+type RWLock struct {
+	tail atomicx.PaddedPointer[Node]
+}
+
+// New returns an unlocked KSUH lock.
+func New() *RWLock { return &RWLock{} }
+
+// RLock acquires the lock for reading using n as the thread's node.
+func (l *RWLock) RLock(n *Node) {
+	n.reset(kindReader)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		// Queue was empty: we are the head, hence active. Run the full
+		// activation (under our node lock) so a successor that queued
+		// behind us in the meantime is chain-woken.
+		l.activate(n)
+		return
+	}
+	n.prev.Store(pred)
+	pred.next.Store(n)
+	l.decide(n)
+	atomicx.SpinUntil(func() bool { return !n.waiting.Load() })
+}
+
+// decide determines, under the predecessor's lock, whether an arriving
+// reader may join the active group immediately (predecessor is an
+// active, non-leaving reader) or must wait. Leaving/replaced
+// predecessors are retried against the updated prev pointer.
+func (l *RWLock) decide(n *Node) {
+	for {
+		p := n.prev.Load()
+		if p == nil {
+			// Everything ahead spliced away: we are the head.
+			l.activate(n)
+			return
+		}
+		p.lk.Lock()
+		if n.prev.Load() != p || p.leaving.Load() {
+			p.lk.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		if p.kind == kindReader && !p.waiting.Load() {
+			// Active reader predecessor: join the group. Activation
+			// (which needs our lock, taken while still holding p's —
+			// left-to-right order) also chain-wakes readers behind us.
+			l.activate(n)
+			p.lk.Unlock()
+			return
+		}
+		// Predecessor is a writer or a waiting reader: wait. Its
+		// activation or splice will reach us.
+		p.lk.Unlock()
+		return
+	}
+}
+
+// activate marks n active and, if n is a reader, chain-wakes the run of
+// waiting readers immediately behind it, walking hand-over-hand so no
+// node in the walk can be spliced out or reused underfoot.
+func (l *RWLock) activate(n *Node) {
+	n.lk.Lock()
+	l.activateLocked(n)
+}
+
+// activateLocked is activate with n's lock already held by the caller.
+func (l *RWLock) activateLocked(n *Node) {
+	cur := n
+	for {
+		cur.waiting.Store(false)
+		if cur.kind == kindWriter {
+			cur.lk.Unlock()
+			return
+		}
+		succ := cur.next.Load()
+		if succ == nil || succ.kind == kindWriter || !succ.waiting.Load() {
+			cur.lk.Unlock()
+			return
+		}
+		succ.lk.Lock()
+		cur.lk.Unlock()
+		cur = succ
+	}
+}
+
+// RUnlock releases a read acquisition: the node splices itself out of
+// the doubly linked queue, touching only its neighbours.
+func (l *RWLock) RUnlock(n *Node) {
+	l.splice(n)
+}
+
+// Lock acquires the lock for writing using n as the thread's node.
+// Writers always wait for everything ahead of them (FIFO fairness).
+func (l *RWLock) Lock(n *Node) {
+	n.reset(kindWriter)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		n.waiting.Store(false)
+		return
+	}
+	n.prev.Store(pred)
+	pred.next.Store(n)
+	atomicx.SpinUntil(func() bool { return !n.waiting.Load() })
+}
+
+// Unlock releases a write acquisition. The writer is the head, so the
+// splice also activates the new head.
+func (l *RWLock) Unlock(n *Node) {
+	l.splice(n)
+}
+
+// splice removes n from the queue. If n was the head, the successor
+// becomes head and is activated.
+func (l *RWLock) splice(n *Node) {
+	var p *Node
+	for {
+		p = n.prev.Load()
+		if p == nil {
+			break
+		}
+		p.lk.Lock()
+		if n.prev.Load() == p && !p.leaving.Load() {
+			break
+		}
+		p.lk.Unlock()
+		runtime.Gosched()
+	}
+	// Here: p == n.prev, p locked (or p == nil and n is the head).
+	n.lk.Lock()
+	n.leaving.Store(true)
+	succ := n.next.Load()
+	if succ == nil {
+		// Clear p.next BEFORE restoring the tail: p.next is invisible to
+		// others while we hold p.lk, but the instant the CAS lands a new
+		// enqueuer may swap the tail and write p.next — clearing it
+		// afterwards would clobber that link (lost successor).
+		if p != nil {
+			p.next.Store(nil)
+		}
+		if l.tail.CompareAndSwap(n, p) {
+			n.lk.Unlock()
+			if p != nil {
+				p.lk.Unlock()
+			}
+			return
+		}
+		// A successor swapped the tail; wait for its links.
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+		succ = n.next.Load()
+	}
+	if p != nil {
+		succ.prev.Store(p)
+		p.next.Store(succ)
+		n.lk.Unlock()
+		p.lk.Unlock()
+		return
+	}
+	// n was the head: the successor becomes the new head and must be
+	// activated (it is a writer gaining the lock, or the first of a
+	// reader run). Lock succ BEFORE publishing succ.prev = nil: the
+	// moment prev is nil, succ's owner can head-splice it out and reuse
+	// the node, and a stale activation of the reused node would wake its
+	// new owner prematurely. Holding succ's lock (succ's splice needs
+	// it) pins the node until the activation has run. Lock order is
+	// left-to-right (n before succ), consistent with every other path.
+	succ.lk.Lock()
+	succ.prev.Store(nil)
+	n.lk.Unlock()
+	l.activateLocked(succ)
+}

@@ -1,0 +1,176 @@
+package ksuh
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReaderJoinsActiveReader(t *testing.T) {
+	l := New()
+	var n1, n2 Node
+	l.RLock(&n1)
+	done := make(chan struct{})
+	go func() {
+		l.RLock(&n2)
+		close(done)
+		l.RUnlock(&n2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("reader did not join active reader group")
+	}
+	l.RUnlock(&n1)
+}
+
+func TestWriterFIFO(t *testing.T) {
+	l := New()
+	var holder Node
+	l.Lock(&holder)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var n Node
+			l.Lock(&n)
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			l.Unlock(&n)
+		}(i)
+		time.Sleep(10 * time.Millisecond)
+	}
+	l.Unlock(&holder)
+	wg.Wait()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestMiddleReaderSplice: three readers acquire; the middle one releases
+// first; a writer queued behind them must be admitted only after the
+// remaining two release.
+func TestMiddleReaderSplice(t *testing.T) {
+	l := New()
+	var r1, r2, r3 Node
+	l.RLock(&r1)
+	l.RLock(&r2)
+	l.RLock(&r3)
+
+	writerIn := make(chan struct{})
+	go func() {
+		var w Node
+		l.Lock(&w)
+		close(writerIn)
+		l.Unlock(&w)
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	l.RUnlock(&r2) // middle splice
+	select {
+	case <-writerIn:
+		t.Fatal("writer admitted while two readers still hold the lock")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.RUnlock(&r1) // head splice; r3 remains
+	select {
+	case <-writerIn:
+		t.Fatal("writer admitted while one reader still holds the lock")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.RUnlock(&r3)
+	select {
+	case <-writerIn:
+	case <-time.After(20 * time.Second):
+		t.Fatal("writer never admitted after last reader left")
+	}
+}
+
+// TestReaderFIFOBehindWriter: readers queued behind a waiting writer do
+// not overtake it (KSUH is fair).
+func TestReaderFIFOBehindWriter(t *testing.T) {
+	l := New()
+	var r1 Node
+	l.RLock(&r1)
+	writerIn := make(chan struct{})
+	go func() {
+		var w Node
+		l.Lock(&w)
+		close(writerIn)
+		time.Sleep(10 * time.Millisecond)
+		l.Unlock(&w)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	readerIn := make(chan struct{})
+	go func() {
+		var r2 Node
+		l.RLock(&r2)
+		close(readerIn)
+		l.RUnlock(&r2)
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("reader overtook waiting writer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.RUnlock(&r1)
+	<-writerIn
+	select {
+	case <-readerIn:
+	case <-time.After(20 * time.Second):
+		t.Fatal("queued reader never admitted")
+	}
+}
+
+// TestOutOfOrderReleaseStress: readers release in random order relative
+// to acquisition, exercising middle/tail/head splices heavily.
+func TestOutOfOrderReleaseStress(t *testing.T) {
+	l := New()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	var a, b int64
+	var bad atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var n Node
+			for i := 0; i < iters; i++ {
+				if (i*7+id)%5 != 0 {
+					l.RLock(&n)
+					if a != b {
+						bad.Add(1)
+					}
+					l.RUnlock(&n)
+				} else {
+					l.Lock(&n)
+					a++
+					b++
+					l.Unlock(&n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d violations", bad.Load())
+	}
+}
+
+func TestSequentialMixedReuse(t *testing.T) {
+	l := New()
+	var n Node
+	for i := 0; i < 2000; i++ {
+		l.RLock(&n)
+		l.RUnlock(&n)
+		l.Lock(&n)
+		l.Unlock(&n)
+	}
+}

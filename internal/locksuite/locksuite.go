@@ -1,0 +1,156 @@
+// Package locksuite provides a single correctness battery applied to
+// every reader-writer lock in this module, plus the adapters that give
+// all of them a common per-goroutine interface.
+//
+// The battery checks the properties a reader-writer lock must provide
+// regardless of its fairness policy: writer/writer exclusion,
+// reader/writer exclusion, actual reader concurrency (readers can
+// overlap), and progress under oversubscription — and it runs a
+// randomized mixed workload against an invariant checker. The tests
+// live in this package's test files; other packages reuse the adapters
+// for benchmarks and examples.
+package locksuite
+
+import (
+	"sync"
+
+	"ollock/internal/central"
+	"ollock/internal/foll"
+	"ollock/internal/goll"
+	"ollock/internal/hsieh"
+	"ollock/internal/ksuh"
+	"ollock/internal/mcs"
+	"ollock/internal/roll"
+	"ollock/internal/solaris"
+)
+
+// Proc is the per-goroutine view of a reader-writer lock: one
+// outstanding acquisition at a time, RLock/RUnlock and Lock/Unlock
+// properly paired.
+type Proc interface {
+	RLock()
+	RUnlock()
+	Lock()
+	Unlock()
+}
+
+// ProcMaker returns a new Proc for the calling goroutine. Implementations
+// are safe for concurrent use.
+type ProcMaker func() Proc
+
+// Impl describes one lock implementation under test.
+type Impl struct {
+	// Name is the lock's short name (matches the paper's terminology).
+	Name string
+	// New creates a fresh lock instance sized for maxProcs goroutines
+	// and returns its ProcMaker.
+	New func(maxProcs int) ProcMaker
+	// Upgradable marks locks whose Proc also implements Upgrader.
+	Upgradable bool
+}
+
+// Upgrader is implemented by procs that support write upgrade and
+// downgrade (the GOLL lock).
+type Upgrader interface {
+	TryUpgrade() bool
+	Downgrade()
+}
+
+// Locks enumerates every implementation in the module: the three OLL
+// locks, the four prior-work baselines, the naive centralized lock, and
+// the standard library's RWMutex as an external reference point.
+var Locks = []Impl{
+	{Name: "goll", New: newGOLL, Upgradable: true},
+	{Name: "foll", New: newFOLL},
+	{Name: "roll", New: newROLL},
+	{Name: "ksuh", New: newKSUH},
+	{Name: "mcs-rw", New: newMCSRW},
+	{Name: "solaris", New: newSolaris},
+	{Name: "hsieh", New: newHsieh},
+	{Name: "central", New: newCentral},
+	{Name: "sync.RWMutex", New: newStdRW},
+}
+
+// ByName returns the implementation with the given name, or nil.
+func ByName(name string) *Impl {
+	for i := range Locks {
+		if Locks[i].Name == name {
+			return &Locks[i]
+		}
+	}
+	return nil
+}
+
+// --- adapters ---
+
+func newGOLL(maxProcs int) ProcMaker {
+	l := goll.New()
+	return func() Proc { return l.NewProc() }
+}
+
+func newFOLL(maxProcs int) ProcMaker {
+	l := foll.New(maxProcs)
+	return func() Proc { return l.NewProc() }
+}
+
+func newROLL(maxProcs int) ProcMaker {
+	l := roll.New(maxProcs)
+	return func() Proc { return l.NewProc() }
+}
+
+type ksuhProc struct {
+	l *ksuh.RWLock
+	n ksuh.Node
+}
+
+func (p *ksuhProc) RLock()   { p.l.RLock(&p.n) }
+func (p *ksuhProc) RUnlock() { p.l.RUnlock(&p.n) }
+func (p *ksuhProc) Lock()    { p.l.Lock(&p.n) }
+func (p *ksuhProc) Unlock()  { p.l.Unlock(&p.n) }
+
+func newKSUH(maxProcs int) ProcMaker {
+	l := ksuh.New()
+	return func() Proc { return &ksuhProc{l: l} }
+}
+
+type mcsRWProc struct {
+	l *mcs.RWLock
+	n mcs.RWNode
+}
+
+func (p *mcsRWProc) RLock()   { p.l.RLock(&p.n) }
+func (p *mcsRWProc) RUnlock() { p.l.RUnlock(&p.n) }
+func (p *mcsRWProc) Lock()    { p.l.Lock(&p.n) }
+func (p *mcsRWProc) Unlock()  { p.l.Unlock(&p.n) }
+
+func newMCSRW(maxProcs int) ProcMaker {
+	l := mcs.NewRWLock()
+	return func() Proc { return &mcsRWProc{l: l} }
+}
+
+func newSolaris(maxProcs int) ProcMaker {
+	l := solaris.New()
+	return func() Proc { return l }
+}
+
+func newHsieh(maxProcs int) ProcMaker {
+	l := hsieh.New(maxProcs)
+	return func() Proc { return l.NewProc() }
+}
+
+func newCentral(maxProcs int) ProcMaker {
+	l := central.New()
+	return func() Proc { return l }
+}
+
+type stdRWProc struct{ l *sync.RWMutex }
+
+func (p stdRWProc) RLock()   { p.l.RLock() }
+func (p stdRWProc) RUnlock() { p.l.RUnlock() }
+func (p stdRWProc) Lock()    { p.l.Lock() }
+func (p stdRWProc) Unlock()  { p.l.Unlock() }
+
+func newStdRW(maxProcs int) ProcMaker {
+	l := new(sync.RWMutex)
+	return func() Proc { return stdRWProc{l} }
+}

@@ -1,0 +1,222 @@
+package mcs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexExclusion(t *testing.T) {
+	m := NewMutex()
+	counter := 0
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n MutexNode
+			for i := 0; i < iters; i++ {
+				m.Lock(&n)
+				counter++
+				m.Unlock(&n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestMutexUncontendedReuse(t *testing.T) {
+	m := NewMutex()
+	var n MutexNode
+	for i := 0; i < 1000; i++ {
+		m.Lock(&n)
+		m.Unlock(&n)
+	}
+}
+
+// TestMutexFIFO verifies queue order: threads that enqueue in a known
+// order acquire in that order.
+func TestMutexFIFO(t *testing.T) {
+	m := NewMutex()
+	var holder MutexNode
+	m.Lock(&holder)
+
+	const waiters = 4
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var n MutexNode
+			m.Lock(&n)
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			m.Unlock(&n)
+		}(i)
+		time.Sleep(10 * time.Millisecond) // serialize enqueue order
+	}
+	m.Unlock(&holder)
+	wg.Wait()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("acquisition order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestRWReadersShare(t *testing.T) {
+	l := NewRWLock()
+	var n1, n2 RWNode
+	l.RLock(&n1)
+	done := make(chan struct{})
+	go func() {
+		l.RLock(&n2)
+		close(done)
+		l.RUnlock(&n2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("second reader blocked behind first")
+	}
+	l.RUnlock(&n1)
+	if l.Readers() != 0 {
+		t.Fatalf("Readers = %d after all released", l.Readers())
+	}
+}
+
+func TestRWWriterExcludesReader(t *testing.T) {
+	l := NewRWLock()
+	var w RWNode
+	l.Lock(&w)
+	acquired := make(chan struct{})
+	go func() {
+		var r RWNode
+		l.RLock(&r)
+		close(acquired)
+		l.RUnlock(&r)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("reader acquired during write hold")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.Unlock(&w)
+	<-acquired
+}
+
+// TestRWFIFOFairness: a reader arriving after a queued writer waits for
+// that writer (no reader barging), per the MCS fair variant.
+func TestRWFIFOFairness(t *testing.T) {
+	l := NewRWLock()
+	var r1 RWNode
+	l.RLock(&r1)
+
+	writerIn := make(chan struct{})
+	writerOut := make(chan struct{})
+	go func() {
+		var w RWNode
+		l.Lock(&w)
+		close(writerIn)
+		time.Sleep(10 * time.Millisecond)
+		l.Unlock(&w)
+		close(writerOut)
+	}()
+	time.Sleep(30 * time.Millisecond) // writer is queued behind r1
+
+	readerIn := make(chan struct{})
+	go func() {
+		var r2 RWNode
+		l.RLock(&r2)
+		close(readerIn)
+		l.RUnlock(&r2)
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("late reader overtook queued writer (FIFO violated)")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	l.RUnlock(&r1) // writer proceeds, then the late reader
+	<-writerIn
+	<-writerOut
+	select {
+	case <-readerIn:
+	case <-time.After(20 * time.Second):
+		t.Fatal("late reader never granted")
+	}
+}
+
+// TestRWChainAdmission: a run of readers queued behind a writer is
+// admitted together when the writer releases (successor chain wake).
+func TestRWChainAdmission(t *testing.T) {
+	l := NewRWLock()
+	var w RWNode
+	l.Lock(&w)
+	const readers = 4
+	var active atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n RWNode
+			l.RLock(&n)
+			active.Add(1)
+			for active.Load() < readers {
+				time.Sleep(time.Millisecond)
+			}
+			l.RUnlock(&n)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	l.Unlock(&w)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("reader chain stalled: %d admitted", active.Load())
+	}
+}
+
+func TestRWMixedStress(t *testing.T) {
+	l := NewRWLock()
+	var a, b int64
+	const goroutines, iters = 8, 1500
+	var wg sync.WaitGroup
+	var bad atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var n RWNode
+			for i := 0; i < iters; i++ {
+				if (i+id)%4 != 0 {
+					l.RLock(&n)
+					if a != b {
+						bad.Add(1)
+					}
+					l.RUnlock(&n)
+				} else {
+					l.Lock(&n)
+					a++
+					b++
+					l.Unlock(&n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d exclusion violations", bad.Load())
+	}
+}

@@ -1,0 +1,54 @@
+// Package mcs implements the Mellor-Crummey & Scott queue locks: the
+// classic MCS mutex (ASPLOS/TOCS '91) that the paper's distributed-queue
+// locks extend, and the MCS fair reader-writer lock (PPoPP '91) that is
+// the direct ancestor of the FOLL lock.
+//
+// In both, waiting threads form an implicit queue of per-thread nodes
+// and each thread busy-waits on a flag in its own node, so waiting
+// causes no cache-coherence traffic; the single globally contended word
+// is the queue's tail pointer.
+package mcs
+
+import (
+	"ollock/internal/atomicx"
+)
+
+// MutexNode is a queue node for Mutex. Each goroutine owns one node per
+// lock it waits on; a node is reusable after Unlock returns.
+type MutexNode struct {
+	next   atomicx.PaddedPointer[MutexNode]
+	locked atomicx.PaddedBool
+}
+
+// Mutex is an MCS queue mutex. The zero value is unlocked.
+type Mutex struct {
+	tail atomicx.PaddedPointer[MutexNode]
+}
+
+// NewMutex returns an unlocked MCS mutex.
+func NewMutex() *Mutex { return &Mutex{} }
+
+// Lock acquires the mutex using n as this thread's queue node. The same
+// node must be passed to Unlock.
+func (m *Mutex) Lock(n *MutexNode) {
+	n.next.Store(nil)
+	n.locked.Store(true)
+	pred := m.tail.Swap(n)
+	if pred == nil {
+		return // lock was free
+	}
+	pred.next.Store(n)
+	atomicx.SpinUntil(func() bool { return !n.locked.Load() })
+}
+
+// Unlock releases the mutex. n must be the node passed to Lock.
+func (m *Mutex) Unlock(n *MutexNode) {
+	if n.next.Load() == nil {
+		if m.tail.CompareAndSwap(n, nil) {
+			return // no successor
+		}
+		// A successor is in the middle of enqueuing; wait for its link.
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+	}
+	n.next.Load().locked.Store(false)
+}

@@ -1,0 +1,154 @@
+package mcs
+
+import (
+	"ollock/internal/atomicx"
+)
+
+// This file implements the Mellor-Crummey & Scott fair (FIFO)
+// reader-writer lock from "Scalable reader-writer synchronization for
+// shared-memory multiprocessors" (PPoPP '91) — the prior-work extension
+// of the MCS mutex discussed in the paper's introduction. Readers and
+// writers enqueue per-thread nodes; a reader may proceed alongside an
+// active reader predecessor; the lock keeps a central count of active
+// readers and a pointer to the next writer, which is exactly the
+// serialization on reads the OLL locks eliminate.
+
+// Node classes.
+const (
+	classReader uint32 = iota
+	classWriter
+)
+
+// Per-node state word: bit 0 = blocked, bits 1-2 = successor class.
+const (
+	stBlocked     = uint32(1)
+	succNone      = uint32(0) << 1
+	succReader    = uint32(1) << 1
+	succWriter    = uint32(2) << 1
+	succClassMask = uint32(3) << 1
+)
+
+// RWNode is the per-thread queue node for RWLock. A goroutine needs one
+// node per lock; it is reusable as soon as the matching unlock returns.
+type RWNode struct {
+	class uint32 // written by the owner before publishing the node
+	next  atomicx.PaddedPointer[RWNode]
+	state atomicx.PaddedUint32
+}
+
+func (n *RWNode) blocked() bool { return n.state.Load()&stBlocked != 0 }
+
+// clearBlocked clears the blocked bit, preserving the successor class.
+func (n *RWNode) clearBlocked() {
+	for {
+		old := n.state.Load()
+		if n.state.CompareAndSwap(old, old&^stBlocked) {
+			return
+		}
+	}
+}
+
+// setSuccWriter records that the (unique) successor is a writer,
+// preserving the blocked bit.
+func (n *RWNode) setSuccWriter() {
+	for {
+		old := n.state.Load()
+		if n.state.CompareAndSwap(old, (old&^succClassMask)|succWriter) {
+			return
+		}
+	}
+}
+
+// RWLock is the MCS fair reader-writer lock. Use NewRWLock.
+type RWLock struct {
+	tail        atomicx.PaddedPointer[RWNode]
+	readerCount atomicx.PaddedUint32
+	nextWriter  atomicx.PaddedPointer[RWNode]
+}
+
+// NewRWLock returns an unlocked MCS reader-writer lock.
+func NewRWLock() *RWLock { return &RWLock{} }
+
+// RLock acquires the lock for reading using n as the thread's queue
+// node.
+func (l *RWLock) RLock(n *RWNode) {
+	n.class = classReader
+	n.next.Store(nil)
+	n.state.Store(stBlocked | succNone)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.readerCount.Add(1)
+		n.clearBlocked()
+	} else if pred.class == classWriter ||
+		pred.state.CompareAndSwap(stBlocked|succNone, stBlocked|succReader) {
+		// pred is a writer, or a still-blocked reader: it will wake us
+		// (and count us) when it acquires/releases.
+		pred.next.Store(n)
+		atomicx.SpinUntil(func() bool { return !n.blocked() })
+	} else {
+		// pred is an active reader: count ourselves in and go.
+		l.readerCount.Add(1)
+		pred.next.Store(n)
+		n.clearBlocked()
+	}
+	// Chain wake: if a reader queued behind us while we were blocked, it
+	// registered as succReader; admit it now.
+	if n.state.Load()&succClassMask == succReader {
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+		l.readerCount.Add(1)
+		n.next.Load().clearBlocked()
+	}
+}
+
+// RUnlock releases a read acquisition.
+func (l *RWLock) RUnlock(n *RWNode) {
+	if n.next.Load() != nil || !l.tail.CompareAndSwap(n, nil) {
+		// Wait until the successor's link is visible.
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+		if n.state.Load()&succClassMask == succWriter {
+			l.nextWriter.Store(n.next.Load())
+		}
+	}
+	if l.readerCount.Add(^uint32(0)) == 0 {
+		// Last active reader: wake the next writer, if registered.
+		if w := l.nextWriter.Swap(nil); w != nil {
+			w.clearBlocked()
+		}
+	}
+}
+
+// Lock acquires the lock for writing using n as the thread's queue node.
+func (l *RWLock) Lock(n *RWNode) {
+	n.class = classWriter
+	n.next.Store(nil)
+	n.state.Store(stBlocked | succNone)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.nextWriter.Store(n)
+		if l.readerCount.Load() == 0 && l.nextWriter.Swap(nil) == n {
+			// No active readers and nobody raced to wake us: go.
+			n.clearBlocked()
+		}
+	} else {
+		// Successor class must be visible before the link (the
+		// predecessor inspects it as soon as it sees next != nil).
+		pred.setSuccWriter()
+		pred.next.Store(n)
+	}
+	atomicx.SpinUntil(func() bool { return !n.blocked() })
+}
+
+// Unlock releases a write acquisition.
+func (l *RWLock) Unlock(n *RWNode) {
+	if n.next.Load() != nil || !l.tail.CompareAndSwap(n, nil) {
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+		succ := n.next.Load()
+		if succ.class == classReader {
+			l.readerCount.Add(1)
+		}
+		succ.clearBlocked()
+	}
+}
+
+// Readers returns the active reader count (diagnostic).
+func (l *RWLock) Readers() int { return int(int32(l.readerCount.Load())) }

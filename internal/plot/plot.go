@@ -1,0 +1,150 @@
+// Package plot renders multi-series ASCII charts, used by the
+// evaluation commands to show the shape of a Figure 5 panel directly in
+// the terminal — the reproduction target is the curves' shape, so being
+// able to see it matters more than exact values.
+//
+// The y axis is logarithmic (the data spans decades), the x axis
+// linear, matching how the paper's plots are read.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve. X and Y must have equal lengths; Y values
+// must be positive (log scale).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers assigns each series a drawing character: the first letter of
+// its name uppercased, falling back through the name and then a pool of
+// digits on collision.
+func markers(series []Series) []byte {
+	used := map[byte]bool{}
+	out := make([]byte, len(series))
+	for i, s := range series {
+		assigned := false
+		for j := 0; j < len(s.Name) && !assigned; j++ {
+			c := upper(s.Name[j])
+			if c != ' ' && !used[c] {
+				out[i], used[c], assigned = c, true, true
+			}
+		}
+		for c := byte('0'); c <= '9' && !assigned; c++ {
+			if !used[c] {
+				out[i], used[c], assigned = c, true, true
+			}
+		}
+		if !assigned {
+			out[i] = '?'
+		}
+	}
+	return out
+}
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	if c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+		return c
+	}
+	return ' '
+}
+
+// Render draws the series into w as a width×height character grid with
+// a log-scale y axis and a legend. It returns an error for unusable
+// input (no points, nonpositive y, mismatched lengths).
+func Render(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				return fmt.Errorf("plot: series %q has non-positive y %v", s.Name, s.Y[i])
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("plot: no points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	lmin, lmax := math.Log10(ymin), math.Log10(ymax)
+	if lmax == lmin {
+		lmax = lmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := markers(series)
+	for si, s := range series {
+		m := marks[si]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((math.Log10(s.Y[i]) - lmin) / (lmax - lmin) * float64(height-1)))
+			r := height - 1 - row
+			if grid[r][col] == ' ' || grid[r][col] == m {
+				grid[r][col] = m
+			} else {
+				grid[r][col] = '*' // collision
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s  (y: log scale %.2e..%.2e, x: %g..%g)\n", title, ymin, ymax, xmin, xmax); err != nil {
+		return err
+	}
+	for r := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.0e ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%7.0e ", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.0e ", math.Pow(10, (lmin+lmax)/2))
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	// X tick line: min, mid, max.
+	ticks := fmt.Sprintf("%-*s%s", width/2, fmt.Sprintf("%g", xmin), fmt.Sprintf("%g", xmax))
+	if _, err := fmt.Fprintf(w, "%9s%s\n", "", ticks); err != nil {
+		return err
+	}
+	// Legend.
+	names := make([]string, 0, len(series))
+	for si, s := range series {
+		names = append(names, fmt.Sprintf("%c=%s", marks[si], s.Name))
+	}
+	sort.Strings(names)
+	_, err := fmt.Fprintf(w, "%9s%s\n", "", strings.Join(names, "  "))
+	return err
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "goll", X: []float64{1, 64, 256}, Y: []float64{5e7, 4e8, 1.3e9}},
+		{Name: "solaris", X: []float64{1, 64, 256}, Y: []float64{5e7, 1.3e7, 5.6e6}},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, "Figure 5(a)", twoSeries(), 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 5(a)", "G=goll", "S=solaris", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 12 grid rows + ticks + legend
+	if len(lines) != 1+12+2 {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), 15, out)
+	}
+	if !strings.Contains(out, "G") || !strings.Contains(out, "S") {
+		t.Fatal("markers not drawn")
+	}
+}
+
+func TestRenderShapeOrientation(t *testing.T) {
+	// The rising series' last point must be on a higher row (earlier
+	// line) than the falling series' last point.
+	var sb strings.Builder
+	if err := Render(&sb, "t", twoSeries(), 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")[1:13]
+	rowOf := func(marker byte) int {
+		for i, line := range lines {
+			if strings.IndexByte(line[len(line)-10:], marker) >= 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	g, s := rowOf('G'), rowOf('S')
+	if g < 0 || s < 0 {
+		t.Fatalf("markers not found near the right edge:\n%s", sb.String())
+	}
+	if g >= s {
+		t.Fatalf("rising series (row %d) not above falling series (row %d)", g, s)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, "t", nil, 60, 12); err == nil {
+		t.Fatal("no error for empty input")
+	}
+	if err := Render(&sb, "t", twoSeries(), 5, 5); err == nil {
+		t.Fatal("no error for tiny grid")
+	}
+	bad := []Series{{Name: "x", X: []float64{1}, Y: []float64{0}}}
+	if err := Render(&sb, "t", bad, 60, 12); err == nil {
+		t.Fatal("no error for zero y on log scale")
+	}
+	mismatch := []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}
+	if err := Render(&sb, "t", mismatch, 60, 12); err == nil {
+		t.Fatal("no error for length mismatch")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var sb strings.Builder
+	one := []Series{{Name: "x", X: []float64{8}, Y: []float64{1e6}}}
+	if err := Render(&sb, "t", one, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkersNameBased(t *testing.T) {
+	series := []Series{
+		{Name: "goll"}, {Name: "foll"}, {Name: "roll"}, {Name: "ksuh"}, {Name: "solaris"},
+	}
+	got := markers(series)
+	want := []byte{'G', 'F', 'R', 'K', 'S'}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("marker[%d] = %c, want %c", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMarkersCollisionFallback(t *testing.T) {
+	series := []Series{{Name: "roll"}, {Name: "rwlock"}, {Name: "rr"}}
+	got := markers(series)
+	seen := map[byte]bool{}
+	for _, m := range got {
+		if seen[m] {
+			t.Fatalf("duplicate marker %c in %v", m, got)
+		}
+		seen[m] = true
+	}
+}

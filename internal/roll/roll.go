@@ -1,0 +1,331 @@
+// Package roll implements the ROLL lock — the reader-preference
+// distributed-queue OLL reader-writer lock of §4.3 of "Scalable
+// Reader-Writer Locks".
+//
+// ROLL is the FOLL lock with the wait queue converted into a doubly
+// linked list: a reader that finds a writer at the tail walks backward
+// looking for a reader node whose group is still waiting (spin flag
+// true), and joins it — overtaking the intervening writers — instead of
+// enqueuing a new node at the tail. Because all readers follow this
+// procedure, at most one such waiting reader node exists at a time, so
+// under a steady trickle of writers all readers coalesce onto one node
+// rather than fragmenting into one group per writer. A lock-level
+// lastReader hint caches the most recently joined waiting node to skip
+// the backward search (§4.3's optimization).
+//
+// Joins are validated by the node's C-SNZI, not by queue position: a
+// node's C-SNZI is open only while the node is enqueued, so a successful
+// Arrive proves membership even if the backward walk raced with node
+// recycling; a failed Arrive simply falls back to enqueuing a new node
+// (FOLL behaviour).
+//
+// One consequence the paper leaves implicit: a ROLL writer enqueuing
+// behind a reader node must NOT close the node's C-SNZI at enqueue time
+// (as a FOLL writer does) — that would make every waiting group
+// unjoinable the moment a writer queued behind it, defeating the
+// overtaking entirely. Instead the writer defers the close until the
+// group is activated (its spin flag clears), the point after which no
+// searching reader targets the node anyway.
+package roll
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"ollock/internal/atomicx"
+	"ollock/internal/csnzi"
+)
+
+// Node kinds.
+const (
+	kindReader uint32 = iota
+	kindWriter
+)
+
+// Node allocation states (reader nodes only).
+const (
+	allocFree uint32 = iota
+	allocInUse
+)
+
+// searchLimit bounds the backward walk. Stale prev pointers through
+// recycled nodes can mislead the walk; bounding it keeps the fallback
+// (enqueue a fresh node, i.e. FOLL behaviour) prompt.
+const searchLimit = 256
+
+// Node is a queue node with both forward (qNext) and backward (qPrev)
+// links.
+type Node struct {
+	kind  uint32 // immutable
+	qNext atomicx.PaddedPointer[Node]
+	qPrev atomicx.PaddedPointer[Node]
+	spin  atomicx.PaddedBool
+	// Reader-node-only fields.
+	csnzi      *csnzi.CSNZI
+	allocState atomic.Uint32
+	ringNext   *Node
+}
+
+// RWLock is a ROLL reader-writer lock for up to a fixed number of
+// participating goroutines. Use New, then one Proc per goroutine.
+type RWLock struct {
+	tail       atomicx.PaddedPointer[Node]
+	lastReader atomicx.PaddedPointer[Node] // hint: last known waiting reader node
+	ring       []Node
+	procs      atomic.Int64
+}
+
+// Proc is a per-goroutine handle (one outstanding acquisition at a
+// time).
+type Proc struct {
+	l          *RWLock
+	id         int
+	rNode      *Node
+	wNode      *Node
+	departFrom *Node
+	ticket     csnzi.Ticket
+}
+
+// New returns a ROLL lock sized for maxProcs participating goroutines.
+func New(maxProcs int) *RWLock {
+	if maxProcs <= 0 {
+		panic("roll: maxProcs must be positive")
+	}
+	l := &RWLock{ring: make([]Node, maxProcs)}
+	for i := range l.ring {
+		n := &l.ring[i]
+		n.kind = kindReader
+		n.ringNext = &l.ring[(i+1)%maxProcs]
+		n.csnzi = csnzi.New()
+		n.csnzi.CloseIfEmpty() // not enqueued => closed
+	}
+	return l
+}
+
+// NewProc registers a goroutine with the lock; panics beyond maxProcs.
+func (l *RWLock) NewProc() *Proc {
+	id := int(l.procs.Add(1)) - 1
+	if id >= len(l.ring) {
+		panic("roll: more procs than maxProcs")
+	}
+	return &Proc{
+		l:     l,
+		id:    id,
+		rNode: &l.ring[id],
+		wNode: &Node{kind: kindWriter},
+	}
+}
+
+func (p *Proc) allocReaderNode() *Node {
+	cur := p.rNode
+	for {
+		if cur.allocState.Load() == allocFree &&
+			cur.allocState.CompareAndSwap(allocFree, allocInUse) {
+			return cur
+		}
+		cur = cur.ringNext
+		if cur == p.rNode {
+			runtime.Gosched()
+		}
+	}
+}
+
+func freeReaderNode(n *Node) {
+	n.allocState.Store(allocFree)
+}
+
+// tryJoinWaiting attempts to join the waiting reader group at n. It
+// succeeds only if n's group is still waiting (spin set) and its C-SNZI
+// is open (n is enqueued). On success the caller holds the lock once the
+// group's spin flag clears.
+func (p *Proc) tryJoinWaiting(n *Node) bool {
+	if n.kind != kindReader || !n.spin.Load() {
+		return false
+	}
+	t := n.csnzi.Arrive(p.id)
+	if !t.Arrived() {
+		return false
+	}
+	// Refresh the hint only when it actually changes: with one waiting
+	// group at a time, an unconditional store would make the hint word a
+	// globally contended line written by every joining reader.
+	if p.l.lastReader.Load() != n {
+		p.l.lastReader.Store(n)
+	}
+	p.departFrom = n
+	p.ticket = t
+	atomicx.SpinUntil(func() bool { return !n.spin.Load() })
+	return true
+}
+
+// RLock acquires the lock for reading, preferring to join an existing
+// waiting reader group over enqueuing behind writers.
+func (p *Proc) RLock() {
+	l := p.l
+	var rNode *Node
+	defer func() {
+		if rNode != nil {
+			freeReaderNode(rNode) // allocated but never enqueued
+		}
+	}()
+	for {
+		// Fast path: the hint points at the last known waiting group.
+		if h := l.lastReader.Load(); h != nil {
+			if p.tryJoinWaiting(h) {
+				return
+			}
+			l.lastReader.CompareAndSwap(h, nil)
+		}
+		tail := l.tail.Load()
+		switch {
+		case tail == nil:
+			if rNode == nil {
+				rNode = p.allocReaderNode()
+			}
+			rNode.spin.Store(false)
+			rNode.qNext.Store(nil)
+			rNode.qPrev.Store(nil)
+			if !l.tail.CompareAndSwap(nil, rNode) {
+				continue
+			}
+			rNode.csnzi.Open()
+			t := rNode.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				p.departFrom = rNode
+				p.ticket = t
+				rNode = nil
+				return
+			}
+			rNode = nil // in queue; the closing writer recycles it
+
+		case tail.kind == kindReader:
+			// Tail is a reader node: join it directly (same as FOLL).
+			t := tail.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				p.departFrom = tail
+				p.ticket = t
+				if tail.spin.Load() && l.lastReader.Load() != tail {
+					l.lastReader.Store(tail)
+				}
+				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				return
+			}
+			// Closed: tail changed; retry.
+
+		default:
+			// Tail is a writer: search backward for a waiting reader
+			// group to overtake into.
+			cur := tail.qPrev.Load()
+			for steps := 0; cur != nil && steps < searchLimit; steps++ {
+				if cur.kind == kindReader {
+					if p.tryJoinWaiting(cur) {
+						return
+					}
+					break // reader node found but not joinable
+				}
+				cur = cur.qPrev.Load()
+			}
+			// No joinable group: enqueue a fresh waiting reader node at
+			// the tail (FOLL behaviour), which becomes the new group.
+			if rNode == nil {
+				rNode = p.allocReaderNode()
+			}
+			rNode.spin.Store(true)
+			rNode.qNext.Store(nil)
+			rNode.qPrev.Store(tail)
+			if !l.tail.CompareAndSwap(tail, rNode) {
+				continue
+			}
+			tail.qNext.Store(rNode)
+			rNode.csnzi.Open()
+			t := rNode.csnzi.Arrive(p.id)
+			if t.Arrived() {
+				p.departFrom = rNode
+				p.ticket = t
+				l.lastReader.Store(rNode)
+				node := rNode
+				rNode = nil
+				atomicx.SpinUntil(func() bool { return !node.spin.Load() })
+				return
+			}
+			rNode = nil
+		}
+	}
+}
+
+// RUnlock releases a read acquisition, signalling the closing writer if
+// this thread departed last and recycling the group's node.
+func (p *Proc) RUnlock() {
+	n := p.departFrom
+	if n.csnzi.Depart(p.ticket) {
+		return
+	}
+	succ := n.qNext.Load()
+	succ.qPrev.Store(nil) // succ becomes head
+	succ.spin.Store(false)
+	n.qNext.Store(nil)
+	freeReaderNode(n)
+}
+
+// Lock acquires the lock for writing.
+func (p *Proc) Lock() {
+	l := p.l
+	w := p.wNode
+	w.qNext.Store(nil)
+	oldTail := l.tail.Swap(w)
+	w.qPrev.Store(oldTail)
+	if oldTail == nil {
+		return
+	}
+	w.spin.Store(true)
+	oldTail.qNext.Store(w)
+	if oldTail.kind == kindWriter {
+		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		return
+	}
+	// Reader-node predecessor. First wait out the enqueue/Open window
+	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
+	atomicx.SpinUntil(func() bool {
+		_, open := oldTail.csnzi.Query()
+		return open
+	})
+	// ROLL's key difference from FOLL: do NOT close the group's C-SNZI
+	// yet. While the group is still waiting (spin set), readers arriving
+	// later must be able to join it — that is the reader preference. We
+	// close only once the group is activated, after which no waiting
+	// reader targets it (the backward search joins only spin==true
+	// nodes).
+	atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
+	if oldTail.csnzi.Close() {
+		// Group already drained: no reader will signal us; the grant we
+		// just observed (spin false) is ours to take over.
+		w.qPrev.Store(nil) // we are the head now
+		oldTail.qNext.Store(nil)
+		freeReaderNode(oldTail)
+		return
+	}
+	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+}
+
+// Unlock releases a write acquisition.
+func (p *Proc) Unlock() {
+	l := p.l
+	w := p.wNode
+	if w.qNext.Load() == nil {
+		if l.tail.CompareAndSwap(w, nil) {
+			return
+		}
+		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
+	}
+	succ := w.qNext.Load()
+	succ.qPrev.Store(nil)
+	succ.spin.Store(false)
+	w.qNext.Store(nil)
+}
+
+// MaxProcs returns the ring size (diagnostic).
+func (l *RWLock) MaxProcs() int { return len(l.ring) }
+
+// HintSet reports whether the lastReader hint is populated (diagnostic,
+// used by the hint ablation tests).
+func (l *RWLock) HintSet() bool { return l.lastReader.Load() != nil }

@@ -1,0 +1,324 @@
+// Package sim is a deterministic discrete-event simulator of a
+// multi-chip shared-memory machine, built to reproduce the paper's
+// evaluation platform — a Sun SPARC Enterprise T5440 with 4 chips × 64
+// hardware threads — on hosts that cannot exhibit its behaviour (see
+// DESIGN.md §4).
+//
+// Simulated threads are ordinary Go functions that perform their shared
+// memory accesses through a Ctx (Load, Store, CAS, Swap, SpinUntil,
+// Work). The simulator runs threads one at a time in virtual-time order:
+// each primitive charges the calling thread a latency from a cache
+// coherence cost model (hit in own cache, transfer from a same-chip
+// cache, transfer across chips), so contention manifests exactly as it
+// does on hardware — as serialized ownership transfers of hot cache
+// lines whose cost jumps when the communicating threads sit on different
+// chips.
+//
+// Busy-wait loops use SpinUntil, which parks the thread as a watcher on
+// the word and wakes it at the writer's virtual time, so waiting costs
+// no simulation work. Runs are fully deterministic: same program + same
+// seeds => identical final clocks, access counts, and results.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Chips is the number of processor chips.
+	Chips int
+	// ThreadsPerChip is the number of hardware thread slots per chip.
+	// Simulated threads are packed onto chips in id order, so thread
+	// counts <= ThreadsPerChip stay on one chip (the paper's on-chip
+	// regime).
+	ThreadsPerChip int
+	// ThreadsPerCore is the number of hardware threads sharing one core
+	// (and hence its L1 cache); 8 on the UltraSPARC T2+. It must divide
+	// ThreadsPerChip.
+	ThreadsPerCore int
+	// CostLocal is the latency (cycles) of an access that hits the
+	// thread's own cached copy.
+	CostLocal int64
+	// CostCore is the latency of a transfer between hardware threads of
+	// the same core (effectively an L1 hit on a CMT core).
+	CostCore int64
+	// CostShared is the latency of a transfer between cores on the same
+	// chip (the shared L2 of the T2+).
+	CostShared int64
+	// CostRemote is the latency of a transfer across chips (through the
+	// coherence hubs) or from memory.
+	CostRemote int64
+	// CostOp is the instruction-stream cost charged per primitive,
+	// modeling the non-memory work between shared accesses.
+	CostOp int64
+	// Jitter adds a deterministic pseudo-random 0..Jitter extra cycles
+	// to each primitive, modeling the issue-slot noise of multithreaded
+	// cores. Without it, perfectly symmetric costs phase-lock simulated
+	// threads into patterns (e.g. a reader group draining in lockstep)
+	// that hardware noise breaks up.
+	Jitter int64
+	// MaxSteps aborts the run (panic) after this many scheduler steps;
+	// 0 means no limit. A safety net for accidental livelock in
+	// simulated algorithms.
+	MaxSteps int64
+}
+
+// T5440 returns the configuration modeling the paper's evaluation
+// machine: 4 chips × 8 cores × 8 hardware threads at 1.4 GHz, with
+// same-core communication through the core's L1, on-chip communication
+// through the shared L2, and off-chip through coherency hubs. The
+// latency ratios (1 : 3 : 30 : 120) follow the usual L1-hit :
+// same-core : L2-transfer : cross-chip-hub ordering for that system
+// class; the paper's curves depend on the ratios, not the absolute
+// values.
+func T5440() Config {
+	return Config{
+		Chips:          4,
+		ThreadsPerChip: 64,
+		ThreadsPerCore: 8,
+		CostLocal:      1,
+		CostCore:       3,
+		CostShared:     30,
+		CostRemote:     120,
+		CostOp:         3,
+		Jitter:         4,
+	}
+}
+
+// ClockHz is the modeled clock rate used to convert virtual cycles to
+// seconds (the T5440 runs at 1.4 GHz).
+const ClockHz = 1.4e9
+
+// Thread states.
+const (
+	stateReady = iota
+	stateBlocked
+	stateFinished
+)
+
+type thread struct {
+	id, core, chip int
+	clock          int64
+	state          int
+	grant          chan struct{}
+	heapIdx        int
+	rng            uint64 // per-thread jitter state
+	// accounting
+	accesses int64
+	remote   int64
+}
+
+// Machine is one simulation instance. Create with New, add programs with
+// Spawn, then call Run exactly once.
+type Machine struct {
+	cfg      Config
+	threads  []*thread
+	bodies   []func(*Ctx)
+	stepDone chan *thread
+	heap     []*thread
+	words    int
+	trace    func(Event)
+	// Accounting available after Run.
+	steps int64
+}
+
+// New returns a machine with the given configuration. A zero
+// ThreadsPerCore defaults to ThreadsPerChip (one core per chip); a zero
+// CostCore defaults to CostShared.
+func New(cfg Config) *Machine {
+	if cfg.Chips <= 0 || cfg.ThreadsPerChip <= 0 {
+		panic("sim: Chips and ThreadsPerChip must be positive")
+	}
+	if cfg.ThreadsPerCore == 0 {
+		cfg.ThreadsPerCore = cfg.ThreadsPerChip
+	}
+	if cfg.CostCore == 0 {
+		cfg.CostCore = cfg.CostShared
+	}
+	if cfg.ThreadsPerCore <= 0 || cfg.ThreadsPerChip%cfg.ThreadsPerCore != 0 {
+		panic("sim: ThreadsPerCore must be positive and divide ThreadsPerChip")
+	}
+	if cfg.CostLocal <= 0 || cfg.CostCore <= 0 || cfg.CostShared <= 0 || cfg.CostRemote <= 0 {
+		panic("sim: costs must be positive")
+	}
+	return &Machine{cfg: cfg, stepDone: make(chan *thread)}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Spawn registers a simulated thread running body. Threads are packed
+// onto chips in spawn order (64 per chip for the T5440 config). Spawn
+// panics if the machine is full or already running.
+func (m *Machine) Spawn(body func(*Ctx)) int {
+	id := len(m.threads)
+	if id >= m.cfg.Chips*m.cfg.ThreadsPerChip {
+		panic("sim: machine full")
+	}
+	t := &thread{
+		id:    id,
+		core:  id / m.cfg.ThreadsPerCore,
+		chip:  id / m.cfg.ThreadsPerChip,
+		grant: make(chan struct{}),
+		rng:   uint64(id)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	m.threads = append(m.threads, t)
+	m.bodies = append(m.bodies, body)
+	return id
+}
+
+// Threads returns the number of spawned threads.
+func (m *Machine) Threads() int { return len(m.threads) }
+
+// Run executes all spawned threads to completion and returns the final
+// virtual time (the maximum thread clock, in cycles). It panics on
+// deadlock (all unfinished threads blocked) or when MaxSteps is
+// exceeded.
+func (m *Machine) Run() int64 {
+	n := len(m.threads)
+	if n == 0 {
+		return 0
+	}
+	for i := range m.threads {
+		t := m.threads[i]
+		body := m.bodies[i]
+		go func() {
+			ctx := &Ctx{m: m, t: t}
+			ctx.sync() // announce; parked until first grant
+			body(ctx)
+			t.state = stateFinished
+			m.stepDone <- t
+		}()
+	}
+	// Collect the initial announcements; every thread parks at its first
+	// grant (or finishes immediately if its body is empty — impossible
+	// here since sync precedes the body, but handled for safety).
+	finished := 0
+	for i := 0; i < n; i++ {
+		t := <-m.stepDone
+		switch t.state {
+		case stateReady:
+			m.push(t)
+		case stateFinished:
+			finished++
+		}
+	}
+	for finished < n {
+		t := m.pop()
+		if t == nil {
+			panic(fmt.Sprintf("sim: deadlock — %d of %d threads blocked forever", n-finished, n))
+		}
+		m.steps++
+		if m.cfg.MaxSteps > 0 && m.steps > m.cfg.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d (livelock?)", m.cfg.MaxSteps))
+		}
+		t.grant <- struct{}{}
+		t = <-m.stepDone
+		switch t.state {
+		case stateReady:
+			m.push(t)
+		case stateFinished:
+			finished++
+		case stateBlocked:
+			// parked as a watcher; re-pushed when woken
+		}
+	}
+	var max int64
+	for _, t := range m.threads {
+		if t.clock > max {
+			max = t.clock
+		}
+	}
+	return max
+}
+
+// Steps returns the number of scheduler steps executed (diagnostic).
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Stats summarizes one thread's memory behaviour after Run.
+type Stats struct {
+	Thread   int
+	Chip     int
+	Clock    int64
+	Accesses int64
+	Remote   int64 // accesses that crossed chips
+}
+
+// ThreadStats returns per-thread statistics, sorted by thread id.
+func (m *Machine) ThreadStats() []Stats {
+	out := make([]Stats, len(m.threads))
+	for i, t := range m.threads {
+		out[i] = Stats{Thread: t.id, Chip: t.chip, Clock: t.clock, Accesses: t.accesses, Remote: t.remote}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// --- min-heap on (clock, id) ---
+
+func (m *Machine) push(t *thread) {
+	t.heapIdx = len(m.heap)
+	m.heap = append(m.heap, t)
+	m.up(t.heapIdx)
+}
+
+func (m *Machine) pop() *thread {
+	if len(m.heap) == 0 {
+		return nil
+	}
+	t := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap[0].heapIdx = 0
+	m.heap = m.heap[:last]
+	if last > 0 {
+		m.down(0)
+	}
+	return t
+}
+
+func (m *Machine) less(i, j int) bool {
+	a, b := m.heap[i], m.heap[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (m *Machine) swap(i, j int) {
+	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
+	m.heap[i].heapIdx = i
+	m.heap[j].heapIdx = j
+}
+
+func (m *Machine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(i, parent) {
+			break
+		}
+		m.swap(i, parent)
+		i = parent
+	}
+}
+
+func (m *Machine) down(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.less(l, small) {
+			small = l
+		}
+		if r < n && m.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,59 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// Central is the simulated naive centralized reader-writer lock: one
+// word, bit 63 = write-locked, rest = reader count (mirrors
+// internal/central).
+type Central struct {
+	word *sim.Word
+}
+
+const centralWriterBit = uint64(1) << 63
+
+// NewCentral allocates a centralized lock on m.
+func NewCentral(m *sim.Machine, maxProcs int) *Central {
+	return &Central{word: m.NewWord(0)}
+}
+
+// NewProc returns the per-thread handle (stateless for this lock).
+func (l *Central) NewProc(id int) Proc { return centralProc{l} }
+
+type centralProc struct{ l *Central }
+
+func (p centralProc) RLock(c *sim.Ctx) {
+	for {
+		w := c.Load(p.l.word)
+		if w&centralWriterBit == 0 {
+			if c.CAS(p.l.word, w, w+1) {
+				return
+			}
+			continue
+		}
+		c.SpinUntil(p.l.word, func(v uint64) bool { return v&centralWriterBit == 0 })
+	}
+}
+
+func (p centralProc) RUnlock(c *sim.Ctx) {
+	for {
+		w := c.Load(p.l.word)
+		if c.CAS(p.l.word, w, w-1) {
+			return
+		}
+	}
+}
+
+func (p centralProc) Lock(c *sim.Ctx) {
+	for {
+		if c.CAS(p.l.word, 0, centralWriterBit) {
+			return
+		}
+		c.SpinUntil(p.l.word, func(v uint64) bool { return v == 0 })
+	}
+}
+
+func (p centralProc) Unlock(c *sim.Ctx) {
+	c.Store(p.l.word, 0)
+}

@@ -1,0 +1,238 @@
+package simlock
+
+import (
+	"fmt"
+	"testing"
+
+	"ollock/internal/sim"
+	"ollock/internal/xrand"
+)
+
+// TestDebugGOLLReadOnly prints per-op cost decomposition for the GOLL
+// read-only workload at 1 and 16 threads. Run with -v.
+func TestDebugGOLLReadOnly(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	for _, threads := range []int{1, 4, 16} {
+		m := sim.New(testCfg())
+		l := NewGOLL(m, threads)
+		for i := 0; i < threads; i++ {
+			p := l.NewProc(i)
+			m.Spawn(func(c *sim.Ctx) {
+				for j := 0; j < 150; j++ {
+					p.RLock(c)
+					p.RUnlock(c)
+				}
+			})
+		}
+		cycles := m.Run()
+		var acc, rem int64
+		for _, st := range m.ThreadStats() {
+			acc += st.Accesses
+			rem += st.Remote
+		}
+		ops := int64(threads) * 150
+		fmt.Printf("goll threads=%-3d cycles=%-10d cyc/op=%-8.1f accesses/op=%-6.2f remote/op=%-6.3f root=%#x\n",
+			threads, cycles, float64(cycles)/float64(ops), float64(acc)/float64(ops), float64(rem)/float64(ops), l.cs.root.Value())
+	}
+}
+
+// TestDebugKSUHMinimal searches for a small failing KSUH configuration.
+func TestDebugKSUHMinimal(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	f := *ByName("ksuh")
+	for threads := 2; threads <= 16; threads++ {
+		for ops := 2; ops <= 20; ops += 2 {
+			for seed := uint64(0); seed < 30; seed++ {
+				res := VerifyExclusion(f, testCfg(), threads, 0.5, ops, seed)
+				if res.Violations > 0 {
+					fmt.Printf("FAIL threads=%d ops=%d seed=%d violations=%d\n", threads, ops, seed, res.Violations)
+					return
+				}
+			}
+		}
+	}
+	fmt.Println("no small failure found")
+}
+
+// TestDebugKSUHTrace replays a failing case with an operation trace.
+func TestDebugKSUHTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	threads, ops, seed := 16, 60, uint64(12345)
+	mcfg := testCfg()
+	m := sim.New(mcfg)
+	l := NewKSUH(m, threads)
+	var readers, writers int
+	var log []string
+	for i := 0; i < threads; i++ {
+		i := i
+		p := l.NewProc(i)
+		rng := xrand.New(seed + uint64(i)*0x51AF9E3 + 7)
+		m.Spawn(func(c *sim.Ctx) {
+			for j := 0; j < ops; j++ {
+				if rng.Bool(0.5) {
+					p.RLock(c)
+					readers++
+					if writers != 0 {
+						log = append(log, fmt.Sprintf("VIOLATION t=%d clk=%d R in with %d writers", i, c.Now(), writers))
+					}
+					c.Work(20)
+					readers--
+					p.RUnlock(c)
+				} else {
+					p.Lock(c)
+					writers++
+					if writers != 1 || readers != 0 {
+						log = append(log, fmt.Sprintf("VIOLATION t=%d clk=%d W in with w=%d r=%d", i, c.Now(), writers, readers))
+					}
+					c.Work(20)
+					writers--
+					p.Unlock(c)
+				}
+			}
+		})
+	}
+	m.Run()
+	for _, line := range log {
+		fmt.Println(line)
+	}
+	fmt.Printf("%d violations\n", len(log))
+}
+
+// TestDebugGOLLCounters decomposes C-SNZI access traffic.
+func TestDebugGOLLCounters(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	for _, threads := range []int{16} {
+		m := sim.New(testCfg())
+		l := NewGOLL(m, threads)
+		for i := 0; i < threads; i++ {
+			p := l.NewProc(i)
+			m.Spawn(func(c *sim.Ctx) {
+				for j := 0; j < 150; j++ {
+					p.RLock(c)
+					p.RUnlock(c)
+				}
+			})
+		}
+		cycles := m.Run()
+		ops := float64(threads) * 150
+		cs := l.cs
+		fmt.Printf("threads=%d cycles=%d ops=%v\n  rootCAS/op=%.3f nodeCAS/op=%.2f propagate/op=%.3f\n",
+			threads, cycles, ops,
+			float64(cs.StatRootCAS)/ops, float64(cs.StatNodeCAS)/ops, float64(cs.StatPropagate)/ops)
+	}
+}
+
+// TestDebugGOLLT5440 measures read-only scaling at the real topology.
+func TestDebugGOLLT5440(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	for _, threads := range []int{1, 8, 64, 128} {
+		m := sim.New(sim.T5440())
+		l := NewGOLL(m, threads)
+		for i := 0; i < threads; i++ {
+			p := l.NewProc(i)
+			m.Spawn(func(c *sim.Ctx) {
+				for j := 0; j < 150; j++ {
+					p.RLock(c)
+					p.RUnlock(c)
+				}
+			})
+		}
+		cycles := m.Run()
+		ops := float64(threads) * 150
+		cs := l.cs
+		fmt.Printf("T5440 goll threads=%-4d cyc/op=%-8.1f thr=%.3e rootCAS/op=%.4f nodeCAS/op=%.2f propagate/op=%.4f\n",
+			threads, float64(cycles)/ops, ops/(float64(cycles)/sim.ClockHz),
+			float64(cs.StatRootCAS)/ops, float64(cs.StatNodeCAS)/ops, float64(cs.StatPropagate)/ops)
+	}
+}
+
+// TestDebugPanels prints miniature Figure 5 panels on the T5440 config.
+func TestDebugPanels(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	threads := []int{1, 8, 32, 64, 128, 192, 256}
+	for _, frac := range []float64{1.0, 0.99, 0.95, 0.5} {
+		fmt.Printf("== read%% %.0f ==\n%-9s", frac*100, "threads")
+		for _, f := range Figure5Locks() {
+			fmt.Printf(" %10s", f.Name)
+		}
+		fmt.Println()
+		for _, n := range threads {
+			fmt.Printf("%-9d", n)
+			for _, f := range Figure5Locks() {
+				ops := 120
+				r := RunExperiment(f, sim.T5440(), n, frac, ops, 42)
+				fmt.Printf(" %10.2e", r.Throughput)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// TestDebugKSUHFullTrace replays the minimal failing case logging every
+// lock-level event with virtual timestamps.
+func TestDebugKSUHFullTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	threads, ops, seed := 3, 10, uint64(28)
+	mcfg := testCfg()
+	m := sim.New(mcfg)
+	l := NewKSUH(m, threads)
+	var readers, writers int
+	var log []string
+	ev := func(c *sim.Ctx, id int, what string) {
+		log = append(log, fmt.Sprintf("clk=%-8d t%d %s (r=%d w=%d)", c.Now(), id, what, readers, writers))
+	}
+	for i := 0; i < threads; i++ {
+		i := i
+		p := l.NewProc(i)
+		rng := xrand.New(seed + uint64(i)*0x51AF9E3 + 7)
+		m.Spawn(func(c *sim.Ctx) {
+			for j := 0; j < ops; j++ {
+				if rng.Bool(0.5) {
+					ev(c, i, "RLock...")
+					p.RLock(c)
+					readers++
+					ev(c, i, "RLocked")
+					if writers != 0 {
+						ev(c, i, "*** VIOLATION reader with writer ***")
+					}
+					c.Work(20)
+					readers--
+					ev(c, i, "RUnlock...")
+					p.RUnlock(c)
+					ev(c, i, "RUnlocked")
+				} else {
+					ev(c, i, "Lock...")
+					p.Lock(c)
+					writers++
+					ev(c, i, "Locked")
+					if writers != 1 || readers != 0 {
+						ev(c, i, "*** VIOLATION writer overlap ***")
+					}
+					c.Work(20)
+					writers--
+					ev(c, i, "Unlock...")
+					p.Unlock(c)
+					ev(c, i, "Unlocked")
+				}
+			}
+		})
+	}
+	m.Run()
+	for _, line := range log {
+		fmt.Println(line)
+	}
+}

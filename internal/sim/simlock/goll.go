@@ -1,0 +1,103 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// GOLL is the simulated GOLL lock (mirrors internal/goll): C-SNZI lock
+// state plus a mutex-protected wait queue with Solaris-policy hand-off.
+type GOLL struct {
+	m    *sim.Machine
+	cs   *CSNZI
+	meta simMutex
+	q    simWaitQueue
+}
+
+// NewGOLL allocates a GOLL lock on m, with the C-SNZI tree sized for
+// maxProcs threads.
+func NewGOLL(m *sim.Machine, maxProcs int) *GOLL {
+	return &GOLL{
+		m:    m,
+		cs:   NewCSNZI(m, DefaultCSNZIConfig(m, maxProcs)),
+		meta: newSimMutex(m),
+	}
+}
+
+type gollProc struct {
+	l      *GOLL
+	id     int
+	flag   *sim.Word
+	ticket Ticket
+}
+
+// NewProc returns the per-thread handle. Call during setup.
+func (l *GOLL) NewProc(id int) Proc {
+	return &gollProc{l: l, id: id, flag: l.m.NewWord(0)}
+}
+
+func (p *gollProc) RLock(c *sim.Ctx) {
+	l := p.l
+	for {
+		p.ticket = l.cs.Arrive(c, p.id)
+		if p.ticket.Arrived() {
+			return
+		}
+		l.meta.lock(c)
+		if _, open := l.cs.Query(c); open {
+			l.meta.unlock(c)
+			continue
+		}
+		c.Store(p.flag, 0)
+		l.q.enqueue(c, false, p.flag)
+		l.meta.unlock(c)
+		p.ticket = TicketDirect // releaser pre-arrives at the root for us
+		c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+		return
+	}
+}
+
+func (p *gollProc) RUnlock(c *sim.Ctx) {
+	l := p.l
+	if l.cs.Depart(c, p.ticket) {
+		return
+	}
+	l.meta.lock(c)
+	batch, writerBatch := l.q.dequeueHandoff(c, false)
+	if !writerBatch {
+		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
+	}
+	l.meta.unlock(c)
+	signalBatch(c, batch)
+}
+
+func (p *gollProc) Lock(c *sim.Ctx) {
+	l := p.l
+	if l.cs.CloseIfEmpty(c) {
+		return
+	}
+	l.meta.lock(c)
+	if l.cs.Close(c) {
+		l.meta.unlock(c)
+		return
+	}
+	c.Store(p.flag, 0)
+	l.q.enqueue(c, true, p.flag)
+	l.meta.unlock(c)
+	c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+}
+
+func (p *gollProc) Unlock(c *sim.Ctx) {
+	l := p.l
+	l.meta.lock(c)
+	batch, writerBatch := l.q.dequeueHandoff(c, true)
+	if batch == nil {
+		l.cs.Open(c)
+		l.meta.unlock(c)
+		return
+	}
+	if !writerBatch {
+		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
+	}
+	l.meta.unlock(c)
+	signalBatch(c, batch)
+}

@@ -1,0 +1,52 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// Hsieh is the simulated Hsieh–Weihl lock (mirrors internal/hsieh): one
+// private mutex per thread; readers lock their own, writers lock all of
+// them in order. Reads scale perfectly — each reader touches only its
+// own line — but writer cost grows linearly with the thread count,
+// quantifying the paper's §1 judgment that the approach "is feasible
+// only for low numbers of threads".
+type Hsieh struct {
+	slots []*sim.Word
+}
+
+// NewHsieh allocates a Hsieh–Weihl lock with maxProcs private mutexes.
+func NewHsieh(m *sim.Machine, maxProcs int) *Hsieh {
+	l := &Hsieh{}
+	for i := 0; i < maxProcs; i++ {
+		l.slots = append(l.slots, m.NewWord(0))
+	}
+	return l
+}
+
+type hsiehProc struct {
+	l  *Hsieh
+	id int
+}
+
+// NewProc returns the per-thread handle (owning private mutex id).
+func (l *Hsieh) NewProc(id int) Proc {
+	if id < 0 || id >= len(l.slots) {
+		panic("simlock: hsieh proc id out of range")
+	}
+	return &hsiehProc{l: l, id: id}
+}
+
+func (p *hsiehProc) RLock(c *sim.Ctx)   { lockWord(c, p.l.slots[p.id]) }
+func (p *hsiehProc) RUnlock(c *sim.Ctx) { unlockWord(c, p.l.slots[p.id]) }
+
+func (p *hsiehProc) Lock(c *sim.Ctx) {
+	for _, s := range p.l.slots {
+		lockWord(c, s)
+	}
+}
+
+func (p *hsiehProc) Unlock(c *sim.Ctx) {
+	for _, s := range p.l.slots {
+		unlockWord(c, s)
+	}
+}

@@ -1,0 +1,236 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// KSUH is the simulated Krieger–Stumm–Unrau–Hanna lock (mirrors
+// internal/ksuh): doubly linked queue entered by a tail swap; readers
+// splice themselves out on release; the head run is the active set.
+//
+// Each node packs its flags (waiting, leaving, kind) into one state
+// word — as a compact real node layout would share a cache line — plus
+// separate words for the prev/next links and the per-node splice lock.
+type KSUH struct {
+	m     *sim.Machine
+	tail  *sim.Word // node ref
+	nodes []*ksuhNode
+}
+
+type ksuhNode struct {
+	state *sim.Word // bit 0 waiting, bit 1 leaving, bit 2 writer
+	prev  *sim.Word // node ref
+	next  *sim.Word // node ref
+	lk    *sim.Word // splice lock
+}
+
+const (
+	kWaiting = uint64(1)
+	kLeaving = uint64(2)
+	kWriter  = uint64(4)
+)
+
+// NewKSUH allocates a KSUH lock on m.
+func NewKSUH(m *sim.Machine, maxProcs int) *KSUH {
+	return &KSUH{m: m, tail: m.NewWord(0)}
+}
+
+type ksuhProc struct {
+	l   *KSUH
+	idx int // this proc's node index
+}
+
+// NewProc returns the per-thread handle owning one queue node. Call
+// during setup.
+func (l *KSUH) NewProc(id int) Proc {
+	n := &ksuhNode{
+		state: l.m.NewWord(0),
+		prev:  l.m.NewWord(0),
+		next:  l.m.NewWord(0),
+		lk:    l.m.NewWord(0),
+	}
+	l.nodes = append(l.nodes, n)
+	return &ksuhProc{l: l, idx: len(l.nodes) - 1}
+}
+
+func lockWord(c *sim.Ctx, w *sim.Word) {
+	for {
+		if c.CAS(w, 0, 1) {
+			return
+		}
+		c.SpinUntil(w, func(v uint64) bool { return v == 0 })
+	}
+}
+
+func unlockWord(c *sim.Ctx, w *sim.Word) {
+	c.Store(w, 0)
+}
+
+func (p *ksuhProc) reset(c *sim.Ctx, writer bool) {
+	n := p.l.nodes[p.idx]
+	st := kWaiting
+	if writer {
+		st |= kWriter
+	}
+	c.Store(n.state, st)
+	c.Store(n.prev, 0)
+	c.Store(n.next, 0)
+}
+
+func (p *ksuhProc) RLock(c *sim.Ctx) {
+	l := p.l
+	p.reset(c, false)
+	me := l.nodes[p.idx]
+	predRef := c.Swap(l.tail, ref(p.idx))
+	if isNil(predRef) {
+		l.activate(c, p.idx)
+		return
+	}
+	c.Store(me.prev, predRef)
+	c.Store(l.nodes[deref(predRef)].next, ref(p.idx))
+	p.decide(c)
+	c.SpinUntil(me.state, func(v uint64) bool { return v&kWaiting == 0 })
+}
+
+// decide mirrors ksuh.RWLock.decide: under the predecessor's lock,
+// join an active-reader predecessor or wait.
+func (p *ksuhProc) decide(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	for {
+		pRef := c.Load(me.prev)
+		if isNil(pRef) {
+			l.activate(c, p.idx)
+			return
+		}
+		pn := l.nodes[deref(pRef)]
+		lockWord(c, pn.lk)
+		if c.Load(me.prev) != pRef || c.Load(pn.state)&kLeaving != 0 {
+			unlockWord(c, pn.lk)
+			c.Work(5)
+			continue
+		}
+		st := c.Load(pn.state)
+		if st&kWriter == 0 && st&kWaiting == 0 {
+			l.activate(c, p.idx)
+			unlockWord(c, pn.lk)
+			return
+		}
+		unlockWord(c, pn.lk)
+		return
+	}
+}
+
+// activate mirrors ksuh.RWLock.activate: mark active, chain-wake the
+// run of waiting readers behind (hand-over-hand).
+func (l *KSUH) activate(c *sim.Ctx, idx int) {
+	lockWord(c, l.nodes[idx].lk)
+	l.activateLocked(c, idx)
+}
+
+// activateLocked is activate with the node's lock already held.
+func (l *KSUH) activateLocked(c *sim.Ctx, idx int) {
+	cur := idx
+	for {
+		n := l.nodes[cur]
+		st := c.Load(n.state)
+		c.Store(n.state, st&^kWaiting)
+		if st&kWriter != 0 {
+			unlockWord(c, n.lk)
+			return
+		}
+		succRef := c.Load(n.next)
+		if isNil(succRef) {
+			unlockWord(c, n.lk)
+			return
+		}
+		sn := l.nodes[deref(succRef)]
+		sst := c.Load(sn.state)
+		if sst&kWriter != 0 || sst&kWaiting == 0 {
+			unlockWord(c, n.lk)
+			return
+		}
+		lockWord(c, sn.lk)
+		unlockWord(c, n.lk)
+		cur = deref(succRef)
+	}
+}
+
+func (p *ksuhProc) RUnlock(c *sim.Ctx) { p.splice(c) }
+
+func (p *ksuhProc) Lock(c *sim.Ctx) {
+	l := p.l
+	p.reset(c, true)
+	me := l.nodes[p.idx]
+	predRef := c.Swap(l.tail, ref(p.idx))
+	if isNil(predRef) {
+		c.Store(me.state, kWriter) // active immediately
+		return
+	}
+	c.Store(me.prev, predRef)
+	c.Store(l.nodes[deref(predRef)].next, ref(p.idx))
+	c.SpinUntil(me.state, func(v uint64) bool { return v&kWaiting == 0 })
+}
+
+func (p *ksuhProc) Unlock(c *sim.Ctx) { p.splice(c) }
+
+// splice mirrors ksuh.RWLock.splice.
+func (p *ksuhProc) splice(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	var pn *ksuhNode
+	pIdx := -1
+	for {
+		pRef := c.Load(me.prev)
+		if isNil(pRef) {
+			pn, pIdx = nil, -1
+			break
+		}
+		cand := l.nodes[deref(pRef)]
+		lockWord(c, cand.lk)
+		if c.Load(me.prev) == pRef && c.Load(cand.state)&kLeaving == 0 {
+			pn, pIdx = cand, deref(pRef)
+			break
+		}
+		unlockWord(c, cand.lk)
+		c.Work(5)
+	}
+	lockWord(c, me.lk)
+	c.Store(me.state, c.Load(me.state)|kLeaving)
+	succRef := c.Load(me.next)
+	if isNil(succRef) {
+		tailTo := uint64(0)
+		if pIdx >= 0 {
+			tailTo = ref(pIdx)
+		}
+		// Clear pn.next BEFORE the tail CAS (see internal/ksuh): once the
+		// CAS restores the tail to pn, a new enqueuer may write pn.next,
+		// and a later clear would clobber its link.
+		if pn != nil {
+			c.Store(pn.next, 0)
+		}
+		if c.CAS(l.tail, ref(p.idx), tailTo) {
+			unlockWord(c, me.lk)
+			if pn != nil {
+				unlockWord(c, pn.lk)
+			}
+			return
+		}
+		succRef = c.SpinUntil(me.next, func(v uint64) bool { return v != 0 })
+	}
+	sn := l.nodes[deref(succRef)]
+	if pIdx >= 0 {
+		c.Store(sn.prev, ref(pIdx))
+		c.Store(pn.next, succRef)
+		unlockWord(c, me.lk)
+		unlockWord(c, pn.lk)
+		return
+	}
+	// Head splice: pin the successor (lock it) BEFORE publishing it as
+	// head, so it cannot be spliced out and reused before the activation
+	// runs (see internal/ksuh for the race).
+	lockWord(c, sn.lk)
+	c.Store(sn.prev, 0)
+	unlockWord(c, me.lk)
+	l.activateLocked(c, deref(succRef))
+}

@@ -1,0 +1,64 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// Proc is the per-simulated-thread handle of a simulated lock. The Ctx
+// passed to each method must be the one of the thread the Proc was
+// created for.
+type Proc interface {
+	RLock(c *sim.Ctx)
+	RUnlock(c *sim.Ctx)
+	Lock(c *sim.Ctx)
+	Unlock(c *sim.Ctx)
+}
+
+// Lock is a simulated lock instance; NewProc must be called during
+// setup (before Machine.Run), once per simulated thread, with that
+// thread's id.
+type Lock interface {
+	NewProc(id int) Proc
+}
+
+// Factory names and constructs one simulated lock implementation.
+type Factory struct {
+	Name string
+	New  func(m *sim.Machine, maxProcs int) Lock
+}
+
+// Locks enumerates the simulated implementations: the five locks of the
+// paper's Figure 5, plus the MCS fair reader-writer lock, the
+// Hsieh–Weihl lock, and the naive centralized lock as additional
+// reference points.
+var Locks = []Factory{
+	{Name: "goll", New: func(m *sim.Machine, n int) Lock { return NewGOLL(m, n) }},
+	{Name: "foll", New: func(m *sim.Machine, n int) Lock { return NewFOLL(m, n) }},
+	{Name: "roll", New: func(m *sim.Machine, n int) Lock { return NewROLL(m, n) }},
+	{Name: "ksuh", New: func(m *sim.Machine, n int) Lock { return NewKSUH(m, n) }},
+	{Name: "solaris", New: func(m *sim.Machine, n int) Lock { return NewSolaris(m, n) }},
+	{Name: "mcs-rw", New: func(m *sim.Machine, n int) Lock { return NewMCSRW(m, n) }},
+	{Name: "hsieh", New: func(m *sim.Machine, n int) Lock { return NewHsieh(m, n) }},
+	{Name: "central", New: func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
+}
+
+// ByName returns the factory with the given name, or nil.
+func ByName(name string) *Factory {
+	for i := range Locks {
+		if Locks[i].Name == name {
+			return &Locks[i]
+		}
+	}
+	return nil
+}
+
+// Figure5Locks lists the five locks that appear in the paper's Figure 5,
+// in its legend order.
+func Figure5Locks() []Factory {
+	names := []string{"goll", "foll", "roll", "ksuh", "solaris"}
+	out := make([]Factory, 0, len(names))
+	for _, n := range names {
+		out = append(out, *ByName(n))
+	}
+	return out
+}

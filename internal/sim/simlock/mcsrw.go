@@ -1,0 +1,161 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// MCSRW is the simulated Mellor-Crummey & Scott fair reader-writer lock
+// (mirrors internal/mcs): per-thread queue nodes, a central
+// reader_count, and a next_writer word — the prior-work design whose
+// central counter updates on every read acquisition are exactly what
+// the OLL locks eliminate.
+type MCSRW struct {
+	m           *sim.Machine
+	tail        *sim.Word // node ref
+	readerCount *sim.Word
+	nextWriter  *sim.Word // node ref
+	nodes       []*mcsNode
+}
+
+type mcsNode struct {
+	class uint64 // 0 reader, 1 writer (stored in the state word's bit 3)
+	next  *sim.Word
+	state *sim.Word // bit 0 blocked, bits 1-2 successor class, bit 3 class
+}
+
+// State word bits (mirrors internal/mcs's packed state).
+const (
+	mBlocked    = uint64(1)
+	mSuccNone   = uint64(0) << 1
+	mSuccReader = uint64(1) << 1
+	mSuccWriter = uint64(2) << 1
+	mSuccMask   = uint64(3) << 1
+	mClassWrite = uint64(1) << 3
+)
+
+// NewMCSRW allocates an MCS fair reader-writer lock on m.
+func NewMCSRW(m *sim.Machine, maxProcs int) *MCSRW {
+	return &MCSRW{
+		m:           m,
+		tail:        m.NewWord(0),
+		readerCount: m.NewWord(0),
+		nextWriter:  m.NewWord(0),
+	}
+}
+
+type mcsrwProc struct {
+	l   *MCSRW
+	idx int
+}
+
+// NewProc returns the per-thread handle owning one queue node. Call
+// during setup.
+func (l *MCSRW) NewProc(id int) Proc {
+	n := &mcsNode{
+		next:  l.m.NewWord(0),
+		state: l.m.NewWord(0),
+	}
+	l.nodes = append(l.nodes, n)
+	return &mcsrwProc{l: l, idx: len(l.nodes) - 1}
+}
+
+func (n *mcsNode) clearBlocked(c *sim.Ctx) {
+	for {
+		old := c.Load(n.state)
+		if c.CAS(n.state, old, old&^mBlocked) {
+			return
+		}
+	}
+}
+
+func (n *mcsNode) setSuccWriter(c *sim.Ctx) {
+	for {
+		old := c.Load(n.state)
+		if c.CAS(n.state, old, (old&^mSuccMask)|mSuccWriter) {
+			return
+		}
+	}
+}
+
+func (p *mcsrwProc) RLock(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	c.Store(me.next, 0)
+	c.Store(me.state, mBlocked|mSuccNone) // class bit 0 = reader
+	predRef := c.Swap(l.tail, ref(p.idx))
+	if isNil(predRef) {
+		c.Add(l.readerCount, 1)
+		me.clearBlocked(c)
+	} else {
+		pred := l.nodes[deref(predRef)]
+		// Exactly the published decision: a writer predecessor, or a
+		// still-blocked reader predecessor (single-shot CAS registering
+		// us as its reading successor), will wake us; any other reader
+		// predecessor is active, so we count ourselves in and go. A
+		// blocked reader's state is exactly mBlocked|mSuccNone (only its
+		// unique successor — us — ever sets the successor class).
+		if c.Load(pred.state)&mClassWrite != 0 ||
+			c.CAS(pred.state, mBlocked|mSuccNone, mBlocked|mSuccReader) {
+			c.Store(pred.next, ref(p.idx))
+			c.SpinUntil(me.state, func(v uint64) bool { return v&mBlocked == 0 })
+		} else {
+			c.Add(l.readerCount, 1)
+			c.Store(pred.next, ref(p.idx))
+			me.clearBlocked(c)
+		}
+	}
+	// Chain admission of a reading successor.
+	if c.Load(me.state)&mSuccMask == mSuccReader {
+		succRef := c.SpinUntil(me.next, func(v uint64) bool { return v != 0 })
+		c.Add(l.readerCount, 1)
+		l.nodes[deref(succRef)].clearBlocked(c)
+	}
+}
+
+func (p *mcsrwProc) RUnlock(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	if c.Load(me.next) != 0 || !c.CAS(l.tail, ref(p.idx), 0) {
+		succRef := c.SpinUntil(me.next, func(v uint64) bool { return v != 0 })
+		if c.Load(me.state)&mSuccMask == mSuccWriter {
+			c.Store(l.nextWriter, succRef)
+		}
+	}
+	if c.Add(l.readerCount, ^uint64(0)) == 0 {
+		if w := c.Swap(l.nextWriter, 0); !isNil(w) {
+			l.nodes[deref(w)].clearBlocked(c)
+		}
+	}
+}
+
+func (p *mcsrwProc) Lock(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	c.Store(me.next, 0)
+	c.Store(me.state, mBlocked|mSuccNone|mClassWrite)
+	predRef := c.Swap(l.tail, ref(p.idx))
+	if isNil(predRef) {
+		c.Store(l.nextWriter, ref(p.idx))
+		if c.Load(l.readerCount) == 0 && c.Swap(l.nextWriter, 0) == ref(p.idx) {
+			me.clearBlocked(c)
+		}
+	} else {
+		pred := l.nodes[deref(predRef)]
+		pred.setSuccWriter(c)
+		c.Store(pred.next, ref(p.idx))
+	}
+	c.SpinUntil(me.state, func(v uint64) bool { return v&mBlocked == 0 })
+}
+
+func (p *mcsrwProc) Unlock(c *sim.Ctx) {
+	l := p.l
+	me := l.nodes[p.idx]
+	if c.Load(me.next) != 0 || !c.CAS(l.tail, ref(p.idx), 0) {
+		succRef := c.SpinUntil(me.next, func(v uint64) bool { return v != 0 })
+		succ := l.nodes[deref(succRef)]
+		if c.Load(succ.state)&mClassWrite == 0 {
+			c.Add(l.readerCount, 1)
+		}
+		succ.clearBlocked(c)
+	}
+}

@@ -1,0 +1,106 @@
+package simlock
+
+import (
+	"ollock/internal/sim"
+)
+
+// simMutex is a test-and-test-and-set spin mutex on one simulated word
+// (the queue "metalock" of the GOLL and Solaris locks).
+type simMutex struct {
+	w *sim.Word
+}
+
+func newSimMutex(m *sim.Machine) simMutex { return simMutex{w: m.NewWord(0)} }
+
+func (mx simMutex) lock(c *sim.Ctx) {
+	for {
+		if c.CAS(mx.w, 0, 1) {
+			return
+		}
+		c.SpinUntil(mx.w, func(v uint64) bool { return v == 0 })
+	}
+}
+
+func (mx simMutex) unlock(c *sim.Ctx) {
+	c.Store(mx.w, 0)
+}
+
+// waitEntry is one queued thread: its intention and the flag word it
+// parks on.
+type waitEntry struct {
+	writer bool
+	flag   *sim.Word
+}
+
+// simWaitQueue is the mutex-protected wait queue. The queue's link
+// structure itself is modeled as plain host memory plus a fixed Work
+// charge per operation (the metalock and flag words dominate its real
+// cost); see DESIGN.md §4.
+type simWaitQueue struct {
+	entries    []waitEntry
+	numWriters int
+}
+
+// queueOpCost approximates touching the queue's list structure.
+const queueOpCost = 5
+
+func (q *simWaitQueue) enqueue(c *sim.Ctx, writer bool, flag *sim.Word) {
+	c.Work(queueOpCost)
+	q.entries = append(q.entries, waitEntry{writer: writer, flag: flag})
+	if writer {
+		q.numWriters++
+	}
+}
+
+func (q *simWaitQueue) empty() bool { return len(q.entries) == 0 }
+
+// dequeueHandoff implements the Solaris policy used by both GOLL and the
+// Solaris-like lock: a releasing reader hands to the first waiting
+// writer (or all readers if none); a releasing writer hands to all
+// waiting readers (or the first writer if none). Returned batch is nil
+// when the queue is empty; writerBatch reports the batch kind.
+func (q *simWaitQueue) dequeueHandoff(c *sim.Ctx, releaserWriter bool) (batch []waitEntry, writerBatch bool) {
+	c.Work(queueOpCost)
+	if len(q.entries) == 0 {
+		return nil, false
+	}
+	takeWriter := func() []waitEntry {
+		for i, e := range q.entries {
+			if e.writer {
+				q.entries = append(q.entries[:i:i], q.entries[i+1:]...)
+				q.numWriters--
+				return []waitEntry{e}
+			}
+		}
+		return nil
+	}
+	takeReaders := func() []waitEntry {
+		var readers, rest []waitEntry
+		for _, e := range q.entries {
+			if e.writer {
+				rest = append(rest, e)
+			} else {
+				readers = append(readers, e)
+			}
+		}
+		q.entries = rest
+		return readers
+	}
+	if releaserWriter {
+		if readers := takeReaders(); len(readers) > 0 {
+			return readers, false
+		}
+		return takeWriter(), true
+	}
+	if w := takeWriter(); w != nil {
+		return w, true
+	}
+	return takeReaders(), false
+}
+
+// signal wakes every entry in the batch (one flag-word store each).
+func signalBatch(c *sim.Ctx, batch []waitEntry) {
+	for _, e := range batch {
+		c.Store(e.flag, 1)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTraceRecordsAllKinds(t *testing.T) {
+	cfg := small()
+	m := New(cfg)
+	var events []Event
+	m.SetTrace(func(e Event) { events = append(events, e) })
+	w := m.NewWord(0)
+	m.Spawn(func(c *Ctx) { // waiter
+		c.SpinUntil(w, func(v uint64) bool { return v == 3 })
+	})
+	m.Spawn(func(c *Ctx) { // driver
+		c.Work(500)
+		c.Load(w)
+		c.Store(w, 1)
+		c.CAS(w, 1, 2) // success
+		c.CAS(w, 9, 9) // fail
+		c.Swap(w, 2)   // value unchanged: no wake
+		c.Add(w, 1)    // -> 3: wakes the waiter
+	})
+	m.Run()
+
+	byKind := map[EventKind]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+	}
+	for _, want := range []EventKind{EvLoad, EvStore, EvCASSuccess, EvCASFail, EvSwap, EvAdd, EvSpinBlock, EvSpinWake, EvWork} {
+		if byKind[want] == 0 {
+			t.Errorf("no %v events traced (have %v)", want, byKind)
+		}
+	}
+	// Every value change wakes the watcher (it re-checks and re-blocks
+	// until the predicate holds), so several wakes occur; all must carry
+	// the writer's identity, and the last one the satisfying value.
+	var lastWake *Event
+	for i := range events {
+		e := &events[i]
+		if e.Kind == EvSpinWake {
+			if e.Waker != 1 || e.Thread != 0 {
+				t.Fatalf("wake event = %+v, want waker 1, thread 0", e)
+			}
+			lastWake = e
+		}
+	}
+	if lastWake == nil || lastWake.Value != 3 {
+		t.Fatalf("last wake = %+v, want value 3", lastWake)
+	}
+}
+
+func TestTracePerThreadTimesMonotone(t *testing.T) {
+	m := New(small())
+	var events []Event
+	m.SetTrace(func(e Event) { events = append(events, e) })
+	w := m.NewWord(0)
+	for i := 0; i < 4; i++ {
+		m.Spawn(func(c *Ctx) {
+			for j := 0; j < 50; j++ {
+				c.Add(w, 1)
+			}
+		})
+	}
+	m.Run()
+	last := map[int]int64{}
+	for _, e := range events {
+		if e.Time < last[e.Thread] {
+			t.Fatalf("thread %d time went backwards: %d after %d", e.Thread, e.Time, last[e.Thread])
+		}
+		last[e.Thread] = e.Time
+	}
+	if len(events) < 4*50 {
+		t.Fatalf("only %d events traced", len(events))
+	}
+}
+
+func TestTraceWordIDs(t *testing.T) {
+	m := New(small())
+	a, b := m.NewWord(0), m.NewWord(0)
+	if a.ID() == b.ID() {
+		t.Fatal("word ids not distinct")
+	}
+	var seen []int
+	m.SetTrace(func(e Event) { seen = append(seen, e.Word) })
+	m.Spawn(func(c *Ctx) {
+		c.Store(a, 1)
+		c.Store(b, 2)
+		c.Work(1)
+	})
+	m.Run()
+	if len(seen) != 3 || seen[0] != a.ID() || seen[1] != b.ID() || seen[2] != -1 {
+		t.Fatalf("traced word ids %v, want [%d %d -1]", seen, a.ID(), b.ID())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvLoad, EvStore, EvCASSuccess, EvCASFail, EvSwap, EvAdd, EvSpinBlock, EvSpinWake, EvWork, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", int(k))
+		}
+	}
+}

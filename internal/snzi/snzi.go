@@ -1,0 +1,270 @@
+// Package snzi implements a plain scalable nonzero indicator (SNZI),
+// the PODC'07 object of Ellen, Lev, Luchangco and Moir, using the
+// simplified hierarchical algorithm of Lev et al. (TRANSACT'09) that the
+// paper's C-SNZI builds on.
+//
+// A SNZI supports Arrive, Depart and Query: Query reports whether there
+// is a surplus of arrivals (more Arrives than Departs), without revealing
+// the count. The tree structure lets concurrent arrivals and departures
+// at different leaves proceed without touching shared cache lines as
+// long as they do not change a node's count between zero and nonzero.
+//
+// This package exists both as the prior-work baseline the closable
+// variant (package csnzi) extends, and as a standalone reusable
+// indicator (e.g. "are any requests in flight?").
+package snzi
+
+import (
+	"sync/atomic"
+
+	"ollock/internal/atomicx"
+)
+
+// SNZI is a scalable nonzero indicator. Use New to create one.
+type SNZI struct {
+	root atomicx.PaddedUint64
+	// tree is built lazily on the first tree arrival so uncontended
+	// indicators pay only for the root word.
+	tree    atomic.Pointer[tree]
+	leaves  int
+	fanout  int
+	retries int
+}
+
+// node is an interior or leaf counter of the SNZI tree. parent == nil
+// means the parent is the root word.
+type node struct {
+	_      atomicx.Pad
+	cnt    atomic.Uint64
+	_      [atomicx.CacheLineSize - 8]byte
+	parent *node
+	owner  *SNZI
+}
+
+type tree struct {
+	leaves []node
+	// inner holds the intermediate layers (if fanout < leaves), one
+	// slice per layer so parent pointers into a layer stay valid as
+	// further layers are added.
+	inner [][]node
+}
+
+// Option configures a SNZI.
+type Option func(*SNZI)
+
+// WithLeaves sets the number of leaf nodes (0 disables the tree: all
+// operations go to the root, i.e. a centralized counter).
+func WithLeaves(n int) Option { return func(s *SNZI) { s.leaves = n } }
+
+// WithFanout sets the maximum number of children per interior node.
+// Values >= the leaf count give the flat root+leaves shape of the
+// paper's Figure 2.
+func WithFanout(n int) Option { return func(s *SNZI) { s.fanout = n } }
+
+// WithDirectRetries sets how many failed root CASes an Arrive tolerates
+// before diverting to the tree.
+func WithDirectRetries(n int) Option { return func(s *SNZI) { s.retries = n } }
+
+// defaultLeaves is the default tree width.
+const defaultLeaves = 32
+
+// New returns an empty SNZI.
+func New(opts ...Option) *SNZI {
+	s := &SNZI{leaves: defaultLeaves, retries: 2}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.fanout <= 0 {
+		s.fanout = s.leaves // flat by default
+	}
+	return s
+}
+
+// Ticket identifies the node an Arrive landed on; it must be passed back
+// to Depart. The zero Ticket is a direct (root) ticket.
+type Ticket struct {
+	n *node // nil => departed from the root
+}
+
+// Arrive increments the surplus. The id parameter spreads concurrent
+// arrivers across leaves (threads with distinct ids contend on distinct
+// leaves); any stable per-goroutine value works. Arrive on a plain SNZI
+// always succeeds.
+func (s *SNZI) Arrive(id int) Ticket {
+	failures := 0
+	for {
+		old := s.root.Load()
+		if s.leaves > 0 && (treeCount(old) > 0 || failures >= s.retries) {
+			leaf := s.leafFor(id)
+			leaf.treeArrive()
+			return Ticket{n: leaf}
+		}
+		if s.root.CompareAndSwap(old, old+1) {
+			return Ticket{}
+		}
+		failures++
+	}
+}
+
+// Depart decrements the surplus. The ticket must come from a matching
+// Arrive. Depart must not be called when the surplus is zero.
+func (s *SNZI) Depart(t Ticket) {
+	if t.n == nil {
+		s.rootDepartDirect()
+		return
+	}
+	t.n.treeDepart()
+}
+
+// Query reports whether there is a surplus of arrivals.
+func (s *SNZI) Query() bool {
+	return s.root.Load() != 0
+}
+
+// Root word layout: bits 0..30 direct count, bits 31..61 tree count.
+// (Shared layout with csnzi, minus the closed bit, so tests can compare
+// like for like.)
+const (
+	treeOne    = uint64(1) << 31
+	countMask  = (uint64(1) << 31) - 1
+	treeCntMsk = countMask << 31
+)
+
+func treeCount(w uint64) uint64 { return (w >> 31) & countMask }
+
+func (s *SNZI) rootTreeArrive() {
+	for {
+		old := s.root.Load()
+		if s.root.CompareAndSwap(old, old+treeOne) {
+			return
+		}
+	}
+}
+
+func (s *SNZI) rootTreeDepart() {
+	for {
+		old := s.root.Load()
+		if s.root.CompareAndSwap(old, old-treeOne) {
+			return
+		}
+	}
+}
+
+func (s *SNZI) rootDepartDirect() {
+	for {
+		old := s.root.Load()
+		if s.root.CompareAndSwap(old, old-1) {
+			return
+		}
+	}
+}
+
+// treeArrive implements the hierarchical arrival: a node whose count is
+// zero must arrive at its parent before publishing its own nonzero
+// count, and undo the parent arrival if another thread made the node
+// nonzero concurrently. This preserves the invariant that a subtree root
+// has a surplus iff some node in the subtree does.
+func (n *node) treeArrive() {
+	arrivedAtParent := false
+	for {
+		x := n.cnt.Load()
+		if x == 0 && !arrivedAtParent {
+			n.parentArrive()
+			arrivedAtParent = true
+		}
+		if n.cnt.CompareAndSwap(x, x+1) {
+			if arrivedAtParent && x != 0 {
+				n.parentDepart()
+			}
+			return
+		}
+	}
+}
+
+// treeDepart decrements the node and propagates a departure to the
+// parent when the count returns to zero.
+func (n *node) treeDepart() {
+	for {
+		x := n.cnt.Load()
+		if n.cnt.CompareAndSwap(x, x-1) {
+			if x == 1 {
+				n.parentDepart()
+			}
+			return
+		}
+	}
+}
+
+func (n *node) parentArrive() {
+	if n.parent == nil {
+		n.owner.rootTreeArrive()
+		return
+	}
+	n.parent.treeArrive()
+}
+
+func (n *node) parentDepart() {
+	if n.parent == nil {
+		n.owner.rootTreeDepart()
+		return
+	}
+	n.parent.treeDepart()
+}
+
+// leafFor returns the leaf assigned to id, building the tree on first
+// use.
+func (s *SNZI) leafFor(id int) *node {
+	t := s.tree.Load()
+	if t == nil {
+		t = s.buildTree()
+	}
+	if id < 0 {
+		id = -id
+	}
+	return &t.leaves[id%len(t.leaves)]
+}
+
+func (s *SNZI) buildTree() *tree {
+	t := newTree(s.leaves, s.fanout, func(n *node) { n.owner = s })
+	if s.tree.CompareAndSwap(nil, t) {
+		return t
+	}
+	return s.tree.Load()
+}
+
+// newTree builds a tree of counter nodes with the given number of leaves
+// and fanout. Nodes in the top layer get parent == nil (the root word).
+// setOwner is applied to every node.
+func newTree(leaves, fanout int, setOwner func(*node)) *tree {
+	t := &tree{leaves: make([]node, leaves)}
+	layer := make([]*node, leaves)
+	for i := range t.leaves {
+		layer[i] = &t.leaves[i]
+	}
+	for len(layer) > fanout {
+		nParents := (len(layer) + fanout - 1) / fanout
+		parentNodes := make([]node, nParents)
+		t.inner = append(t.inner, parentNodes)
+		for i, child := range layer {
+			child.parent = &parentNodes[i/fanout]
+		}
+		layer = layer[:nParents]
+		for i := range layer {
+			layer[i] = &parentNodes[i]
+		}
+	}
+	// Top layer parents are the root (nil).
+	for i := range t.leaves {
+		setOwner(&t.leaves[i])
+	}
+	for _, ns := range t.inner {
+		for i := range ns {
+			setOwner(&ns[i])
+		}
+	}
+	return t
+}
+
+// TreeAllocated reports whether the leaf tree has been built (it is
+// allocated lazily); exposed for tests and introspection.
+func (s *SNZI) TreeAllocated() bool { return s.tree.Load() != nil }

@@ -1,0 +1,164 @@
+package snzi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"ollock/internal/xrand"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	s := New()
+	if s.Query() {
+		t.Fatal("fresh SNZI must report no surplus")
+	}
+	t1 := s.Arrive(0)
+	if !s.Query() {
+		t.Fatal("surplus must be visible after Arrive")
+	}
+	t2 := s.Arrive(1)
+	s.Depart(t1)
+	if !s.Query() {
+		t.Fatal("surplus must remain with one arrival outstanding")
+	}
+	s.Depart(t2)
+	if s.Query() {
+		t.Fatal("surplus must be gone after all departures")
+	}
+}
+
+func TestLazyTreeAllocation(t *testing.T) {
+	s := New()
+	// Uncontended arrivals go directly to the root; no tree is built.
+	tk := s.Arrive(0)
+	s.Depart(tk)
+	if s.TreeAllocated() {
+		t.Fatal("tree allocated on the uncontended path")
+	}
+}
+
+func TestNoTreeConfiguration(t *testing.T) {
+	s := New(WithLeaves(0))
+	tickets := make([]Ticket, 10)
+	for i := range tickets {
+		tickets[i] = s.Arrive(i)
+	}
+	if !s.Query() {
+		t.Fatal("no surplus reported")
+	}
+	for _, tk := range tickets {
+		s.Depart(tk)
+	}
+	if s.Query() {
+		t.Fatal("surplus after all departures")
+	}
+	if s.TreeAllocated() {
+		t.Fatal("tree allocated with WithLeaves(0)")
+	}
+}
+
+// TestMatchesCounterModel drives a random interleaving of arrivals and
+// departures through the SNZI and checks Query against a plain counter
+// reference model after every operation.
+func TestMatchesCounterModel(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New(WithLeaves(4), WithDirectRetries(0))
+		var outstanding []Ticket
+		model := 0
+		for op := 0; op < 400; op++ {
+			if model > 0 && r.Bool(0.5) {
+				i := r.Intn(len(outstanding))
+				s.Depart(outstanding[i])
+				outstanding[i] = outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				model--
+			} else {
+				outstanding = append(outstanding, s.Arrive(r.Intn(16)))
+				model++
+			}
+			if s.Query() != (model > 0) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentSurplusTracking(t *testing.T) {
+	s := New(WithLeaves(8))
+	const goroutines, iters = 8, 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tk := s.Arrive(id)
+				if !s.Query() {
+					t.Error("Query false while holding an arrival")
+					return
+				}
+				s.Depart(tk)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Query() {
+		t.Fatal("surplus left after all goroutines departed")
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	// fanout 2 with 8 leaves forces multiple interior layers; surplus
+	// tracking must still be exact.
+	s := New(WithLeaves(8), WithFanout(2), WithDirectRetries(0))
+	var tickets []Ticket
+	for i := 0; i < 8; i++ {
+		tickets = append(tickets, s.Arrive(i))
+	}
+	if !s.Query() {
+		t.Fatal("no surplus with 8 arrivals")
+	}
+	for i, tk := range tickets {
+		s.Depart(tk)
+		want := i != len(tickets)-1
+		if s.Query() != want {
+			t.Fatalf("after %d departures Query = %v, want %v", i+1, s.Query(), want)
+		}
+	}
+}
+
+func TestNegativeIDs(t *testing.T) {
+	s := New(WithLeaves(4), WithDirectRetries(0))
+	tk := s.Arrive(-17)
+	if !s.Query() {
+		t.Fatal("arrival with negative id lost")
+	}
+	s.Depart(tk)
+	if s.Query() {
+		t.Fatal("departure with negative id lost")
+	}
+}
+
+func BenchmarkArriveDepartUncontended(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Depart(s.Arrive(0))
+	}
+}
+
+func BenchmarkArriveDepartParallel(b *testing.B) {
+	s := New(WithLeaves(64))
+	var id atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		me := int(id.Add(1))
+		for pb.Next() {
+			s.Depart(s.Arrive(me))
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package solaris implements a user-space version of the Solaris kernel
+// reader-writer lock (§3.1 of the paper; the "Solaris Like" baseline of
+// its evaluation).
+//
+// The lock state is a single CAS-able lockword holding an active-reader
+// count, a writeLocked bit, a writeWanted bit, and a hasWaiters bit.
+// Conflicted threads enqueue themselves, under the turnstile mutex, into
+// a wait queue, and the last releasing thread hands ownership directly
+// to the next thread(s) in line — the lock never appears free while
+// threads wait, so a woken thread always already owns the lock.
+//
+// The kernel turnstile (sleep/wakeup with priority inheritance) is
+// replaced, exactly as in the paper's methodology (§5.1), by a
+// mutex-protected queue with spin-based condition variables
+// (internal/waitq + internal/spin).
+package solaris
+
+import (
+	"ollock/internal/atomicx"
+	"ollock/internal/spin"
+	"ollock/internal/waitq"
+)
+
+// Lockword layout.
+const (
+	writeLocked = uint64(1) << 0
+	writeWanted = uint64(1) << 1
+	hasWaiters  = uint64(1) << 2
+	readerOne   = uint64(1) << 3
+	readerMask  = ^uint64(7)
+)
+
+func readers(w uint64) uint64 { return w >> 3 }
+
+// RWLock is a Solaris-style reader-writer lock. Use New.
+type RWLock struct {
+	word atomicx.PaddedUint64
+	meta spin.Mutex
+	q    waitq.Queue
+}
+
+// New returns an unlocked lock.
+func New() *RWLock { return &RWLock{} }
+
+// RLock acquires the lock for reading. Readers do not overtake waiting
+// writers: if writeWanted is set, the reader queues.
+func (l *RWLock) RLock() {
+	var b atomicx.Backoff
+	for {
+		w := l.word.Load()
+		if w&(writeLocked|writeWanted) == 0 {
+			if l.word.CompareAndSwap(w, w+readerOne) {
+				return
+			}
+			b.Pause()
+			continue
+		}
+		// Conflicting request: set hasWaiters and enqueue, atomically
+		// with respect to releases (both happen under the queue mutex
+		// or re-validate the word with CAS).
+		l.meta.Lock()
+		w = l.word.Load()
+		if w&(writeLocked|writeWanted) == 0 {
+			// Lock became compatible while we acquired the mutex.
+			l.meta.Unlock()
+			continue
+		}
+		if !l.word.CompareAndSwap(w, w|hasWaiters) {
+			l.meta.Unlock()
+			continue
+		}
+		e := l.q.Enqueue(waitq.Reader, 0)
+		l.meta.Unlock()
+		e.Wait()
+		// The releaser transferred ownership: reader count already
+		// includes us.
+		return
+	}
+}
+
+// Lock acquires the lock for writing.
+func (l *RWLock) Lock() {
+	var b atomicx.Backoff
+	for {
+		w := l.word.Load()
+		if w&(writeLocked|readerMask) == 0 && w&hasWaiters == 0 {
+			if l.word.CompareAndSwap(w, w|writeLocked) {
+				return
+			}
+			b.Pause()
+			continue
+		}
+		l.meta.Lock()
+		w = l.word.Load()
+		if w&(writeLocked|readerMask|hasWaiters) == 0 {
+			l.meta.Unlock()
+			continue
+		}
+		if !l.word.CompareAndSwap(w, w|hasWaiters|writeWanted) {
+			l.meta.Unlock()
+			continue
+		}
+		e := l.q.Enqueue(waitq.Writer, 0)
+		l.meta.Unlock()
+		e.Wait()
+		// Ownership transferred: writeLocked is already set for us.
+		return
+	}
+}
+
+// RUnlock releases a read acquisition. If this is the last reader and
+// threads are waiting, ownership is handed over directly.
+func (l *RWLock) RUnlock() {
+	for {
+		w := l.word.Load()
+		if readers(w) == 0 {
+			panic("solaris: RUnlock without RLock")
+		}
+		if readers(w) == 1 && w&hasWaiters != 0 {
+			l.handoff(waitq.Reader)
+			return
+		}
+		if l.word.CompareAndSwap(w, w-readerOne) {
+			return
+		}
+	}
+}
+
+// Unlock releases a write acquisition, handing over directly if threads
+// are waiting.
+func (l *RWLock) Unlock() {
+	for {
+		w := l.word.Load()
+		if w&writeLocked == 0 {
+			panic("solaris: Unlock without Lock")
+		}
+		if w&hasWaiters != 0 {
+			l.handoff(waitq.Writer)
+			return
+		}
+		if l.word.CompareAndSwap(w, w&^writeLocked) {
+			return
+		}
+	}
+}
+
+// handoff transfers ownership to the next batch in the queue. The caller
+// is the last holder (sole writer, or last reader with waiters present).
+// hasWaiters is set, so no thread can fast-path acquire (readers are
+// blocked by writeWanted or writeLocked; writers by readers/writeLocked,
+// and a free-looking word cannot arise because we never release here).
+func (l *RWLock) handoff(releaser waitq.Kind) {
+	l.meta.Lock()
+	batch := l.q.DequeueHandoff(releaser)
+	if batch == nil {
+		// Waiters bit was set but the queue drained? Impossible by
+		// construction: the bit is only set together with an enqueue and
+		// only handoffs dequeue. Guard anyway.
+		l.storeWord(0)
+		l.meta.Unlock()
+		return
+	}
+	var w uint64
+	if batch.Kind == waitq.Writer {
+		w = writeLocked
+	} else {
+		w = uint64(batch.Count()) * readerOne
+	}
+	if l.q.NumWriters() > 0 {
+		w |= writeWanted
+	}
+	if !l.q.Empty() {
+		w |= hasWaiters
+	}
+	l.storeWord(w)
+	l.meta.Unlock()
+	batch.Signal()
+}
+
+// storeWord installs a new lockword during handoff. A CAS loop is not
+// needed: every mutation path either holds the queue mutex (waiter
+// registration) or is excluded by the bits the old word has set (fast
+// paths), so the plain store cannot lose an update. We still assert the
+// exclusion in race-enabled tests via the atomic store's total order.
+func (l *RWLock) storeWord(w uint64) { l.word.Store(w) }
+
+// Readers returns the active reader count (diagnostic).
+func (l *RWLock) Readers() int { return int(readers(l.word.Load())) }
+
+// WriteLocked reports whether a writer holds the lock (diagnostic).
+func (l *RWLock) WriteLocked() bool { return l.word.Load()&writeLocked != 0 }

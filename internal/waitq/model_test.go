@@ -1,0 +1,217 @@
+package waitq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ollock/internal/xrand"
+)
+
+// modelEntry mirrors one queued waiter in the reference model.
+type modelEntry struct {
+	writer   bool
+	priority int
+	id       int
+}
+
+// model is a straightforward reimplementation of the hand-off policy
+// used as the oracle for property testing: a slice, linear scans, no
+// cleverness.
+type model struct {
+	entries []modelEntry
+	nextID  int
+}
+
+func (m *model) enqueue(writer bool, priority int) int {
+	id := m.nextID
+	m.nextID++
+	m.entries = append(m.entries, modelEntry{writer: writer, priority: priority, id: id})
+	return id
+}
+
+func (m *model) counts() (readers, writers int) {
+	for _, e := range m.entries {
+		if e.writer {
+			writers++
+		} else {
+			readers++
+		}
+	}
+	return
+}
+
+func (m *model) bestWriter() (int, bool) {
+	best, found := -1, false
+	for i, e := range m.entries {
+		if e.writer && (!found || e.priority > m.entries[best].priority) {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+func (m *model) takeAt(i int) modelEntry {
+	e := m.entries[i]
+	m.entries = append(m.entries[:i:i], m.entries[i+1:]...)
+	return e
+}
+
+func (m *model) takeReaders() []modelEntry {
+	var readers, rest []modelEntry
+	for _, e := range m.entries {
+		if e.writer {
+			rest = append(rest, e)
+		} else {
+			readers = append(readers, e)
+		}
+	}
+	m.entries = rest
+	return readers
+}
+
+// dequeueHandoff mirrors Queue.DequeueHandoff.
+func (m *model) dequeueHandoff(releaserWriter bool) (writerBatch bool, ids []int) {
+	if len(m.entries) == 0 {
+		return false, nil
+	}
+	wi, hasW := m.bestWriter()
+	if !releaserWriter {
+		if hasW {
+			return true, []int{m.takeAt(wi).id}
+		}
+		for _, e := range m.takeReaders() {
+			ids = append(ids, e.id)
+		}
+		return false, ids
+	}
+	readers, _ := m.counts()
+	if readers == 0 {
+		return true, []int{m.takeAt(wi).id}
+	}
+	if hasW {
+		maxR := -1 << 62
+		for _, e := range m.entries {
+			if !e.writer && e.priority > maxR {
+				maxR = e.priority
+			}
+		}
+		if m.entries[wi].priority > maxR {
+			return true, []int{m.takeAt(wi).id}
+		}
+	}
+	for _, e := range m.takeReaders() {
+		ids = append(ids, e.id)
+	}
+	return false, ids
+}
+
+// TestDequeueMatchesModel drives random operation sequences through the
+// real queue and the oracle, requiring identical batches (kind, size,
+// and identity order for writers; set equality in FIFO order for reader
+// groups, which both produce).
+func TestDequeueMatchesModel(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		var q Queue
+		var m model
+		ids := map[*Entry]int{}
+		for op := 0; op < 300; op++ {
+			switch r.Intn(3) {
+			case 0: // enqueue
+				writer := r.Bool(0.4)
+				prio := r.Intn(4)
+				e := q.Enqueue(kindOf(writer), prio)
+				ids[e] = m.enqueue(writer, prio)
+			default: // dequeue as reader or writer releaser
+				releaserWriter := r.Bool(0.5)
+				b := q.DequeueHandoff(kindOf(releaserWriter))
+				wantWriter, wantIDs := m.dequeueHandoff(releaserWriter)
+				if b == nil {
+					if wantIDs != nil {
+						t.Logf("seed %d op %d: real empty, model %v", seed, op, wantIDs)
+						return false
+					}
+					continue
+				}
+				if (b.Kind == Writer) != wantWriter || b.Count() != len(wantIDs) {
+					t.Logf("seed %d op %d: batch (%v,%d) vs model (%v,%d)",
+						seed, op, b.Kind, b.Count(), wantWriter, len(wantIDs))
+					return false
+				}
+				for i, e := range b.entries {
+					if ids[e] != wantIDs[i] {
+						t.Logf("seed %d op %d: batch ids diverge at %d: %d vs %d",
+							seed, op, i, ids[e], wantIDs[i])
+						return false
+					}
+				}
+			}
+			// Counts must always agree.
+			mr, mw := m.counts()
+			if q.NumReaders() != mr || q.NumWriters() != mw || q.Len() != mr+mw {
+				t.Logf("seed %d op %d: counts (%d,%d) vs model (%d,%d)",
+					seed, op, q.NumReaders(), q.NumWriters(), mr, mw)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func kindOf(writer bool) Kind {
+	if writer {
+		return Writer
+	}
+	return Reader
+}
+
+// TestFIFOMatchesModel checks DequeueFIFO against a simple list oracle.
+func TestFIFOMatchesModel(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		var q Queue
+		var list []modelEntry
+		nextID := 0
+		ids := map[*Entry]int{}
+		for op := 0; op < 200; op++ {
+			if r.Bool(0.55) {
+				writer := r.Bool(0.4)
+				e := q.Enqueue(kindOf(writer), 0)
+				ids[e] = nextID
+				list = append(list, modelEntry{writer: writer, id: nextID})
+				nextID++
+			} else {
+				b := q.DequeueFIFO()
+				if len(list) == 0 {
+					if b != nil {
+						return false
+					}
+					continue
+				}
+				var want []modelEntry
+				if list[0].writer {
+					want, list = list[:1], list[1:]
+				} else {
+					i := 0
+					for i < len(list) && !list[i].writer {
+						i++
+					}
+					want, list = list[:i], list[i:]
+				}
+				if b.Count() != len(want) {
+					return false
+				}
+				for i, e := range b.entries {
+					if ids[e] != want[i].id {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

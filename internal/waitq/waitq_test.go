@@ -1,0 +1,215 @@
+package waitq
+
+import (
+	"testing"
+)
+
+func kinds(q *Queue) (readers, writers int) {
+	return q.NumReaders(), q.NumWriters()
+}
+
+func TestEnqueueCounts(t *testing.T) {
+	var q Queue
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero queue not empty")
+	}
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	r, w := kinds(&q)
+	if r != 2 || w != 1 || q.Len() != 3 || q.Empty() {
+		t.Fatalf("counts = (%d readers, %d writers, len %d)", r, w, q.Len())
+	}
+}
+
+func TestDequeueHandoffEmpty(t *testing.T) {
+	var q Queue
+	if q.DequeueHandoff(Reader) != nil || q.DequeueHandoff(Writer) != nil {
+		t.Fatal("dequeue from empty queue must return nil")
+	}
+}
+
+func TestReaderReleasePrefersWriter(t *testing.T) {
+	var q Queue
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Reader)
+	if b.Kind != Writer || b.Count() != 1 {
+		t.Fatalf("batch = (%v, %d), want single writer", b.Kind, b.Count())
+	}
+	if r, w := kinds(&q); r != 2 || w != 0 {
+		t.Fatalf("after dequeue counts = (%d,%d), want (2,0)", r, w)
+	}
+}
+
+func TestReaderReleaseNoWriterBatchesAllReaders(t *testing.T) {
+	var q Queue
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Reader)
+	if b.Kind != Reader || b.Count() != 3 {
+		t.Fatalf("batch = (%v, %d), want 3 readers", b.Kind, b.Count())
+	}
+	if !q.Empty() {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestWriterReleasePrefersReaders(t *testing.T) {
+	var q Queue
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Writer)
+	if b.Kind != Reader || b.Count() != 2 {
+		t.Fatalf("batch = (%v, %d), want 2 readers", b.Kind, b.Count())
+	}
+	if r, w := kinds(&q); r != 0 || w != 1 {
+		t.Fatalf("counts = (%d,%d), want (0,1): writer must remain", r, w)
+	}
+}
+
+func TestWriterReleaseNoReadersPicksWriterFIFO(t *testing.T) {
+	var q Queue
+	e1 := q.Enqueue(Writer, 0)
+	q.Enqueue(Writer, 0)
+	b := q.DequeueHandoff(Writer)
+	if b.Kind != Writer || b.Count() != 1 || b.entries[0] != e1 {
+		t.Fatal("expected the first-enqueued writer")
+	}
+}
+
+func TestHighPriorityWriterBeatsReaders(t *testing.T) {
+	var q Queue
+	q.Enqueue(Reader, 0)
+	hi := q.Enqueue(Writer, 10)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Writer)
+	if b.Kind != Writer || b.entries[0] != hi {
+		t.Fatal("high-priority writer not preferred over readers")
+	}
+	if r, w := kinds(&q); r != 2 || w != 0 {
+		t.Fatalf("counts = (%d,%d), want (2,0)", r, w)
+	}
+}
+
+func TestEqualPriorityWriterDoesNotBeatReaders(t *testing.T) {
+	var q Queue
+	q.Enqueue(Writer, 5)
+	q.Enqueue(Reader, 5)
+	b := q.DequeueHandoff(Writer)
+	if b.Kind != Reader {
+		t.Fatal("equal-priority writer must not overtake readers on writer release")
+	}
+}
+
+func TestReaderReleasePicksHighestPriorityWriter(t *testing.T) {
+	var q Queue
+	q.Enqueue(Writer, 1)
+	hi := q.Enqueue(Writer, 7)
+	q.Enqueue(Writer, 3)
+	b := q.DequeueHandoff(Reader)
+	if b.entries[0] != hi {
+		t.Fatal("highest-priority writer not selected")
+	}
+}
+
+func TestReaderBatchSkipsInterveningWriters(t *testing.T) {
+	// Solaris hand-off wakes ALL waiting readers even when writers sit
+	// between them in queue order.
+	var q Queue
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Writer)
+	if b.Kind != Reader || b.Count() != 3 {
+		t.Fatalf("batch = (%v,%d), want all 3 readers", b.Kind, b.Count())
+	}
+	if r, w := kinds(&q); r != 0 || w != 2 {
+		t.Fatalf("counts = (%d,%d), want (0,2)", r, w)
+	}
+}
+
+func TestDequeueFIFOWriterHead(t *testing.T) {
+	var q Queue
+	w1 := q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueFIFO()
+	if b.Kind != Writer || b.entries[0] != w1 {
+		t.Fatal("FIFO dequeue must return head writer")
+	}
+}
+
+func TestDequeueFIFOReaderRun(t *testing.T) {
+	var q Queue
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Reader, 0)
+	q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	b := q.DequeueFIFO()
+	if b.Kind != Reader || b.Count() != 2 {
+		t.Fatalf("batch = (%v,%d), want the 2-reader head run", b.Kind, b.Count())
+	}
+	if r, w := kinds(&q); r != 1 || w != 1 {
+		t.Fatalf("counts = (%d,%d), want (1,1)", r, w)
+	}
+	b2 := q.DequeueFIFO()
+	if b2.Kind != Writer {
+		t.Fatal("second FIFO dequeue must be the writer")
+	}
+	b3 := q.DequeueFIFO()
+	if b3.Kind != Reader || b3.Count() != 1 {
+		t.Fatal("third FIFO dequeue must be the trailing reader")
+	}
+	if q.DequeueFIFO() != nil {
+		t.Fatal("empty queue must dequeue nil")
+	}
+}
+
+func TestSignalWakesAll(t *testing.T) {
+	var q Queue
+	e1 := q.Enqueue(Reader, 0)
+	e2 := q.Enqueue(Reader, 0)
+	b := q.DequeueHandoff(Writer)
+	done := make(chan int, 2)
+	go func() { e1.Wait(); done <- 1 }()
+	go func() { e2.Wait(); done <- 2 }()
+	b.Signal()
+	<-done
+	<-done
+}
+
+func TestEntryKind(t *testing.T) {
+	var q Queue
+	if q.Enqueue(Reader, 0).Kind() != Reader || q.Enqueue(Writer, 0).Kind() != Writer {
+		t.Fatal("Kind accessor wrong")
+	}
+	if Reader.String() != "reader" || Writer.String() != "writer" {
+		t.Fatal("String() wrong")
+	}
+}
+
+func TestRemoveMiddleLinksIntact(t *testing.T) {
+	var q Queue
+	q.Enqueue(Reader, 0)
+	w := q.Enqueue(Writer, 0)
+	q.Enqueue(Reader, 0)
+	_ = w
+	// Remove the middle writer via a reader-release handoff.
+	b := q.DequeueHandoff(Reader)
+	if b.Kind != Writer {
+		t.Fatal("want writer")
+	}
+	// Remaining two readers must come out as one batch.
+	b2 := q.DequeueHandoff(Reader)
+	if b2.Kind != Reader || b2.Count() != 2 {
+		t.Fatalf("batch = (%v,%d), want 2 readers", b2.Kind, b2.Count())
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -1,0 +1,89 @@
+// Package xrand implements the tiny per-thread pseudo-random number
+// generator the evaluation workload uses to decide, independently on
+// each thread and without any shared state, whether the next lock
+// acquisition is a read or a write (§5.1: "a per-thread private random
+// number generator and a target read percentage").
+//
+// The generator is xorshift64*: 8 bytes of state, no allocation, no
+// synchronization, period 2^64-1, more than good enough for workload
+// mixing and for randomized tests.
+package xrand
+
+// Rand is a xorshift64* generator. It is NOT safe for concurrent use;
+// give each goroutine its own.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is remapped to a
+// fixed odd constant because the all-zero state is a fixed point of
+// xorshift.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // golden-ratio constant
+	}
+	r.state = seed
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Split derives an independent generator from r, for seeding per-thread
+// generators from one master seed deterministically.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() | 1)
+}

@@ -1,0 +1,305 @@
+package ollock
+
+import (
+	"ollock/internal/central"
+	"ollock/internal/csnzi"
+	"ollock/internal/foll"
+	"ollock/internal/goll"
+	"ollock/internal/hsieh"
+	"ollock/internal/ksuh"
+	"ollock/internal/mcs"
+	"ollock/internal/roll"
+	"ollock/internal/snzi"
+	"ollock/internal/solaris"
+)
+
+// This file binds the public facade to the algorithm packages. Each lock
+// gets a concrete wrapper type whose NewProc returns the per-goroutine
+// handle; locks whose native interface is already handle-free (Solaris,
+// Central) hand out trivial Procs.
+
+// --- C-SNZI / SNZI re-exports ---
+
+// CSNZI is the closable scalable nonzero indicator, the paper's core
+// data structure, usable standalone (e.g. "block new arrivals, then wait
+// for in-flight work to drain"). See the csnzi package documentation for
+// the operation semantics.
+type CSNZI = csnzi.CSNZI
+
+// CSNZITicket is the ticket returned by CSNZI.Arrive.
+type CSNZITicket = csnzi.Ticket
+
+// NewCSNZI returns an open C-SNZI with zero surplus.
+func NewCSNZI(opts ...csnzi.Option) *CSNZI { return csnzi.New(opts...) }
+
+// CSNZIWithLeaves configures the C-SNZI tree width (0 = centralized).
+func CSNZIWithLeaves(n int) csnzi.Option { return csnzi.WithLeaves(n) }
+
+// CSNZIWithFanout bounds children per interior node.
+func CSNZIWithFanout(n int) csnzi.Option { return csnzi.WithFanout(n) }
+
+// SNZI is the plain (non-closable) scalable nonzero indicator.
+type SNZI = snzi.SNZI
+
+// NewSNZI returns an empty SNZI.
+func NewSNZI(opts ...snzi.Option) *SNZI { return snzi.New(opts...) }
+
+// --- GOLL ---
+
+// GOLLLock is the general OLL reader-writer lock. Its Procs additionally
+// implement Upgrader.
+type GOLLLock struct{ l *goll.RWLock }
+
+// NewGOLL returns a GOLL lock. It has no participant limit.
+func NewGOLL() *GOLLLock { return &GOLLLock{l: goll.New()} }
+
+// NewGOLLWithCSNZI returns a GOLL lock using a custom-configured C-SNZI
+// (tree width, arrival policy) — the knob the ablation benchmarks turn.
+func NewGOLLWithCSNZI(c *CSNZI) *GOLLLock {
+	return &GOLLLock{l: goll.New(goll.WithCSNZI(c))}
+}
+
+// GOLLProc is the GOLL per-goroutine handle.
+type GOLLProc struct{ p *goll.Proc }
+
+// NewProc returns a handle for the calling goroutine.
+func (l *GOLLLock) NewProc() Proc { return &GOLLProc{p: l.l.NewProc()} }
+
+// RLock acquires the lock for reading.
+func (p *GOLLProc) RLock() { p.p.RLock() }
+
+// RUnlock releases a read acquisition.
+func (p *GOLLProc) RUnlock() { p.p.RUnlock() }
+
+// Lock acquires the lock for writing.
+func (p *GOLLProc) Lock() { p.p.Lock() }
+
+// Unlock releases a write acquisition.
+func (p *GOLLProc) Unlock() { p.p.Unlock() }
+
+// TryUpgrade converts a read acquisition to a write acquisition iff the
+// caller is the sole holder.
+func (p *GOLLProc) TryUpgrade() bool { return p.p.TryUpgrade() }
+
+// SetPriority sets the priority used when this Proc waits (higher wins;
+// default 0). A strictly-higher-priority waiting writer overtakes
+// waiting readers at hand-off.
+func (p *GOLLProc) SetPriority(priority int) { p.p.SetPriority(priority) }
+
+// TryRLock attempts a read acquisition without waiting.
+func (p *GOLLProc) TryRLock() bool { return p.p.TryRLock() }
+
+// TryLock attempts a write acquisition without waiting.
+func (p *GOLLProc) TryLock() bool { return p.p.TryLock() }
+
+// Downgrade converts a write acquisition to a read acquisition.
+func (p *GOLLProc) Downgrade() { p.p.Downgrade() }
+
+// --- FOLL ---
+
+// FOLLLock is the FIFO distributed-queue OLL lock.
+type FOLLLock struct{ l *foll.RWLock }
+
+// NewFOLL returns a FOLL lock for up to maxProcs goroutines.
+func NewFOLL(maxProcs int) *FOLLLock { return &FOLLLock{l: foll.New(maxProcs)} }
+
+// FOLLProc is the FOLL per-goroutine handle.
+type FOLLProc struct{ p *foll.Proc }
+
+// NewProc returns a handle for the calling goroutine (panics beyond
+// maxProcs).
+func (l *FOLLLock) NewProc() Proc { return &FOLLProc{p: l.l.NewProc()} }
+
+// RLock acquires the lock for reading.
+func (p *FOLLProc) RLock() { p.p.RLock() }
+
+// RUnlock releases a read acquisition.
+func (p *FOLLProc) RUnlock() { p.p.RUnlock() }
+
+// Lock acquires the lock for writing.
+func (p *FOLLProc) Lock() { p.p.Lock() }
+
+// Unlock releases a write acquisition.
+func (p *FOLLProc) Unlock() { p.p.Unlock() }
+
+// --- ROLL ---
+
+// ROLLLock is the reader-preference distributed-queue OLL lock.
+type ROLLLock struct{ l *roll.RWLock }
+
+// NewROLL returns a ROLL lock for up to maxProcs goroutines.
+func NewROLL(maxProcs int) *ROLLLock { return &ROLLLock{l: roll.New(maxProcs)} }
+
+// ROLLProc is the ROLL per-goroutine handle.
+type ROLLProc struct{ p *roll.Proc }
+
+// NewProc returns a handle for the calling goroutine (panics beyond
+// maxProcs).
+func (l *ROLLLock) NewProc() Proc { return &ROLLProc{p: l.l.NewProc()} }
+
+// RLock acquires the lock for reading.
+func (p *ROLLProc) RLock() { p.p.RLock() }
+
+// RUnlock releases a read acquisition.
+func (p *ROLLProc) RUnlock() { p.p.RUnlock() }
+
+// Lock acquires the lock for writing.
+func (p *ROLLProc) Lock() { p.p.Lock() }
+
+// Unlock releases a write acquisition.
+func (p *ROLLProc) Unlock() { p.p.Unlock() }
+
+// --- KSUH ---
+
+// KSUHLock is the Krieger–Stumm–Unrau–Hanna fair reader-writer lock.
+type KSUHLock struct{ l *ksuh.RWLock }
+
+// NewKSUH returns a KSUH lock (no participant limit).
+func NewKSUH() *KSUHLock { return &KSUHLock{l: ksuh.New()} }
+
+// KSUHProc is the KSUH per-goroutine handle (it owns the queue node).
+type KSUHProc struct {
+	l *ksuh.RWLock
+	n ksuh.Node
+}
+
+// NewProc returns a handle for the calling goroutine.
+func (l *KSUHLock) NewProc() Proc { return &KSUHProc{l: l.l} }
+
+// RLock acquires the lock for reading.
+func (p *KSUHProc) RLock() { p.l.RLock(&p.n) }
+
+// RUnlock releases a read acquisition.
+func (p *KSUHProc) RUnlock() { p.l.RUnlock(&p.n) }
+
+// Lock acquires the lock for writing.
+func (p *KSUHProc) Lock() { p.l.Lock(&p.n) }
+
+// Unlock releases a write acquisition.
+func (p *KSUHProc) Unlock() { p.l.Unlock(&p.n) }
+
+// --- MCS reader-writer ---
+
+// MCSRWLock is the Mellor-Crummey & Scott fair reader-writer lock.
+type MCSRWLock struct{ l *mcs.RWLock }
+
+// NewMCSRW returns an MCS reader-writer lock (no participant limit).
+func NewMCSRW() *MCSRWLock { return &MCSRWLock{l: mcs.NewRWLock()} }
+
+// MCSRWProc is the per-goroutine handle (it owns the queue node).
+type MCSRWProc struct {
+	l *mcs.RWLock
+	n mcs.RWNode
+}
+
+// NewProc returns a handle for the calling goroutine.
+func (l *MCSRWLock) NewProc() Proc { return &MCSRWProc{l: l.l} }
+
+// RLock acquires the lock for reading.
+func (p *MCSRWProc) RLock() { p.l.RLock(&p.n) }
+
+// RUnlock releases a read acquisition.
+func (p *MCSRWProc) RUnlock() { p.l.RUnlock(&p.n) }
+
+// Lock acquires the lock for writing.
+func (p *MCSRWProc) Lock() { p.l.Lock(&p.n) }
+
+// Unlock releases a write acquisition.
+func (p *MCSRWProc) Unlock() { p.l.Unlock(&p.n) }
+
+// --- MCS mutex (bonus export: the substrate lock) ---
+
+// MCSMutex is the classic MCS queue mutex with a handle-based interface.
+type MCSMutex struct{ m *mcs.Mutex }
+
+// NewMCSMutex returns an unlocked MCS mutex.
+func NewMCSMutex() *MCSMutex { return &MCSMutex{m: mcs.NewMutex()} }
+
+// MCSMutexProc is the per-goroutine handle for MCSMutex.
+type MCSMutexProc struct {
+	m *mcs.Mutex
+	n mcs.MutexNode
+}
+
+// NewProc returns a handle for the calling goroutine.
+func (m *MCSMutex) NewProc() *MCSMutexProc { return &MCSMutexProc{m: m.m} }
+
+// Lock acquires the mutex.
+func (p *MCSMutexProc) Lock() { p.m.Lock(&p.n) }
+
+// Unlock releases the mutex.
+func (p *MCSMutexProc) Unlock() { p.m.Unlock(&p.n) }
+
+// --- Solaris-like ---
+
+// SolarisLock is the user-space Solaris kernel lock. Its methods are
+// goroutine-agnostic; NewProc returns the lock itself.
+type SolarisLock struct{ l *solaris.RWLock }
+
+// NewSolaris returns a Solaris-like lock (no participant limit).
+func NewSolaris() *SolarisLock { return &SolarisLock{l: solaris.New()} }
+
+// NewProc returns a handle (the lock itself: no per-goroutine state).
+func (l *SolarisLock) NewProc() Proc { return l }
+
+// RLock acquires the lock for reading.
+func (l *SolarisLock) RLock() { l.l.RLock() }
+
+// RUnlock releases a read acquisition.
+func (l *SolarisLock) RUnlock() { l.l.RUnlock() }
+
+// Lock acquires the lock for writing.
+func (l *SolarisLock) Lock() { l.l.Lock() }
+
+// Unlock releases a write acquisition.
+func (l *SolarisLock) Unlock() { l.l.Unlock() }
+
+// --- Hsieh–Weihl ---
+
+// HsiehLock is the Hsieh–Weihl private-mutex lock.
+type HsiehLock struct{ l *hsieh.RWLock }
+
+// NewHsieh returns a Hsieh–Weihl lock for up to maxProcs goroutines.
+func NewHsieh(maxProcs int) *HsiehLock { return &HsiehLock{l: hsieh.New(maxProcs)} }
+
+// HsiehProc is the per-goroutine handle (it owns one private mutex).
+type HsiehProc struct{ p *hsieh.Proc }
+
+// NewProc returns a handle for the calling goroutine (panics beyond
+// maxProcs).
+func (l *HsiehLock) NewProc() Proc { return &HsiehProc{p: l.l.NewProc()} }
+
+// RLock acquires the lock for reading (one private mutex).
+func (p *HsiehProc) RLock() { p.p.RLock() }
+
+// RUnlock releases a read acquisition.
+func (p *HsiehProc) RUnlock() { p.p.RUnlock() }
+
+// Lock acquires the lock for writing (all private mutexes).
+func (p *HsiehProc) Lock() { p.p.Lock() }
+
+// Unlock releases a write acquisition.
+func (p *HsiehProc) Unlock() { p.p.Unlock() }
+
+// --- Centralized ---
+
+// CentralLock is the naive centralized counter+flag lock.
+type CentralLock struct{ l *central.RWLock }
+
+// NewCentral returns a centralized lock (no participant limit).
+func NewCentral() *CentralLock { return &CentralLock{l: central.New()} }
+
+// NewProc returns a handle (the lock itself: no per-goroutine state).
+func (l *CentralLock) NewProc() Proc { return l }
+
+// RLock acquires the lock for reading.
+func (l *CentralLock) RLock() { l.l.RLock() }
+
+// RUnlock releases a read acquisition.
+func (l *CentralLock) RUnlock() { l.l.RUnlock() }
+
+// Lock acquires the lock for writing.
+func (l *CentralLock) Lock() { l.l.Lock() }
+
+// Unlock releases a write acquisition.
+func (l *CentralLock) Unlock() { l.l.Unlock() }

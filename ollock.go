@@ -1,0 +1,144 @@
+// Package ollock provides scalable reader-writer locks for Go,
+// reproducing "Scalable Reader-Writer Locks" (Lev, Luchangco, Olszewski,
+// SPAA 2009).
+//
+// The package exposes the paper's three OLL locks —
+//
+//   - GOLL: general lock with a Solaris-style wait queue, flexible
+//     fairness, and write upgrade/downgrade;
+//   - FOLL: FIFO distributed-queue lock (MCS-style) where successive
+//     readers share one queue node through a C-SNZI;
+//   - ROLL: FOLL with reader preference (readers overtake queued writers
+//     to join a waiting reader group);
+//
+// — along with the closable scalable nonzero indicator (C-SNZI) they are
+// built on, and the prior-work baselines the paper compares against
+// (KSUH, the MCS fair reader-writer lock, a Solaris-like lock, the
+// Hsieh–Weihl lock, and a naive centralized lock).
+//
+// # Per-goroutine handles
+//
+// These algorithms keep per-thread state (queue nodes, C-SNZI arrival
+// tickets). Go has no thread-local storage, so each participating
+// goroutine creates one Proc handle per lock and acquires through it:
+//
+//	l := ollock.NewROLL(64) // up to 64 participating goroutines
+//	p := l.NewProc()        // one per goroutine, create once
+//	p.RLock()
+//	...read...
+//	p.RUnlock()
+//
+// A Proc supports one outstanding acquisition at a time and must not be
+// shared between goroutines while an acquisition is outstanding.
+//
+// # Choosing a lock
+//
+// For read-dominated workloads at high core counts, ROLL gives the best
+// throughput; FOLL adds strict FIFO fairness at some cost under writer
+// pressure; GOLL supports unbounded participants, priorities, and write
+// upgrade, at the price of a queue mutex under contention. See
+// EXPERIMENTS.md for measured comparisons reproducing the paper's
+// Figure 5.
+package ollock
+
+import (
+	"fmt"
+)
+
+// Proc is a per-goroutine handle on a reader-writer lock. RLock/RUnlock
+// and Lock/Unlock must be properly paired; one acquisition may be
+// outstanding per Proc at a time.
+type Proc interface {
+	// RLock acquires the lock for reading (shared mode).
+	RLock()
+	// RUnlock releases a read acquisition.
+	RUnlock()
+	// Lock acquires the lock for writing (exclusive mode).
+	Lock()
+	// Unlock releases a write acquisition.
+	Unlock()
+}
+
+// Upgrader is implemented by Procs that support in-place conversion
+// between read and write ownership (the GOLL lock).
+type Upgrader interface {
+	// TryUpgrade converts a read acquisition into a write acquisition.
+	// It succeeds iff the caller is the only holder; on failure the read
+	// acquisition is retained.
+	TryUpgrade() bool
+	// Downgrade converts a write acquisition into a read acquisition
+	// without releasing the lock, admitting any waiting readers.
+	Downgrade()
+}
+
+// Lock is a reader-writer lock instance; create Procs from it, one per
+// participating goroutine.
+type Lock interface {
+	NewProc() Proc
+}
+
+// Kind names a lock algorithm.
+type Kind string
+
+// Available lock algorithms.
+const (
+	// GOLL is the general OLL lock (§3 of the paper).
+	GOLL Kind = "goll"
+	// FOLL is the FIFO distributed-queue OLL lock (§4.2).
+	FOLL Kind = "foll"
+	// ROLL is the reader-preference distributed-queue OLL lock (§4.3).
+	ROLL Kind = "roll"
+	// KSUH is the Krieger–Stumm–Unrau–Hanna fair lock (ICPP '93).
+	KSUH Kind = "ksuh"
+	// MCSRW is the Mellor-Crummey & Scott fair reader-writer lock
+	// (PPoPP '91).
+	MCSRW Kind = "mcs-rw"
+	// Solaris is a user-space version of the Solaris kernel lock.
+	Solaris Kind = "solaris"
+	// Hsieh is the Hsieh–Weihl private-mutex lock (IPPS '92).
+	Hsieh Kind = "hsieh"
+	// Central is a naive centralized counter+flag lock.
+	Central Kind = "central"
+)
+
+// Kinds lists every available lock kind, OLL locks first.
+func Kinds() []Kind {
+	return []Kind{GOLL, FOLL, ROLL, KSUH, MCSRW, Solaris, Hsieh, Central}
+}
+
+// New creates a lock of the given kind sized for maxProcs participating
+// goroutines. GOLL, KSUH, MCSRW, Solaris and Central ignore maxProcs
+// (they have no fixed capacity); FOLL, ROLL and Hsieh panic if more than
+// maxProcs Procs are created.
+func New(kind Kind, maxProcs int) (Lock, error) {
+	switch kind {
+	case GOLL:
+		return NewGOLL(), nil
+	case FOLL:
+		return NewFOLL(maxProcs), nil
+	case ROLL:
+		return NewROLL(maxProcs), nil
+	case KSUH:
+		return NewKSUH(), nil
+	case MCSRW:
+		return NewMCSRW(), nil
+	case Solaris:
+		return NewSolaris(), nil
+	case Hsieh:
+		return NewHsieh(maxProcs), nil
+	case Central:
+		return NewCentral(), nil
+	default:
+		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
+	}
+}
+
+// MustNew is New, panicking on error; convenient for tables of kinds
+// known at compile time.
+func MustNew(kind Kind, maxProcs int) Lock {
+	l, err := New(kind, maxProcs)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

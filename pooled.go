@@ -1,0 +1,73 @@
+package ollock
+
+// This file provides the pooled convenience API: a sync.RWMutex-shaped
+// wrapper for code that cannot thread per-goroutine Procs through its
+// call paths. A fixed set of Procs is created up front and checked out
+// per critical section; when all are in use, callers queue on the pool.
+//
+// The handle-based API (Lock.NewProc) remains the fast path — checkout
+// adds a channel round trip per acquisition — but the pooled form is
+// convenient for drop-in use and for callers whose goroutines are
+// short-lived.
+
+// Pooled wraps a Lock with a bounded pool of Procs so critical sections
+// can be run without managing handles. Create with NewPooled.
+type Pooled struct {
+	lock  Lock
+	procs chan Proc
+}
+
+// NewPooled creates a lock of the given kind with a pool of poolSize
+// Procs. poolSize bounds the number of concurrently held critical
+// sections; additional callers wait for a free Proc.
+func NewPooled(kind Kind, poolSize int) (*Pooled, error) {
+	if poolSize <= 0 {
+		poolSize = 16
+	}
+	l, err := New(kind, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pooled{lock: l, procs: make(chan Proc, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		p.procs <- l.NewProc()
+	}
+	return p, nil
+}
+
+// MustNewPooled is NewPooled, panicking on error.
+func MustNewPooled(kind Kind, poolSize int) *Pooled {
+	p, err := NewPooled(kind, poolSize)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Read runs fn while holding the lock for reading.
+func (p *Pooled) Read(fn func()) {
+	proc := <-p.procs
+	proc.RLock()
+	defer func() {
+		proc.RUnlock()
+		p.procs <- proc
+	}()
+	fn()
+}
+
+// Write runs fn while holding the lock for writing.
+func (p *Pooled) Write(fn func()) {
+	proc := <-p.procs
+	proc.Lock()
+	defer func() {
+		proc.Unlock()
+		p.procs <- proc
+	}()
+	fn()
+}
+
+// Underlying returns the wrapped Lock, for callers that want to mix the
+// pooled and handle-based APIs on one lock instance. Handles created
+// with NewProc on a FOLL/ROLL/Hsieh lock count against the same
+// poolSize capacity.
+func (p *Pooled) Underlying() Lock { return p.lock }

@@ -1,0 +1,151 @@
+package ollock_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ollock"
+)
+
+func TestPooledBasic(t *testing.T) {
+	for _, kind := range ollock.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			p := ollock.MustNewPooled(kind, 8)
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 300; i++ {
+						if i%5 == 0 {
+							p.Write(func() { counter++ })
+						} else {
+							p.Read(func() { _ = counter })
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != 6*300/5 {
+				t.Fatalf("counter = %d, want %d", counter, 6*300/5)
+			}
+		})
+	}
+}
+
+func TestPooledReadersOverlap(t *testing.T) {
+	p := ollock.MustNewPooled(ollock.ROLL, 4)
+	firstIn := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		p.Read(func() {
+			close(firstIn)
+			<-release
+		})
+		close(done)
+	}()
+	<-firstIn
+	overlapped := make(chan struct{})
+	go func() {
+		p.Read(func() { close(overlapped) })
+	}()
+	select {
+	case <-overlapped:
+	case <-time.After(20 * time.Second):
+		t.Fatal("pooled readers failed to overlap")
+	}
+	close(release)
+	<-done
+}
+
+func TestPooledThrottlesAtCapacity(t *testing.T) {
+	// Pool of 1: a second reader must wait for the proc, even though the
+	// lock itself would admit it.
+	p := ollock.MustNewPooled(ollock.GOLL, 1)
+	firstIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		p.Read(func() {
+			close(firstIn)
+			<-release
+		})
+	}()
+	<-firstIn
+	second := make(chan struct{})
+	go func() {
+		p.Read(func() {})
+		close(second)
+	}()
+	select {
+	case <-second:
+		t.Fatal("second section ran despite pool capacity 1")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-second:
+	case <-time.After(20 * time.Second):
+		t.Fatal("second section never ran")
+	}
+}
+
+func TestPooledPanicInSectionReleasesProc(t *testing.T) {
+	p := ollock.MustNewPooled(ollock.FOLL, 1)
+	func() {
+		defer func() { recover() }()
+		p.Write(func() { panic("boom") })
+	}()
+	// The proc (and the lock) must be reusable.
+	ran := make(chan struct{})
+	go func() {
+		p.Write(func() {})
+		close(ran)
+	}()
+	select {
+	case <-ran:
+	case <-time.After(20 * time.Second):
+		t.Fatal("lock unusable after a panicking section")
+	}
+}
+
+func TestPooledUnderlying(t *testing.T) {
+	p := ollock.MustNewPooled(ollock.GOLL, 2)
+	if p.Underlying() == nil {
+		t.Fatal("no underlying lock")
+	}
+	// Mixing APIs: a handle from the underlying lock interoperates.
+	h := p.Underlying().NewProc()
+	h.Lock()
+	blocked := make(chan struct{})
+	go func() {
+		p.Read(func() {})
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("pooled read ran during handle-held write")
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.Unlock()
+	<-blocked
+}
+
+func TestNewPooledBadKind(t *testing.T) {
+	if _, err := ollock.NewPooled("bogus", 4); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewPooledDefaultSize(t *testing.T) {
+	p, err := ollock.NewPooled(ollock.Central, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Read(func() {})
+	p.Write(func() {})
+}
