@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fig5 fig5-plot fig5-real fairness stress clean
+.PHONY: all build test race bench bench-json fig5 fig5-plot fig5-real fairness stress clean
 
 all: build test
 
@@ -20,6 +20,11 @@ race:
 # micro-benchmarks, ablations).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable BRAVO read-ratio sweep on the simulated T5440
+# (biased vs unbiased, mean of 3 seeded runs; deterministic).
+bench-json:
+	$(GO) run ./cmd/benchbravo -runs 3 -out BENCH_bravo.json
 
 # Regenerate the paper's Figure 5 on the simulated T5440.
 fig5:

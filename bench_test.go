@@ -100,6 +100,66 @@ func BenchmarkSimFig5(b *testing.B) {
 	}
 }
 
+// BenchmarkBravoSweep compares a BRAVO-wrapped lock against its
+// unwrapped base with real goroutines across the Figure 5 read ratios.
+// The interesting column is acq/s of bravo-* vs its base at r100/r99.
+func BenchmarkBravoSweep(b *testing.B) {
+	const threads = 8
+	for _, p := range fig5Panels {
+		for _, name := range []string{"goll", "roll", "bravo-goll", "bravo-roll"} {
+			impl := locksuite.ByName(name)
+			if impl == nil {
+				b.Fatalf("no lock %q", name)
+			}
+			ops := 4000
+			if p.frac <= 0.5 {
+				ops = 1000
+			}
+			b.Run(fmt.Sprintf("%s/%s/t%d", p.panel, name, threads), func(b *testing.B) {
+				var last harness.Result
+				for i := 0; i < b.N; i++ {
+					last = harness.Run(harness.Config{
+						Impl:         *impl,
+						Threads:      threads,
+						ReadFraction: p.frac,
+						OpsPerThread: ops,
+						Runs:         1,
+						Seed:         uint64(42 + i),
+					})
+				}
+				b.ReportMetric(last.Throughput, "acq/s")
+				b.ReportMetric(0, "ns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSimBravoSweep is the simulated-T5440 version of
+// BenchmarkBravoSweep, at on-chip and full-machine thread counts. The
+// same sweep with per-run counters and JSON output is available via
+// `make bench-json` (cmd/benchbravo).
+func BenchmarkSimBravoSweep(b *testing.B) {
+	threadCounts := []int{64, 256}
+	for _, p := range fig5Panels {
+		for _, name := range []string{"goll", "roll", "bravo-goll", "bravo-roll"} {
+			f := simlock.ByName(name)
+			if f == nil {
+				b.Fatalf("no sim lock %q", name)
+			}
+			for _, threads := range threadCounts {
+				b.Run(fmt.Sprintf("%s/%s/t%d", p.panel, name, threads), func(b *testing.B) {
+					var last simlock.Result
+					for i := 0; i < b.N; i++ {
+						last = simlock.RunExperiment(*f, sim.T5440(), threads, p.frac, 80, uint64(42+i))
+					}
+					b.ReportMetric(last.Throughput, "sim-acq/s")
+					b.ReportMetric(last.RemoteFraction*100, "remote%")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkUncontended measures the single-thread acquire+release latency
 // of every lock in the module — the "overhead in the absence of
 // contention" the paper's C-SNZI design keeps small (§1).

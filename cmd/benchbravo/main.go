@@ -1,0 +1,137 @@
+// Command benchbravo runs the BRAVO read-ratio sweep on the simulated
+// T5440 and emits a machine-readable JSON series — the perf-trajectory
+// artifact behind `make bench-json` (BENCH_bravo.json).
+//
+// For each base lock (goll, roll) it measures the bravo-wrapped and
+// unwrapped variants at every read percentage of the paper's Figure 5
+// (100/99/95/80/50/0), averaging over -runs seeded runs (default 3, the
+// paper's methodology). Runs are deterministic for a given seed, so the
+// JSON is reproducible bit-for-bit on any host.
+//
+// Usage:
+//
+//	benchbravo [-threads 64,256] [-ops N] [-runs N] [-seed N] [-out FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ollock/internal/sim"
+	"ollock/internal/sim/simlock"
+)
+
+// Series is one measured (lock, threads, read-ratio) point, with its
+// unwrapped base alongside so the wrapper's effect is self-contained.
+type Series struct {
+	Lock             string  `json:"lock"`
+	Base             string  `json:"base"`
+	Threads          int     `json:"threads"`
+	ReadFraction     float64 `json:"read_fraction"`
+	Runs             int     `json:"runs"`
+	Throughput       float64 `json:"throughput_acq_per_s"`
+	BaseThroughput   float64 `json:"base_throughput_acq_per_s"`
+	Speedup          float64 `json:"speedup"`
+	FastReadFraction float64 `json:"fast_read_fraction"`
+	Revocations      int64   `json:"revocations"`
+}
+
+// Output is the BENCH_bravo.json document.
+type Output struct {
+	Tool    string   `json:"tool"`
+	Machine string   `json:"machine"`
+	Ops     int      `json:"ops_per_thread"`
+	Seed    uint64   `json:"seed"`
+	Series  []Series `json:"series"`
+}
+
+var readFractions = []float64{1.00, 0.99, 0.95, 0.80, 0.50, 0.00}
+
+func main() {
+	threadsFlag := flag.String("threads", "64,256", "comma-separated simulated thread counts")
+	ops := flag.Int("ops", 120, "acquisitions per simulated thread")
+	runs := flag.Int("runs", 3, "seeded runs to average (paper uses 3)")
+	seed := flag.Uint64("seed", 42, "base PRNG seed")
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbravo:", err)
+		os.Exit(2)
+	}
+
+	doc := Output{Tool: "benchbravo", Machine: "sim-T5440", Ops: *ops, Seed: *seed}
+	for _, baseName := range []string{"goll", "roll"} {
+		base := simlock.ByName(baseName)
+		wrapped := simlock.ByName("bravo-" + baseName)
+		if base == nil || wrapped == nil {
+			fmt.Fprintf(os.Stderr, "benchbravo: missing factory for %s\n", baseName)
+			os.Exit(1)
+		}
+		for _, n := range threads {
+			for _, frac := range readFractions {
+				s := Series{
+					Lock: wrapped.Name, Base: base.Name,
+					Threads: n, ReadFraction: frac, Runs: *runs,
+				}
+				var fast, slow, revs int64
+				for r := 0; r < *runs; r++ {
+					runSeed := *seed + uint64(r)
+					// Re-create the wrapped lock per run to read its
+					// counters.
+					m := simlock.RunInstrumented(*wrapped, sim.T5440(), n, frac, *ops, runSeed)
+					s.Throughput += m.Result.Throughput
+					fast += m.FastReads
+					slow += m.SlowReads
+					revs += m.Revocations
+					b := simlock.RunExperiment(*base, sim.T5440(), n, frac, *ops, runSeed)
+					s.BaseThroughput += b.Throughput
+				}
+				s.Throughput /= float64(*runs)
+				s.BaseThroughput /= float64(*runs)
+				if s.BaseThroughput > 0 {
+					s.Speedup = s.Throughput / s.BaseThroughput
+				}
+				if fast+slow > 0 {
+					s.FastReadFraction = float64(fast) / float64(fast+slow)
+				}
+				s.Revocations = revs / int64(*runs)
+				doc.Series = append(doc.Series, s)
+				fmt.Fprintf(os.Stderr, "%-11s t=%-4d read%%=%-5.1f %.3e vs %.3e acq/s (%.2fx, fast=%.0f%%, revs=%d)\n",
+					s.Lock, n, frac*100, s.Throughput, s.BaseThroughput, s.Speedup, s.FastReadFraction*100, s.Revocations)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbravo:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbravo:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -146,17 +146,17 @@ func (b *Backoff) Pause() {
 			b.cur = defaultBackoffMin
 		}
 	}
-	max := b.Max
-	if max <= 0 {
-		max = defaultBackoffMax
+	limit := b.Max
+	if limit <= 0 {
+		limit = defaultBackoffMax
 	}
 	for i := 0; i < b.cur; i++ {
 		procYieldHint()
 	}
-	if b.cur < max {
+	if b.cur < limit {
 		b.cur *= 2
-		if b.cur > max {
-			b.cur = max
+		if b.cur > limit {
+			b.cur = limit
 		}
 	} else {
 		// Saturated: let someone else run. Required for progress when

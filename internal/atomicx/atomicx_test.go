@@ -154,6 +154,23 @@ func TestBackoffZeroValueDefaults(t *testing.T) {
 	}
 }
 
+func TestBackoffClampsNonPositiveBounds(t *testing.T) {
+	// Min <= 0 falls back to defaultBackoffMin, Max <= 0 to
+	// defaultBackoffMax; negative values must behave like the zero value,
+	// not spin backwards or cap growth at nothing.
+	b := Backoff{Min: -5, Max: -5}
+	b.Pause()
+	if b.cur != 2*defaultBackoffMin {
+		t.Fatalf("after first pause cur = %d, want %d", b.cur, 2*defaultBackoffMin)
+	}
+	for i := 0; i < 20; i++ {
+		b.Pause()
+	}
+	if b.cur != defaultBackoffMax {
+		t.Fatalf("saturated cur = %d, want default max %d", b.cur, defaultBackoffMax)
+	}
+}
+
 func TestSpinUntilImmediate(t *testing.T) {
 	calls := 0
 	SpinUntil(func() bool { calls++; return true })

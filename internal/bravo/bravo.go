@@ -1,0 +1,310 @@
+// Package bravo implements a BRAVO-style biased reader fast path over
+// any reader-writer lock in this module (Dice & Kogan, "BRAVO — Biased
+// Locking for Reader-Writer Locks", USENIX ATC 2019; see PAPERS.md).
+//
+// The wrapper composes with an existing lock rather than replacing it.
+// While a lock is in "read-biased" mode, readers skip the underlying
+// lock entirely: they publish themselves in a global visible-readers
+// table (one cache-line-padded slot per reader), re-check the bias, and
+// enter the critical section having touched no shared central state —
+// not even the C-SNZI arrival the OLL locks already make cheap. A
+// writer revokes the bias by clearing the flag and scanning the table
+// for published readers of its lock, waiting for each to drain, and
+// only then relies on the underlying lock for exclusion. Revocation is
+// expensive, so after each one the bias stays off for a window
+// proportional to the revocation cost; the window is counted in
+// slow-path read acquisitions rather than wall time, which keeps the
+// policy deterministic and lets the simulator port (internal/sim/
+// simlock) share it unchanged.
+//
+// # Soundness
+//
+// Mutual exclusion between a fast-path reader and a writer is the
+// classic Dekker-style publish/re-check protocol, relying on the
+// sequential consistency of sync/atomic operations:
+//
+//	reader: W(slot = lock); R(bias)
+//	writer: W(bias = 0);    R(slot)  [scan]
+//
+// If the reader's bias re-check observes 1, its slot write precedes the
+// writer's bias write in the total order, so the writer's subsequent
+// scan observes the slot and waits for the reader to drain. If the
+// re-check observes 0, the reader unpublishes and falls back to the
+// underlying lock, where the usual exclusion applies. The bias flag is
+// only re-armed by a slow-path reader while it holds the underlying
+// lock for reading, and only examined by a writer while it holds the
+// underlying lock for writing, so arming and revocation can never run
+// concurrently.
+package bravo
+
+import (
+	"sync/atomic"
+
+	"ollock/internal/atomicx"
+)
+
+// BaseProc is the per-goroutine view of the wrapped lock: the same
+// four-method contract every lock in this module exposes.
+type BaseProc interface {
+	RLock()
+	RUnlock()
+	Lock()
+	Unlock()
+}
+
+// Visible-readers table. One global table is shared by every biased
+// lock in the process (slots name the lock they were published for), as
+// in the BRAVO paper: sizing is then a per-process decision rather than
+// a per-lock one, and an idle lock costs nothing.
+const (
+	// tableShift sets the table to 1024 slots (128 KiB with padding).
+	// The table only needs to be large relative to the number of
+	// *concurrently published* readers, not the number of Procs;
+	// collisions are harmless (the reader falls back to the slow path).
+	tableShift = 10
+	// TableSize is the number of visible-reader slots.
+	TableSize = 1 << tableShift
+	tableMask = TableSize - 1
+	// maxProbes bounds the linear probe a reader attempts before giving
+	// up on the fast path. Bounded probing keeps the worst-case fast
+	// path O(1) while making collisions between distinct (lock, Proc)
+	// pairs mostly invisible.
+	maxProbes = 4
+)
+
+// readers is the global visible-readers table. A slot holds the *Lock a
+// fast-path reader is currently reading under, or nil.
+var readers [TableSize]atomicx.PaddedPointer[Lock]
+
+// Adaptive inhibition policy defaults.
+const (
+	// drainWeight is how many scan operations one occupied slot is
+	// charged as: draining a published reader costs an ownership
+	// transfer plus an unbounded wait, versus a read hit for an empty
+	// slot.
+	drainWeight = 16
+	// defaultMultiplier scales the revocation cost into the re-arm
+	// window (BRAVO's N; it uses N=9 over wall time, but our window is
+	// counted in slow-path reads, which are individually far more
+	// expensive than the loads of a table scan).
+	defaultMultiplier = 1
+	// inhibitBatch is how many slow-path reads a Proc accumulates
+	// locally before touching the shared inhibition counter. Batching
+	// keeps the bias-off slow path from serializing every reader on one
+	// hot word — the exact failure mode this module exists to avoid.
+	inhibitBatch = 8
+)
+
+// lockSeq distinguishes Lock instances in slot hashing; it stands in
+// for the lock's address (stable identity without unsafe).
+var lockSeq atomic.Uint64
+
+// Lock wraps an underlying reader-writer lock with the BRAVO biased
+// reader fast path. Use New, then one Proc per goroutine via NewProc.
+type Lock struct {
+	newProc func() BaseProc
+	salt    uint64
+	mult    uint64
+	ids     atomic.Int64
+	// bias is 1 while readers may use the fast path.
+	bias atomicx.PaddedUint32
+	// inhibit counts the slow-path read acquisitions that must still
+	// happen before the bias may be re-armed.
+	inhibit atomicx.PaddedUint64
+}
+
+// Option configures the wrapper.
+type Option func(*Lock)
+
+// WithInhibitMultiplier scales the post-revocation window during which
+// the read bias stays off (the paper's N; default 1). Larger values
+// revoke less often but keep read-mostly phases on the slow path
+// longer.
+func WithInhibitMultiplier(n int) Option {
+	return func(l *Lock) {
+		if n > 0 {
+			l.mult = uint64(n)
+		}
+	}
+}
+
+// New wraps the lock whose Procs newProc creates. The lock starts
+// read-biased.
+func New(newProc func() BaseProc, opts ...Option) *Lock {
+	l := &Lock{newProc: newProc, mult: defaultMultiplier}
+	for _, o := range opts {
+		o(l)
+	}
+	l.salt = mix64(lockSeq.Add(1))
+	l.bias.Store(1)
+	return l
+}
+
+// Biased reports whether the read bias is currently armed (readers may
+// attempt the fast path). Diagnostic; the answer can be stale by the
+// time it returns.
+func (l *Lock) Biased() bool { return l.bias.Load() != 0 }
+
+// InhibitRemaining reports how many slow-path read acquisitions must
+// still occur before the bias may be re-armed. Diagnostic.
+func (l *Lock) InhibitRemaining() uint64 { return l.inhibit.Load() }
+
+// Proc is the per-goroutine handle. It carries the identity that makes
+// fast-path slot assignment O(1): the home slot is computed once here,
+// not per acquisition.
+type Proc struct {
+	l    *Lock
+	base BaseProc
+	home uint64
+	// cur is the slot this Proc last published successfully, tried
+	// first on the next acquisition. Memoization makes persistent hash
+	// collisions self-resolving: two Procs sharing a home slot settle
+	// into disjoint slots instead of ping-ponging one cache line.
+	cur *atomicx.PaddedPointer[Lock]
+	// slot is the published table slot while a fast-path read is held,
+	// nil otherwise (including during slow-path reads and writes).
+	slot *atomicx.PaddedPointer[Lock]
+	// pend counts slow-path reads not yet folded into l.inhibit.
+	pend uint64
+}
+
+// NewProc registers a goroutine with the lock, creating the underlying
+// Proc and assigning the visible-readers home slot.
+func (l *Lock) NewProc() *Proc {
+	id := uint64(l.ids.Add(1)) - 1
+	home := mix64(l.salt^mix64(id+1)) & tableMask
+	return &Proc{
+		l:    l,
+		base: l.newProc(),
+		home: home,
+		cur:  &readers[home],
+	}
+}
+
+// ReadFastPath reports whether the current read acquisition took the
+// biased fast path. Only meaningful between RLock and RUnlock.
+func (p *Proc) ReadFastPath() bool { return p.slot != nil }
+
+// RLock acquires the lock for reading. While the bias is armed this is
+// the BRAVO fast path: publish in the visible-readers table, re-check
+// the bias, done — no shared central state touched. Otherwise it is the
+// underlying lock's read acquisition plus the adaptive re-arm check.
+func (p *Proc) RLock() {
+	l := p.l
+	if l.bias.Load() != 0 {
+		// Memoized slot first: after settling this CAS is on a line no
+		// other goroutine writes, so the whole fast path touches no
+		// contended memory.
+		s := p.cur
+		if !s.CompareAndSwap(nil, l) {
+			s = nil
+			for i := uint64(0); i < maxProbes; i++ {
+				cand := &readers[(p.home+i)&tableMask]
+				if cand != p.cur && cand.Load() == nil && cand.CompareAndSwap(nil, l) {
+					s = cand
+					p.cur = cand
+					break
+				}
+			}
+		}
+		if s != nil {
+			// Publication must be visible before the re-check; both
+			// are sequentially consistent atomics.
+			if l.bias.Load() != 0 {
+				p.slot = s
+				return
+			}
+			// A writer revoked between our publish and re-check:
+			// unpublish so its scan does not wait for us, and fall
+			// through to the slow path.
+			s.Store(nil)
+		}
+	}
+	p.base.RLock()
+	if l.bias.Load() == 0 {
+		p.slowReadArm()
+	}
+}
+
+// slowReadArm runs the adaptive policy on the bias-off slow path: after
+// enough slow reads have paid out the last revocation's cost, re-arm
+// the bias. The caller holds the underlying lock for reading, so no
+// writer can concurrently revoke (revocation requires the write lock).
+func (p *Proc) slowReadArm() {
+	l := p.l
+	p.pend++
+	if p.pend < inhibitBatch {
+		return
+	}
+	v := l.inhibit.Load()
+	switch {
+	case v == 0:
+		l.bias.Store(1)
+	case v <= p.pend:
+		// This batch drains the window; re-arming is (at most) one
+		// batch away.
+		l.inhibit.CompareAndSwap(v, 0)
+	default:
+		// Lossy decrement: a failed CAS means another reader made
+		// progress for us, which is all the policy needs.
+		l.inhibit.CompareAndSwap(v, v-p.pend)
+	}
+	p.pend = 0
+}
+
+// RUnlock releases a read acquisition: unpublish for a fast-path read,
+// delegate for a slow-path one.
+func (p *Proc) RUnlock() {
+	if s := p.slot; s != nil {
+		p.slot = nil
+		s.Store(nil)
+		return
+	}
+	p.base.RUnlock()
+}
+
+// Lock acquires the lock for writing: underlying write acquisition
+// first (which excludes every slow-path reader and other writer), then
+// revocation of the read bias if it is armed (which drains every
+// fast-path reader).
+func (p *Proc) Lock() {
+	p.base.Lock()
+	if p.l.bias.Load() != 0 {
+		p.l.revoke()
+	}
+}
+
+// Unlock releases a write acquisition. The bias stays off; only the
+// slow-path readers' adaptive policy re-arms it.
+func (p *Proc) Unlock() {
+	p.base.Unlock()
+}
+
+// revoke clears the read bias and waits for every published reader of
+// this lock to drain. Caller holds the underlying write lock, so no new
+// fast-path reader can succeed (the re-check fails) and nobody can
+// re-arm the bias (that requires the read lock).
+func (l *Lock) revoke() {
+	l.bias.Store(0)
+	drained := 0
+	for i := range readers {
+		s := &readers[i]
+		if s.Load() == l {
+			drained++
+			atomicx.SpinUntil(func() bool { return s.Load() != l })
+		}
+	}
+	// Charge the revocation: a full-table scan plus a drain premium per
+	// published reader, paid back by future slow-path reads before the
+	// bias may return.
+	l.inhibit.Store(uint64(TableSize+drainWeight*drained) * l.mult)
+}
+
+// mix64 is the splitmix64 finalizer, used to spread (lock, Proc) pairs
+// across the table.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

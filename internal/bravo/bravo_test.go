@@ -1,0 +1,225 @@
+package bravo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ollock/internal/central"
+	"ollock/internal/goll"
+)
+
+// newCentralBravo wraps the naive centralized lock — the simplest base,
+// so these tests exercise the wrapper, not the base.
+func newCentralBravo(opts ...Option) *Lock {
+	base := central.New()
+	return New(func() BaseProc { return base }, opts...)
+}
+
+func TestFastPathHitWhileBiased(t *testing.T) {
+	l := newCentralBravo()
+	if !l.Biased() {
+		t.Fatal("lock must start read-biased")
+	}
+	p := l.NewProc()
+	p.RLock()
+	if !p.ReadFastPath() {
+		t.Fatal("uncontended read on a biased lock did not take the fast path")
+	}
+	if readers[p.home&tableMask].Load() != l {
+		t.Fatal("fast-path read did not publish its home slot")
+	}
+	p.RUnlock()
+	if readers[p.home&tableMask].Load() == l {
+		t.Fatal("RUnlock did not unpublish the slot")
+	}
+}
+
+func TestWriterRevokesBias(t *testing.T) {
+	l := newCentralBravo()
+	p := l.NewProc()
+	p.Lock()
+	if l.Biased() {
+		t.Fatal("bias still armed while a writer holds the lock")
+	}
+	if l.InhibitRemaining() == 0 {
+		t.Fatal("revocation did not charge an inhibition window")
+	}
+	p.Unlock()
+	if l.Biased() {
+		t.Fatal("bias must stay off after write release (re-armed only by slow readers)")
+	}
+	// Reads now go the slow path until the window drains.
+	p.RLock()
+	if p.ReadFastPath() {
+		t.Fatal("read took the fast path while the bias was revoked")
+	}
+	p.RUnlock()
+}
+
+func TestSlowReadersReArmBias(t *testing.T) {
+	l := newCentralBravo()
+	p := l.NewProc()
+	p.Lock()
+	p.Unlock()
+	if l.Biased() {
+		t.Fatal("bias armed right after revocation")
+	}
+	// The window is TableSize + drainWeight*0 slow reads; drive past it.
+	limit := (TableSize + drainWeight) * 4
+	for i := 0; i < limit && !l.Biased(); i++ {
+		p.RLock()
+		p.RUnlock()
+	}
+	if !l.Biased() {
+		t.Fatalf("bias not re-armed after %d slow reads", limit)
+	}
+	p.RLock()
+	if !p.ReadFastPath() {
+		t.Fatal("read after re-arm did not take the fast path")
+	}
+	p.RUnlock()
+}
+
+func TestInhibitMultiplierScalesWindow(t *testing.T) {
+	a := newCentralBravo()
+	b := newCentralBravo(WithInhibitMultiplier(7))
+	pa, pb := a.NewProc(), b.NewProc()
+	pa.Lock()
+	pa.Unlock()
+	pb.Lock()
+	pb.Unlock()
+	if got, want := b.InhibitRemaining(), 7*a.InhibitRemaining(); got != want {
+		t.Fatalf("multiplier-7 window = %d, want %d", got, want)
+	}
+}
+
+func TestCollisionFallsBackToSlowPath(t *testing.T) {
+	l := newCentralBravo()
+	p := l.NewProc()
+	// Occupy the proc's entire probe window with a foreign lock.
+	other := newCentralBravo()
+	for i := uint64(0); i < maxProbes; i++ {
+		readers[(p.home+i)&tableMask].Store(other)
+	}
+	defer func() {
+		for i := uint64(0); i < maxProbes; i++ {
+			readers[(p.home+i)&tableMask].Store(nil)
+		}
+	}()
+	p.RLock()
+	if p.ReadFastPath() {
+		t.Fatal("read claimed the fast path with every probe slot occupied")
+	}
+	if !l.Biased() {
+		t.Fatal("collision fallback must not disturb the bias")
+	}
+	p.RUnlock()
+}
+
+// TestRevocationDrainsPublishedReader pins the core soundness property:
+// a writer's Lock must not return while a fast-path reader is still
+// inside its critical section.
+func TestRevocationDrainsPublishedReader(t *testing.T) {
+	l := newCentralBravo()
+	r := l.NewProc()
+	w := l.NewProc()
+	r.RLock()
+	if !r.ReadFastPath() {
+		t.Fatal("setup: reader not on fast path")
+	}
+	inCS := make(chan struct{})
+	wDone := make(chan struct{})
+	go func() {
+		w.Lock()
+		close(inCS)
+		w.Unlock()
+		close(wDone)
+	}()
+	select {
+	case <-inCS:
+		t.Fatal("writer entered while a fast-path reader held the lock")
+	default:
+	}
+	// Give the writer a moment to start revoking, then drain.
+	for i := 0; i < 1000; i++ {
+		if !l.Biased() {
+			break
+		}
+	}
+	select {
+	case <-inCS:
+		t.Fatal("writer entered while a fast-path reader held the lock")
+	default:
+	}
+	r.RUnlock()
+	<-wDone
+}
+
+// TestExclusionUnderChurn hammers the wrapper with a read-heavy mix and
+// verifies the exclusion invariant while the bias is repeatedly revoked
+// and re-armed — the wrapper's whole state machine in motion.
+func TestExclusionUnderChurn(t *testing.T) {
+	base := goll.New()
+	l := New(func() BaseProc { return base.NewProc() })
+	const goroutines = 8
+	iters := 3000
+	if testing.Short() {
+		iters = 800
+	}
+	var readersIn, writersIn, violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := l.NewProc()
+			for i := 0; i < iters; i++ {
+				if (i+id)%16 != 0 {
+					p.RLock()
+					readersIn.Add(1)
+					if writersIn.Load() != 0 {
+						violations.Add(1)
+					}
+					readersIn.Add(-1)
+					p.RUnlock()
+				} else {
+					p.Lock()
+					if w := writersIn.Add(1); w != 1 {
+						violations.Add(1)
+					}
+					if readersIn.Load() != 0 {
+						violations.Add(1)
+					}
+					writersIn.Add(-1)
+					p.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d exclusion violations", v)
+	}
+	// The table must be fully unpublished once everyone is done.
+	for i := range readers {
+		if readers[i].Load() == l {
+			t.Fatalf("slot %d still published after all Procs released", i)
+		}
+	}
+}
+
+func TestZeroAllocFastPath(t *testing.T) {
+	l := newCentralBravo()
+	p := l.NewProc()
+	allocs := testing.AllocsPerRun(200, func() {
+		p.RLock()
+		p.RUnlock()
+	})
+	if allocs != 0 {
+		t.Fatalf("biased read fast path allocates %.1f objects per acquisition, want 0", allocs)
+	}
+	if !l.Biased() {
+		t.Fatal("bias lost during alloc test — fast path not measured")
+	}
+}

@@ -1,0 +1,78 @@
+package locksuite
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ollock/internal/bravo"
+	"ollock/internal/goll"
+)
+
+// TestBravoRevocationTorture hammers the arm/revoke cycle specifically:
+// a pack of readers stream read acquisitions (alternating fast path and
+// slow path as the bias toggles) while writers repeatedly revoke. The
+// invariant counters catch any reader admitted during a write or writer
+// admitted during reads; the low inhibition multiplier and small write
+// gap maximize the number of bias transitions per second, which is where
+// the publish/re-check and scan/drain races live.
+func TestBravoRevocationTorture(t *testing.T) {
+	const (
+		readers       = 6
+		writers       = 2
+		opsPerReader  = 4000
+		opsPerWriter  = 600
+		checkInterval = 16
+	)
+	base := goll.New()
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() })
+
+	var inRead, inWrite atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := l.NewProc()
+			for i := 0; i < opsPerReader; i++ {
+				p.RLock()
+				inRead.Add(1)
+				if inWrite.Load() != 0 {
+					violations.Add(1)
+				}
+				inRead.Add(-1)
+				p.RUnlock()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := l.NewProc()
+			for i := 0; i < opsPerWriter; i++ {
+				p.Lock()
+				inWrite.Add(1)
+				if inWrite.Load() != 1 || inRead.Load() != 0 {
+					violations.Add(1)
+				}
+				// Hold the write lock across a few scheduler points so
+				// readers pile up on the revoked slow path.
+				if i%checkInterval == 0 {
+					for j := 0; j < 8; j++ {
+						if inRead.Load() != 0 {
+							violations.Add(1)
+						}
+					}
+				}
+				inWrite.Add(-1)
+				p.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d exclusion violations during revocation torture", v)
+	}
+}

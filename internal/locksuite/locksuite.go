@@ -14,6 +14,7 @@ package locksuite
 import (
 	"sync"
 
+	"ollock/internal/bravo"
 	"ollock/internal/central"
 	"ollock/internal/foll"
 	"ollock/internal/goll"
@@ -69,6 +70,8 @@ var Locks = []Impl{
 	{Name: "hsieh", New: newHsieh},
 	{Name: "central", New: newCentral},
 	{Name: "sync.RWMutex", New: newStdRW},
+	{Name: "bravo-goll", New: newBravoGOLL},
+	{Name: "bravo-roll", New: newBravoROLL},
 }
 
 // ByName returns the implementation with the given name, or nil.
@@ -141,6 +144,18 @@ func newHsieh(maxProcs int) ProcMaker {
 func newCentral(maxProcs int) ProcMaker {
 	l := central.New()
 	return func() Proc { return l }
+}
+
+func newBravoGOLL(maxProcs int) ProcMaker {
+	base := goll.New()
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() })
+	return func() Proc { return l.NewProc() }
+}
+
+func newBravoROLL(maxProcs int) ProcMaker {
+	base := roll.New(maxProcs)
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() })
+	return func() Proc { return l.NewProc() }
 }
 
 type stdRWProc struct{ l *sync.RWMutex }

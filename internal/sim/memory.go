@@ -373,6 +373,51 @@ func (c *Ctx) SpinUntil(w *Word, pred func(uint64) bool) uint64 {
 	}
 }
 
+// LoadStream reads a batch of independent words as one streaming scan
+// and returns their values. Unlike a sequence of Load calls — which
+// charges each word a full dependent-load latency plus per-primitive
+// instruction cost, the right model for pointer-chasing — LoadStream
+// models the memory-level parallelism of scanning a contiguous array:
+// the individual misses overlap, so the scan is charged the single
+// worst transfer latency plus one issue cycle per word. Coherence
+// metadata is updated per word exactly as for Load.
+//
+// It exists for bulk scans over arrays of hot words (e.g. the BRAVO
+// revocation scan over the visible-readers table); algorithms must not
+// use it for loads whose addresses depend on prior results.
+func (c *Ctx) LoadStream(ws []*Word) []uint64 {
+	c.sync()
+	t := c.t
+	var worst int64
+	out := make([]uint64, len(ws))
+	for i, w := range ws {
+		t.accesses++
+		var cost int64
+		if int(w.ownerCore) == t.core || w.sharerHas(t.core) {
+			cost = c.m.hitCost(w, t)
+		} else {
+			d := c.m.coreDistance(int(w.lastWriterCore), t)
+			cost = c.m.distCost(d)
+			if d == distRemote {
+				t.remote++
+			}
+		}
+		if cost > worst {
+			worst = cost
+		}
+		if w.ownerCore >= 0 && int(w.ownerCore) != t.core {
+			w.sharerAdd(int(w.ownerCore))
+			w.ownerCore = -1
+		}
+		w.sharerAdd(t.core)
+		w.lastToucher = int32(t.id)
+		out[i] = w.val
+		c.emit(EvLoad, w, w.val)
+	}
+	t.clock += worst + int64(len(ws))
+	return out
+}
+
 // Work advances the thread's clock by the given number of cycles of
 // purely local computation.
 func (c *Ctx) Work(cycles int64) {

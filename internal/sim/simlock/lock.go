@@ -29,8 +29,8 @@ type Factory struct {
 
 // Locks enumerates the simulated implementations: the five locks of the
 // paper's Figure 5, plus the MCS fair reader-writer lock, the
-// Hsieh–Weihl lock, and the naive centralized lock as additional
-// reference points.
+// Hsieh–Weihl lock, the naive centralized lock as additional reference
+// points, and the BRAVO-biased wrappers over the GOLL and ROLL locks.
 var Locks = []Factory{
 	{Name: "goll", New: func(m *sim.Machine, n int) Lock { return NewGOLL(m, n) }},
 	{Name: "foll", New: func(m *sim.Machine, n int) Lock { return NewFOLL(m, n) }},
@@ -40,6 +40,8 @@ var Locks = []Factory{
 	{Name: "mcs-rw", New: func(m *sim.Machine, n int) Lock { return NewMCSRW(m, n) }},
 	{Name: "hsieh", New: func(m *sim.Machine, n int) Lock { return NewHsieh(m, n) }},
 	{Name: "central", New: func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
+	{Name: "bravo-goll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewGOLL(m, n)) }},
+	{Name: "bravo-roll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewROLL(m, n)) }},
 }
 
 // ByName returns the factory with the given name, or nil.

@@ -61,6 +61,41 @@ func RunExperiment(f Factory, mcfg sim.Config, threads int, readFraction float64
 
 // RunConfigured executes a fully-specified experiment.
 func RunConfigured(e Experiment) Result {
+	res, _ := runConfiguredOn(e)
+	return res
+}
+
+// InstrumentedResult extends Result with the BRAVO wrapper's fast-path
+// accounting (zero for unwrapped locks).
+type InstrumentedResult struct {
+	Result
+	// FastReads / SlowReads split read acquisitions by path taken.
+	FastReads, SlowReads int64
+	// Revocations counts writer-side bias revocations.
+	Revocations int64
+}
+
+// RunInstrumented is RunExperiment plus the wrapper counters, for
+// quantifying how often the biased fast path actually hit.
+func RunInstrumented(f Factory, mcfg sim.Config, threads int, readFraction float64, opsPerThread int, seed uint64) InstrumentedResult {
+	res, l := runConfiguredOn(Experiment{
+		Factory:      f,
+		Machine:      mcfg,
+		Threads:      threads,
+		ReadFraction: readFraction,
+		OpsPerThread: opsPerThread,
+		Seed:         seed,
+	})
+	out := InstrumentedResult{Result: res}
+	if b, ok := l.(*Bravo); ok {
+		out.FastReads, out.SlowReads, out.Revocations = b.FastReads, b.SlowReads, b.Revocations
+	}
+	return out
+}
+
+// runConfiguredOn executes the experiment and additionally returns the
+// lock instance, so instrumented callers can read its counters.
+func runConfiguredOn(e Experiment) (Result, Lock) {
 	f, mcfg, threads := e.Factory, e.Machine, e.Threads
 	readFraction, opsPerThread, seed := e.ReadFraction, e.OpsPerThread, e.Seed
 	if threads <= 0 || opsPerThread <= 0 {
@@ -71,11 +106,15 @@ func RunConfigured(e Experiment) Result {
 	// With burstiness b and target write fraction w, the two-state
 	// Markov chain's write->write probability is b and its read->write
 	// probability solves the stationary equation w = pRW/(pRW+1-b).
+	// With burstiness 0 the mix is i.i.d.: both transition probabilities
+	// equal the write fraction (pWW=0 would instead force a read after
+	// every write — an anti-bursty chain that skews the realized mix).
 	writeFrac := 1 - readFraction
-	pWW := e.WriteBurstiness
+	pWW := writeFrac
 	pRW := writeFrac
-	if pWW > 0 && writeFrac < 1 && writeFrac > 0 {
-		pRW = writeFrac * (1 - pWW) / (1 - writeFrac)
+	if b := e.WriteBurstiness; b > 0 && writeFrac < 1 && writeFrac > 0 {
+		pWW = b
+		pRW = writeFrac * (1 - b) / (1 - writeFrac)
 		if pRW > 1 {
 			pRW = 1
 		}
@@ -130,7 +169,7 @@ func RunConfigured(e Experiment) Result {
 	if accesses > 0 {
 		res.RemoteFraction = float64(remote) / float64(accesses)
 	}
-	return res
+	return res, l
 }
 
 // CheckResult reports the invariant check of VerifyExclusion.

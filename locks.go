@@ -1,6 +1,7 @@
 package ollock
 
 import (
+	"ollock/internal/bravo"
 	"ollock/internal/central"
 	"ollock/internal/csnzi"
 	"ollock/internal/foll"
@@ -280,6 +281,56 @@ func (p *HsiehProc) Lock() { p.p.Lock() }
 
 // Unlock releases a write acquisition.
 func (p *HsiehProc) Unlock() { p.p.Unlock() }
+
+// --- BRAVO biased wrapper ---
+
+// BravoLock wraps any lock from this package with the BRAVO biased
+// reader fast path (Dice & Kogan, ATC '19): while read-biased, readers
+// publish in a global visible-readers table and skip the underlying lock
+// entirely; a writer revokes the bias and drains published readers
+// before relying on the underlying lock for exclusion. Create one with
+// WrapBias or via New(kind, n, WithBias()).
+type BravoLock struct{ l *bravo.Lock }
+
+// WrapBias wraps base with the BRAVO biased reader fast path.
+func WrapBias(base Lock) *BravoLock { return wrapBias(base, 0) }
+
+func wrapBias(base Lock, mult int) *BravoLock {
+	var opts []bravo.Option
+	if mult > 0 {
+		opts = append(opts, bravo.WithInhibitMultiplier(mult))
+	}
+	return &BravoLock{l: bravo.New(func() bravo.BaseProc { return base.NewProc() }, opts...)}
+}
+
+// Biased reports whether the read bias is currently armed. Diagnostic;
+// the answer can be stale by the time it returns.
+func (l *BravoLock) Biased() bool { return l.l.Biased() }
+
+// BravoProc is the per-goroutine handle of a BravoLock.
+type BravoProc struct{ p *bravo.Proc }
+
+// NewProc returns a handle for the calling goroutine (subject to the
+// underlying lock's participant limit, if any).
+func (l *BravoLock) NewProc() Proc { return &BravoProc{p: l.l.NewProc()} }
+
+// RLock acquires the lock for reading, via the biased fast path when the
+// read bias is armed.
+func (p *BravoProc) RLock() { p.p.RLock() }
+
+// RUnlock releases a read acquisition.
+func (p *BravoProc) RUnlock() { p.p.RUnlock() }
+
+// Lock acquires the lock for writing, revoking the read bias first if it
+// is armed.
+func (p *BravoProc) Lock() { p.p.Lock() }
+
+// Unlock releases a write acquisition.
+func (p *BravoProc) Unlock() { p.p.Unlock() }
+
+// ReadFastPath reports whether the current read acquisition took the
+// biased fast path. Only meaningful between RLock and RUnlock.
+func (p *BravoProc) ReadFastPath() bool { return p.p.ReadFastPath() }
 
 // --- Centralized ---
 

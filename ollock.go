@@ -99,44 +99,92 @@ const (
 	Hsieh Kind = "hsieh"
 	// Central is a naive centralized counter+flag lock.
 	Central Kind = "central"
+	// KindBravoGOLL is GOLL wrapped with the BRAVO biased reader fast
+	// path (equivalent to New(GOLL, n, WithBias())).
+	KindBravoGOLL Kind = "bravo-goll"
+	// KindBravoROLL is ROLL wrapped with the BRAVO biased reader fast
+	// path (equivalent to New(ROLL, n, WithBias())).
+	KindBravoROLL Kind = "bravo-roll"
 )
 
 // Kinds lists every available lock kind, OLL locks first.
 func Kinds() []Kind {
-	return []Kind{GOLL, FOLL, ROLL, KSUH, MCSRW, Solaris, Hsieh, Central}
+	return []Kind{GOLL, FOLL, ROLL, KSUH, MCSRW, Solaris, Hsieh, Central, KindBravoGOLL, KindBravoROLL}
+}
+
+// Option configures New.
+type Option func(*newConfig)
+
+type newConfig struct {
+	bias     bool
+	biasMult int
+}
+
+// WithBias wraps the created lock with the BRAVO biased reader fast path
+// (see BravoLock): while the lock is read-biased, readers bypass the
+// underlying lock entirely via a visible-readers table, and writers
+// revoke the bias before entering. Worth enabling for read-dominated
+// workloads; see README.md for the trade-off discussion.
+func WithBias() Option {
+	return func(c *newConfig) { c.bias = true }
+}
+
+// WithBiasMultiplier is WithBias with the post-revocation inhibition
+// window scaled by n (the BRAVO paper's N parameter; default 1). Larger
+// values revoke less often under mixed workloads at the price of keeping
+// read-mostly phases on the slow path longer.
+func WithBiasMultiplier(n int) Option {
+	return func(c *newConfig) {
+		c.bias = true
+		c.biasMult = n
+	}
 }
 
 // New creates a lock of the given kind sized for maxProcs participating
 // goroutines. GOLL, KSUH, MCSRW, Solaris and Central ignore maxProcs
 // (they have no fixed capacity); FOLL, ROLL and Hsieh panic if more than
-// maxProcs Procs are created.
-func New(kind Kind, maxProcs int) (Lock, error) {
+// maxProcs Procs are created. Options apply to any kind: WithBias wraps
+// the result in the BRAVO biased reader fast path.
+func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
+	var cfg newConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var base Lock
 	switch kind {
 	case GOLL:
-		return NewGOLL(), nil
+		base = NewGOLL()
 	case FOLL:
-		return NewFOLL(maxProcs), nil
+		base = NewFOLL(maxProcs)
 	case ROLL:
-		return NewROLL(maxProcs), nil
+		base = NewROLL(maxProcs)
 	case KSUH:
-		return NewKSUH(), nil
+		base = NewKSUH()
 	case MCSRW:
-		return NewMCSRW(), nil
+		base = NewMCSRW()
 	case Solaris:
-		return NewSolaris(), nil
+		base = NewSolaris()
 	case Hsieh:
-		return NewHsieh(maxProcs), nil
+		base = NewHsieh(maxProcs)
 	case Central:
-		return NewCentral(), nil
+		base = NewCentral()
+	case KindBravoGOLL:
+		base, cfg.bias = NewGOLL(), true
+	case KindBravoROLL:
+		base, cfg.bias = NewROLL(maxProcs), true
 	default:
 		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
 	}
+	if cfg.bias {
+		return wrapBias(base, cfg.biasMult), nil
+	}
+	return base, nil
 }
 
 // MustNew is New, panicking on error; convenient for tables of kinds
 // known at compile time.
-func MustNew(kind Kind, maxProcs int) Lock {
-	l, err := New(kind, maxProcs)
+func MustNew(kind Kind, maxProcs int, opts ...Option) Lock {
+	l, err := New(kind, maxProcs, opts...)
 	if err != nil {
 		panic(err)
 	}

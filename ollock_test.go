@@ -43,8 +43,44 @@ func TestMustNewPanicsOnUnknown(t *testing.T) {
 }
 
 func TestKindsCoverNew(t *testing.T) {
-	if len(ollock.Kinds()) != 8 {
-		t.Fatalf("Kinds() has %d entries, want 8", len(ollock.Kinds()))
+	if len(ollock.Kinds()) != 10 {
+		t.Fatalf("Kinds() has %d entries, want 10", len(ollock.Kinds()))
+	}
+}
+
+func TestWithBiasWrapsAnyKind(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.Central} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			l := ollock.MustNew(kind, 4, ollock.WithBias())
+			bl, ok := l.(*ollock.BravoLock)
+			if !ok {
+				t.Fatalf("WithBias returned %T, want *BravoLock", l)
+			}
+			if !bl.Biased() {
+				t.Fatal("new biased lock is not read-biased")
+			}
+			p := bl.NewProc().(*ollock.BravoProc)
+			p.RLock()
+			if !p.ReadFastPath() {
+				t.Fatal("first read under bias did not take the fast path")
+			}
+			p.RUnlock()
+			p.Lock()
+			p.Unlock()
+			if bl.Biased() {
+				t.Fatal("bias still armed after a write revoked it")
+			}
+		})
+	}
+}
+
+func TestBravoKindsMatchWithBias(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		l := ollock.MustNew(kind, 4)
+		if _, ok := l.(*ollock.BravoLock); !ok {
+			t.Fatalf("New(%s) returned %T, want *BravoLock", kind, l)
+		}
 	}
 }
 

@@ -48,22 +48,28 @@ func MustNewPooled(kind Kind, poolSize int) *Pooled {
 func (p *Pooled) Read(fn func()) {
 	proc := <-p.procs
 	proc.RLock()
-	defer func() {
-		proc.RUnlock()
-		p.procs <- proc
-	}()
+	// A deferred method call (not a closure) keeps the per-section cost
+	// at the channel round trip; the defer still releases on panic.
+	defer p.releaseRead(proc)
 	fn()
+}
+
+func (p *Pooled) releaseRead(proc Proc) {
+	proc.RUnlock()
+	p.procs <- proc
 }
 
 // Write runs fn while holding the lock for writing.
 func (p *Pooled) Write(fn func()) {
 	proc := <-p.procs
 	proc.Lock()
-	defer func() {
-		proc.Unlock()
-		p.procs <- proc
-	}()
+	defer p.releaseWrite(proc)
 	fn()
+}
+
+func (p *Pooled) releaseWrite(proc Proc) {
+	proc.Unlock()
+	p.procs <- proc
 }
 
 // Underlying returns the wrapped Lock, for callers that want to mix the

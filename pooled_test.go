@@ -149,3 +149,23 @@ func TestNewPooledDefaultSize(t *testing.T) {
 	p.Read(func() {})
 	p.Write(func() {})
 }
+
+func BenchmarkPooledRead(b *testing.B) {
+	p := ollock.MustNewPooled(ollock.ROLL, 16)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Read(func() {})
+		}
+	})
+}
+
+func BenchmarkPooledWrite(b *testing.B) {
+	p := ollock.MustNewPooled(ollock.ROLL, 16)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Write(func() {})
+		}
+	})
+}
