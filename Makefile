@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fig5 fig5-plot fig5-real fairness stress clean
+.PHONY: all build test race bench bench-json bench-json-check fig5 fig5-plot fig5-real fairness stress clean
 
 all: build test
 
@@ -22,9 +22,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable BRAVO read-ratio sweep on the simulated T5440
-# (biased vs unbiased, mean of 3 seeded runs; deterministic).
+# (biased vs unbiased, mean of 3 seeded runs; deterministic). The
+# output is validated against the checked-in schema.
 bench-json:
 	$(GO) run ./cmd/benchbravo -runs 3 -out BENCH_bravo.json
+	$(GO) run ./cmd/benchcheck -schema BENCH_bravo.schema.json BENCH_bravo.json
+
+# Validate the checked-in benchmark artifact without regenerating it.
+bench-json-check:
+	$(GO) run ./cmd/benchcheck -schema BENCH_bravo.schema.json BENCH_bravo.json
 
 # Regenerate the paper's Figure 5 on the simulated T5440.
 fig5:

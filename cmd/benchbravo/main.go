@@ -38,6 +38,16 @@ type Series struct {
 	Speedup          float64 `json:"speedup"`
 	FastReadFraction float64 `json:"fast_read_fraction"`
 	Revocations      int64   `json:"revocations"`
+	// BiasArms counts slow-path bias re-arms (bravo.bias.arm), summed
+	// over runs.
+	BiasArms int64 `json:"bias_arms"`
+	// TreeArriveFraction is the share of C-SNZI arrivals diverted to
+	// the leaf tree: csnzi.arrive.tree / (tree + root). Zero when no
+	// arrival reached the underlying lock (pure fast-path regimes).
+	TreeArriveFraction float64 `json:"tree_arrive_fraction"`
+	// Counters is the lock stack's full obs counter set (csnzi.*,
+	// goll.*/roll.*, bravo.*), summed over runs.
+	Counters map[string]uint64 `json:"counters"`
 }
 
 // Output is the BENCH_bravo.json document.
@@ -80,6 +90,7 @@ func main() {
 					Threads: n, ReadFraction: frac, Runs: *runs,
 				}
 				var fast, slow, revs int64
+				counters := map[string]uint64{}
 				for r := 0; r < *runs; r++ {
 					runSeed := *seed + uint64(r)
 					// Re-create the wrapped lock per run to read its
@@ -89,8 +100,16 @@ func main() {
 					fast += m.FastReads
 					slow += m.SlowReads
 					revs += m.Revocations
+					for k, v := range m.Snapshot.Counters {
+						counters[k] += v
+					}
 					b := simlock.RunExperiment(*base, sim.T5440(), n, frac, *ops, runSeed)
 					s.BaseThroughput += b.Throughput
+				}
+				s.Counters = counters
+				s.BiasArms = int64(counters["bravo.bias.arm"])
+				if tot := counters["csnzi.arrive.tree"] + counters["csnzi.arrive.root"]; tot > 0 {
+					s.TreeArriveFraction = float64(counters["csnzi.arrive.tree"]) / float64(tot)
 				}
 				s.Throughput /= float64(*runs)
 				s.BaseThroughput /= float64(*runs)

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ollock/internal/jsonschema"
+)
+
+// TestCheckedInJSONMatchesSchema pins the checked-in BENCH_bravo.json
+// to the checked-in schema, so regenerating the artifact with a changed
+// field set (or editing the schema without regenerating) fails
+// `go test ./...` — the same check CI applies to a freshly generated
+// file via cmd/benchcheck.
+func TestCheckedInJSONMatchesSchema(t *testing.T) {
+	rawSchema, err := os.ReadFile("../../BENCH_bravo.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema jsonschema.Schema
+	if err := json.Unmarshal(rawSchema, &schema); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("../../BENCH_bravo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonschema.ValidateBytes(&schema, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeriesMarshalMatchesSchema validates a Series marshalled from the
+// Go struct itself, catching a schema/struct drift even when
+// BENCH_bravo.json is stale.
+func TestSeriesMarshalMatchesSchema(t *testing.T) {
+	rawSchema, err := os.ReadFile("../../BENCH_bravo.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema jsonschema.Schema
+	if err := json.Unmarshal(rawSchema, &schema); err != nil {
+		t.Fatal(err)
+	}
+	doc := Output{
+		Tool: "benchbravo", Machine: "sim-T5440", Ops: 1, Seed: 1,
+		Series: []Series{{
+			Lock: "bravo-goll", Base: "goll", Threads: 1, ReadFraction: 1, Runs: 1,
+			Counters: map[string]uint64{"csnzi.arrive.root": 1},
+		}},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonschema.ValidateBytes(&schema, raw); err != nil {
+		t.Fatal(err)
+	}
+}

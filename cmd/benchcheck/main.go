@@ -1,0 +1,57 @@
+// Command benchcheck validates machine-readable benchmark artifacts
+// against a checked-in JSON schema (internal/jsonschema). CI runs it
+// after `make bench-json` so a field renamed or dropped in cmd/benchbravo
+// fails the build instead of silently breaking downstream consumers.
+//
+// Usage:
+//
+//	benchcheck -schema BENCH_bravo.schema.json FILE...
+//
+// Exits 0 when every file conforms, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ollock/internal/jsonschema"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "BENCH_bravo.schema.json", "schema file to validate against")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck -schema SCHEMA FILE...")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	var schema jsonschema.Schema
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *schemaPath, err)
+		os.Exit(1)
+	}
+
+	fail := false
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err == nil {
+			err = jsonschema.ValidateBytes(&schema, doc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			fail = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

@@ -76,8 +76,9 @@ func main() {
 				OpsPerThread: *ops / 5,
 				Seed:         *seed,
 			})
-			fmt.Printf("%-14s   latency: read mean %v max %v | write mean %v max %v\n",
-				"", lr.Read.Mean, lr.Read.Max, lr.Write.Mean, lr.Write.Max)
+			fmt.Printf("%-14s   latency: read mean %v p50 %v p99 %v max %v | write mean %v p50 %v p99 %v max %v\n",
+				"", lr.Read.Mean, lr.Read.P50, lr.Read.P99, lr.Read.Max,
+				lr.Write.Mean, lr.Write.P50, lr.Write.P99, lr.Write.Max)
 		}
 	}
 	if failed {

@@ -39,12 +39,13 @@ func main() {
 	fmt.Printf("Acquisition latency (cycles), simulated T5440, %.0f%% reads\n\n", *readPct)
 	for _, n := range threads {
 		fmt.Printf("threads = %d\n", n)
-		fmt.Printf("  %-9s %14s %14s %14s %14s %14s\n",
-			"lock", "read mean", "read max", "write mean", "write max", "acq/s")
+		fmt.Printf("  %-9s %12s %12s %12s %12s %12s %12s %12s\n",
+			"lock", "read mean", "read p99", "read max", "write mean", "write p99", "write max", "acq/s")
 		for _, f := range simlock.Figure5Locks() {
 			r := simlock.RunLatencyExperiment(f, sim.T5440(), n, *readPct/100, *ops, *seed)
-			fmt.Printf("  %-9s %14.0f %14d %14.0f %14d %14.3e\n",
-				f.Name, r.Read.Mean, r.Read.Max, r.Write.Mean, r.Write.Max, r.Throughput)
+			fmt.Printf("  %-9s %12.0f %12d %12d %12.0f %12d %12d %12.3e\n",
+				f.Name, r.Read.Mean, r.Read.P99, r.Read.Max,
+				r.Write.Mean, r.Write.P99, r.Write.Max, r.Throughput)
 		}
 		fmt.Println()
 	}

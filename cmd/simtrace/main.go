@@ -9,13 +9,17 @@
 //	simtrace [-lock roll] [-threads 3] [-ops 2] [-readpct 50]
 //	         [-seed 1] [-max 400]
 //
-// Output columns: virtual time, thread, event, word id, value.
+// Output columns: virtual time, thread, event, word id, value. After
+// the trace the command prints the lock's obs counters (for
+// instrumented kinds) and exits non-zero if any critical section saw
+// the reader-writer exclusion invariant violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"ollock/internal/sim"
 	"ollock/internal/sim/simlock"
@@ -60,23 +64,41 @@ func main() {
 	})
 
 	l := f.New(m, *threads)
+	// Host-side invariant counters are safe: simulated threads execute
+	// one at a time, and the Work call inside each critical section
+	// opens the interleaving window that would expose a broken lock.
+	var readers, writers, violations int
 	for i := 0; i < *threads; i++ {
 		p := l.NewProc(i)
 		rng := xrand.New(*seed + uint64(i)*977)
-		id := i
 		m.Spawn(func(c *sim.Ctx) {
 			for j := 0; j < *ops; j++ {
 				if rng.Bool(*readPct / 100) {
 					p.RLock(c)
+					readers++
+					if writers != 0 {
+						violations++
+					}
 					c.Work(10)
+					if writers != 0 {
+						violations++
+					}
+					readers--
 					p.RUnlock(c)
 				} else {
 					p.Lock(c)
+					writers++
+					if writers != 1 || readers != 0 {
+						violations++
+					}
 					c.Work(10)
+					if writers != 1 || readers != 0 {
+						violations++
+					}
+					writers--
 					p.Unlock(c)
 				}
 			}
-			_ = id
 		})
 	}
 	cycles := m.Run()
@@ -85,4 +107,25 @@ func main() {
 	}
 	fmt.Printf("done: %s, %d threads x %d ops, %d virtual cycles, %d scheduler steps, %d words\n",
 		f.Name, *threads, *ops, cycles, m.Steps(), m.Words())
+	if st := simlock.StatsOf(l); st != nil {
+		sn := st.Snapshot()
+		fmt.Println("counters:")
+		for _, name := range sn.Names() {
+			fmt.Printf("  %-24s %d\n", name, sn.Counters[name])
+		}
+		hists := make([]string, 0, len(sn.Hists))
+		for name := range sn.Hists {
+			hists = append(hists, name)
+		}
+		sort.Strings(hists)
+		for _, name := range hists {
+			h := sn.Hists[name]
+			fmt.Printf("  %-24s count=%d p50=%d p99=%d max=%d (cycles)\n",
+				name, h.Count, h.P50, h.P99, h.Max)
+		}
+	}
+	if violations != 0 {
+		fmt.Fprintf(os.Stderr, "simtrace: %d exclusion invariant violations\n", violations)
+		os.Exit(1)
+	}
 }

@@ -39,8 +39,10 @@ package bravo
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ollock/internal/atomicx"
+	"ollock/internal/obs"
 )
 
 // BaseProc is the per-goroutine view of the wrapped lock: the same
@@ -111,6 +113,10 @@ type Lock struct {
 	// inhibit counts the slow-path read acquisitions that must still
 	// happen before the bias may be re-armed.
 	inhibit atomicx.PaddedUint64
+	// stats is the optional instrumentation block (nil = off). It only
+	// covers the wrapper's own events (bravo.*); the underlying lock
+	// carries its own block if instrumented.
+	stats *obs.Stats
 }
 
 // Option configures the wrapper.
@@ -127,6 +133,12 @@ func WithInhibitMultiplier(n int) Option {
 		}
 	}
 }
+
+// WithStats attaches an instrumentation block (see internal/obs). The
+// wrapper counts fast vs. slow reads, bias arms, revocations and slot
+// collisions under bravo.*, and samples revocation drain waits into
+// the bravo.drain.wait histogram.
+func WithStats(s *obs.Stats) Option { return func(l *Lock) { l.stats = s } }
 
 // New wraps the lock whose Procs newProc creates. The lock starts
 // read-biased.
@@ -155,6 +167,7 @@ func (l *Lock) InhibitRemaining() uint64 { return l.inhibit.Load() }
 type Proc struct {
 	l    *Lock
 	base BaseProc
+	id   int
 	home uint64
 	// cur is the slot this Proc last published successfully, tried
 	// first on the next acquisition. Memoization makes persistent hash
@@ -166,6 +179,10 @@ type Proc struct {
 	slot *atomicx.PaddedPointer[Lock]
 	// pend counts slow-path reads not yet folded into l.inhibit.
 	pend uint64
+	// lc is the proc's buffered counter view (nil when the lock is
+	// uninstrumented); the read paths count through it so the shared
+	// stats cells are touched only once per obs.FlushEvery events.
+	lc *obs.Local
 }
 
 // NewProc registers a goroutine with the lock, creating the underlying
@@ -176,8 +193,10 @@ func (l *Lock) NewProc() *Proc {
 	return &Proc{
 		l:    l,
 		base: l.newProc(),
+		id:   int(id),
 		home: home,
 		cur:  &readers[home],
+		lc:   l.stats.NewLocal(int(id)),
 	}
 }
 
@@ -197,6 +216,7 @@ func (p *Proc) RLock() {
 		// contended memory.
 		s := p.cur
 		if !s.CompareAndSwap(nil, l) {
+			p.lc.Inc(obs.BravoSlotCollision)
 			s = nil
 			for i := uint64(0); i < maxProbes; i++ {
 				cand := &readers[(p.home+i)&tableMask]
@@ -212,6 +232,7 @@ func (p *Proc) RLock() {
 			// are sequentially consistent atomics.
 			if l.bias.Load() != 0 {
 				p.slot = s
+				p.lc.Inc(obs.BravoFastRead)
 				return
 			}
 			// A writer revoked between our publish and re-check:
@@ -221,6 +242,7 @@ func (p *Proc) RLock() {
 		}
 	}
 	p.base.RLock()
+	p.lc.Inc(obs.BravoSlowRead)
 	if l.bias.Load() == 0 {
 		p.slowReadArm()
 	}
@@ -240,6 +262,7 @@ func (p *Proc) slowReadArm() {
 	switch {
 	case v == 0:
 		l.bias.Store(1)
+		l.stats.Inc(obs.BravoBiasArm, p.id)
 	case v <= p.pend:
 		// This batch drains the window; re-arming is (at most) one
 		// batch away.
@@ -270,7 +293,7 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	p.base.Lock()
 	if p.l.bias.Load() != 0 {
-		p.l.revoke()
+		p.l.revoke(p.id)
 	}
 }
 
@@ -284,7 +307,15 @@ func (p *Proc) Unlock() {
 // this lock to drain. Caller holds the underlying write lock, so no new
 // fast-path reader can succeed (the re-check fails) and nobody can
 // re-arm the bias (that requires the read lock).
-func (l *Lock) revoke() {
+func (l *Lock) revoke(id int) {
+	l.stats.Inc(obs.BravoRevoke, id)
+	// Sample the drain wait only when instrumented: the clock reads are
+	// off the reader fast path, but revocation frequency is part of the
+	// policy being measured, so keep them out of the uninstrumented run.
+	var start time.Time
+	if l.stats.Enabled() {
+		start = time.Now()
+	}
 	l.bias.Store(0)
 	drained := 0
 	for i := range readers {
@@ -293,6 +324,9 @@ func (l *Lock) revoke() {
 			drained++
 			atomicx.SpinUntil(func() bool { return s.Load() != l })
 		}
+	}
+	if l.stats.Enabled() {
+		l.stats.Observe(obs.BravoDrainWait, id, time.Since(start).Nanoseconds())
 	}
 	// Charge the revocation: a full-table scan plus a drain premium per
 	// published reader, paid back by future slow-path reads before the

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
+	"ollock/internal/obs"
 )
 
 // Root word layout:
@@ -66,6 +67,9 @@ type CSNZI struct {
 	leaves  int
 	fanout  int
 	retries int
+	// stats is the optional instrumentation block (nil = off; every
+	// obs call on it is then an inlined no-op branch).
+	stats *obs.Stats
 }
 
 // node is a leaf or interior counter. parent == nil means its parent is
@@ -129,6 +133,15 @@ func WithFanout(n int) Option { return func(c *CSNZI) { c.fanout = n } }
 // policy of §2.2).
 func WithDirectRetries(n int) Option { return func(c *CSNZI) { c.retries = n } }
 
+// WithStats attaches an instrumentation block (see internal/obs);
+// the C-SNZI then counts root vs. tree arrivals, failed arrivals,
+// CAS retries, and close/open transitions under the csnzi.* names.
+func WithStats(s *obs.Stats) Option { return func(c *CSNZI) { c.stats = s } }
+
+// SetStats attaches an instrumentation block after construction. It
+// must be called before the C-SNZI is shared between goroutines.
+func (c *CSNZI) SetStats(s *obs.Stats) { c.stats = s }
+
 // DefaultLeaves is the default tree width. It is sized for tens of
 // hardware threads; widen it on bigger machines via WithLeaves.
 const DefaultLeaves = 32
@@ -174,25 +187,46 @@ func (c *CSNZI) DirectTicket() Ticket { return Ticket{direct: true} }
 // has already failed several times, or the tree count shows other
 // threads are arriving through the tree (contention was recently
 // observed), in which case arrive at this thread's leaf.
-func (c *CSNZI) Arrive(id int) Ticket {
+func (c *CSNZI) Arrive(id int) Ticket { return c.ArriveLocal(id, nil) }
+
+// ArriveLocal is Arrive with the event accounting routed through the
+// caller's per-proc buffer (obs.Local), so the arrival hot path does
+// no shared-cell atomics. A nil lc falls back to the C-SNZI's own
+// stats block (and to a no-op when that is nil too).
+func (c *CSNZI) ArriveLocal(id int, lc *obs.Local) Ticket {
 	failures := 0
 	for {
 		old := c.root.Load()
 		if isClosed(old) {
+			c.count(lc, obs.CSNZIArriveFail, id)
 			return Ticket{}
 		}
 		if c.leaves > 0 && (treeCount(old) > 0 || failures >= c.retries) {
 			leaf := c.leafFor(id)
 			if leaf.treeArrive() {
+				c.count(lc, obs.CSNZIArriveTree, id)
 				return Ticket{n: leaf}
 			}
+			c.count(lc, obs.CSNZIArriveFail, id)
 			return Ticket{}
 		}
 		if c.root.CompareAndSwap(old, old+1) {
+			c.count(lc, obs.CSNZIArriveRoot, id)
 			return Ticket{direct: true}
 		}
 		failures++
+		c.count(lc, obs.CSNZICASRetry, id)
 	}
+}
+
+// count records one event into the caller's buffer when it has one,
+// else into the C-SNZI's shared stats block.
+func (c *CSNZI) count(lc *obs.Local, e obs.Event, id int) {
+	if lc != nil {
+		lc.Inc(e)
+		return
+	}
+	c.stats.Inc(e, id)
 }
 
 // Depart decrements the surplus. It returns false iff the resulting
@@ -229,6 +263,7 @@ func (c *CSNZI) Close() bool {
 		}
 		new := old | closedBit
 		if c.root.CompareAndSwap(old, new) {
+			c.stats.Inc(obs.CSNZIClose, 0)
 			return new == closedBit
 		}
 	}
@@ -244,6 +279,7 @@ func (c *CSNZI) CloseIfEmpty() bool {
 			return false
 		}
 		if c.root.CompareAndSwap(0, closedBit) {
+			c.stats.Inc(obs.CSNZIClose, 0)
 			return true
 		}
 	}
@@ -255,6 +291,7 @@ func (c *CSNZI) Open() {
 	if w := c.root.Load(); w != closedBit {
 		panic(fmt.Sprintf("csnzi: Open on %s", describe(w)))
 	}
+	c.stats.Inc(obs.CSNZIOpen, 0)
 	c.root.Store(0)
 }
 
@@ -274,6 +311,7 @@ func (c *CSNZI) OpenWithArrivals(cnt int, close bool) {
 	if close {
 		w |= closedBit
 	}
+	c.stats.Inc(obs.CSNZIOpen, 0)
 	c.root.Store(w)
 }
 

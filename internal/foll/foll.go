@@ -27,6 +27,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/csnzi"
+	"ollock/internal/obs"
 )
 
 // Node kinds.
@@ -60,6 +61,9 @@ type RWLock struct {
 	tail  atomicx.PaddedPointer[Node]
 	ring  []Node
 	procs atomic.Int64
+	// stats is the optional instrumentation block (nil = off), shared
+	// with every ring node's C-SNZI.
+	stats *obs.Stats
 }
 
 // Proc is a per-goroutine handle. It carries the thread-local state of
@@ -72,21 +76,38 @@ type Proc struct {
 	wNode      *Node
 	departFrom *Node
 	ticket     csnzi.Ticket
+	// lc is the proc's buffered counter view (nil when the lock is
+	// uninstrumented); the read hot path counts through it so the
+	// shared stats cells are touched only once per obs.FlushEvery
+	// events.
+	lc *obs.Local
 }
+
+// Option configures the lock.
+type Option func(*RWLock)
+
+// WithStats attaches an instrumentation block (see internal/obs). The
+// lock counts group joins vs. new-node enqueues and ring-pool
+// recycling under foll.*, and shares the block with every ring node's
+// C-SNZI (csnzi.* counters, including the per-group close/open churn).
+func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
 // New returns a FOLL lock sized for maxProcs participating goroutines
 // (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
 // proves sufficient).
-func New(maxProcs int) *RWLock {
+func New(maxProcs int, opts ...Option) *RWLock {
 	if maxProcs <= 0 {
 		panic("foll: maxProcs must be positive")
 	}
 	l := &RWLock{ring: make([]Node, maxProcs)}
+	for _, o := range opts {
+		o(l)
+	}
 	for i := range l.ring {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.csnzi = csnzi.New()
+		n.csnzi = csnzi.New(csnzi.WithStats(l.stats))
 		// Fresh nodes start closed with no surplus (§4.2: "when just
 		// allocated, has a closed C-SNZI"): a node's C-SNZI is open only
 		// while the node is enqueued.
@@ -108,6 +129,7 @@ func (l *RWLock) NewProc() *Proc {
 		id:    id,
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
+		lc:    l.stats.NewLocal(id),
 	}
 }
 
@@ -155,8 +177,9 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				continue // tail changed; retry (keep rNode)
 			}
+			p.lc.Inc(obs.FOLLReadEnqueue)
 			rNode.csnzi.Open()
-			t := rNode.csnzi.Arrive(p.id)
+			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -178,9 +201,10 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				continue
 			}
+			p.lc.Inc(obs.FOLLReadEnqueue)
 			tail.qNext.Store(rNode)
 			rNode.csnzi.Open()
-			t := rNode.csnzi.Arrive(p.id)
+			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -191,8 +215,9 @@ func (p *Proc) RLock() {
 
 		default:
 			// Tail is a reader node: join it.
-			t := tail.csnzi.Arrive(p.id)
+			t := tail.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
+				p.lc.Inc(obs.FOLLReadJoin)
 				if rNode != nil {
 					freeReaderNode(rNode) // allocated but never enqueued
 				}
@@ -221,6 +246,7 @@ func (p *Proc) RUnlock() {
 	succ.spin.Store(false)
 	n.qNext.Store(nil) // clean up before recycling
 	freeReaderNode(n)
+	p.lc.Inc(obs.FOLLNodeRecycle)
 }
 
 // Lock acquires the lock for writing, exactly as in the MCS mutex except
@@ -252,6 +278,7 @@ func (p *Proc) Lock() {
 		atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
+		l.stats.Inc(obs.FOLLNodeRecycle, p.id)
 		return
 	}
 	// Readers exist: the last departer will signal us.

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"ollock/internal/csnzi"
+	"ollock/internal/obs"
 	"ollock/internal/spin"
 	"ollock/internal/waitq"
 )
@@ -35,6 +36,10 @@ type RWLock struct {
 	meta spin.Mutex
 	q    waitq.Queue
 	ids  atomic.Int64
+	// stats is the optional instrumentation block (nil = off). It is
+	// shared with the lock's C-SNZI so one Snapshot covers both
+	// layers.
+	stats *obs.Stats
 }
 
 // Proc is a per-goroutine handle carrying the Local record of the
@@ -45,6 +50,11 @@ type Proc struct {
 	id       int
 	priority int
 	ticket   csnzi.Ticket
+	// lc is the proc's buffered counter view (nil when the lock is
+	// uninstrumented); the arrival hot path counts through it so the
+	// shared stats cells are touched only once per obs.FlushEvery
+	// events.
+	lc *obs.Local
 }
 
 // SetPriority sets the scheduling priority used when this Proc has to
@@ -61,6 +71,12 @@ type Option func(*RWLock)
 // arrival policy) — used by the ablation benchmarks.
 func WithCSNZI(c *csnzi.CSNZI) Option { return func(l *RWLock) { l.cs = c } }
 
+// WithStats attaches an instrumentation block (see internal/obs). The
+// lock counts hand-offs and upgrade attempts/failures under goll.*,
+// and shares the block with its C-SNZI (csnzi.* counters), so one
+// Snapshot covers the whole acquisition path.
+func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
+
 // New returns an unlocked GOLL lock.
 func New(opts ...Option) *RWLock {
 	l := &RWLock{}
@@ -68,7 +84,9 @@ func New(opts ...Option) *RWLock {
 		o(l)
 	}
 	if l.cs == nil {
-		l.cs = csnzi.New()
+		l.cs = csnzi.New(csnzi.WithStats(l.stats))
+	} else if l.stats != nil {
+		l.cs.SetStats(l.stats)
 	}
 	return l
 }
@@ -77,7 +95,8 @@ func New(opts ...Option) *RWLock {
 // OLL locks, GOLL has no fixed capacity: any number of Procs may be
 // created.
 func (l *RWLock) NewProc() *Proc {
-	return &Proc{l: l, id: int(l.ids.Add(1)) - 1}
+	id := int(l.ids.Add(1)) - 1
+	return &Proc{l: l, id: id, lc: l.stats.NewLocal(id)}
 }
 
 // RLock acquires the lock for reading. On the conflict-free path this is
@@ -87,7 +106,7 @@ func (l *RWLock) NewProc() *Proc {
 func (p *Proc) RLock() {
 	l := p.l
 	for {
-		p.ticket = l.cs.Arrive(p.id)
+		p.ticket = l.cs.ArriveLocal(p.id, p.lc)
 		if p.ticket.Arrived() {
 			return
 		}
@@ -127,6 +146,7 @@ func (p *Proc) RUnlock() {
 		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
 	}
 	l.meta.Unlock()
+	l.stats.Inc(obs.GOLLHandoff, p.id)
 	batch.Signal()
 }
 
@@ -168,6 +188,7 @@ func (p *Proc) Unlock() {
 	// For a writer batch the C-SNZI is already closed with zero surplus
 	// (write-acquired); nothing to change.
 	l.meta.Unlock()
+	l.stats.Inc(obs.GOLLHandoff, p.id)
 	batch.Signal()
 }
 
@@ -176,7 +197,7 @@ func (p *Proc) Unlock() {
 // or waits for it (the C-SNZI is closed) — the same condition that
 // would have queued the caller.
 func (p *Proc) TryRLock() bool {
-	p.ticket = p.l.cs.Arrive(p.id)
+	p.ticket = p.l.cs.ArriveLocal(p.id, p.lc)
 	return p.ticket.Arrived()
 }
 
@@ -200,8 +221,13 @@ func (p *Proc) TryLock() bool {
 // ownership ahead of it (it will be handed the lock on our Unlock).
 func (p *Proc) TryUpgrade() bool {
 	l := p.l
+	l.stats.Inc(obs.GOLLUpgradeAttempt, p.id)
 	p.ticket = l.cs.TradeToRoot(p.ticket)
-	return l.cs.TryUpgrade()
+	if l.cs.TryUpgrade() {
+		return true
+	}
+	l.stats.Inc(obs.GOLLUpgradeFail, p.id)
+	return false
 }
 
 // Downgrade converts this Proc's write acquisition into a read
@@ -210,6 +236,7 @@ func (p *Proc) TryUpgrade() bool {
 // must subsequently release with RUnlock.
 func (p *Proc) Downgrade() {
 	l := p.l
+	l.stats.Inc(obs.GOLLDowngrade, p.id)
 	l.meta.Lock()
 	readers := l.q.TakeReaders()
 	// Surplus = us + admitted waiting readers; stays closed if writers

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ollock/internal/locksuite"
+	"ollock/internal/obs"
 	"ollock/internal/xrand"
 )
 
@@ -73,7 +74,16 @@ func Run(cfg Config) Result {
 }
 
 func oneRun(cfg Config, run uint64) float64 {
-	mk := cfg.Impl.New(cfg.Threads)
+	return oneRunOn(cfg, cfg.Impl.New(cfg.Threads), run)
+}
+
+// oneRunWith times one run against an already-constructed lock (used
+// by RunInstrumented, which needs the instance to read its counters).
+func oneRunWith(cfg Config, mk locksuite.ProcMaker) float64 {
+	return oneRunOn(cfg, mk, 0)
+}
+
+func oneRunOn(cfg Config, mk locksuite.ProcMaker, run uint64) float64 {
 	var ready, done sync.WaitGroup
 	startGate := make(chan struct{})
 	ready.Add(cfg.Threads)
@@ -106,10 +116,14 @@ func oneRun(cfg Config, run uint64) float64 {
 }
 
 // LatencyStats summarizes acquisition latency for one kind of
-// acquisition.
+// acquisition. P50 and P99 are log-bucket midpoint estimates from the
+// obs histogram (the module's one histogram implementation); Max is
+// exact.
 type LatencyStats struct {
 	Count int64
 	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
 	Max   time.Duration
 }
 
@@ -122,19 +136,21 @@ type LatencyResult struct {
 }
 
 // RunLatency executes the measurement with per-acquisition latency
-// accounting (one timestamped run; cfg.Runs is ignored).
+// accounting (one timestamped run; cfg.Runs is ignored). Each thread
+// records nanosecond samples into its own obs.Histogram (single-writer
+// by construction); the histograms are merged only after the run, so
+// the accounting adds no cross-thread coherence traffic.
 func RunLatency(cfg Config) LatencyResult {
 	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
 		panic("harness: Threads and OpsPerThread must be positive")
 	}
 	mk := cfg.Impl.New(cfg.Threads)
-	type acc struct {
-		sum, max time.Duration
-		n        int64
-		_        [4]uint64 // avoid false sharing between thread slots
+	type hist struct {
+		h obs.Histogram
+		_ [8]uint64 // keep adjacent thread slots off one cache line
 	}
-	readAcc := make([]acc, cfg.Threads)
-	writeAcc := make([]acc, cfg.Threads)
+	readH := make([]hist, cfg.Threads)
+	writeH := make([]hist, cfg.Threads)
 	var ready, done sync.WaitGroup
 	startGate := make(chan struct{})
 	ready.Add(cfg.Threads)
@@ -152,23 +168,13 @@ func RunLatency(cfg Config) LatencyResult {
 					p.RLock()
 					lat := time.Since(t0)
 					p.RUnlock()
-					a := &readAcc[id]
-					a.sum += lat
-					a.n++
-					if lat > a.max {
-						a.max = lat
-					}
+					readH[id].h.Record(lat.Nanoseconds())
 				} else {
 					t0 := time.Now()
 					p.Lock()
 					lat := time.Since(t0)
 					p.Unlock()
-					a := &writeAcc[id]
-					a.sum += lat
-					a.n++
-					if lat > a.max {
-						a.max = lat
-					}
+					writeH[id].h.Record(lat.Nanoseconds())
 				}
 			}
 		}(t)
@@ -183,23 +189,54 @@ func RunLatency(cfg Config) LatencyResult {
 	total := float64(cfg.Threads * cfg.OpsPerThread)
 	out.Throughput = total / elapsed.Seconds()
 	out.PerRun = []float64{out.Throughput}
-	fold := func(accs []acc) LatencyStats {
-		var s LatencyStats
-		var sum time.Duration
-		for i := range accs {
-			sum += accs[i].sum
-			s.Count += accs[i].n
-			if accs[i].max > s.Max {
-				s.Max = accs[i].max
-			}
+	fold := func(hs []hist) LatencyStats {
+		var m obs.Histogram
+		for i := range hs {
+			m.Merge(&hs[i].h)
 		}
+		s := LatencyStats{Count: int64(m.Count()), Max: time.Duration(m.Max())}
 		if s.Count > 0 {
-			s.Mean = sum / time.Duration(s.Count)
+			s.Mean = time.Duration(int64(m.Mean()))
+			s.P50 = time.Duration(m.Quantile(0.50))
+			s.P99 = time.Duration(m.Quantile(0.99))
 		}
 		return s
 	}
-	out.Read = fold(readAcc)
-	out.Write = fold(writeAcc)
+	out.Read = fold(readH)
+	out.Write = fold(writeH)
+	return out
+}
+
+// InstrumentedResult extends Result with the lock's internal counter
+// Snapshot (empty for kinds without instrumentation).
+type InstrumentedResult struct {
+	Result
+	Snapshot obs.Snapshot
+}
+
+// RunInstrumented executes one run with the lock's obs instrumentation
+// attached and returns its counter Snapshot alongside the throughput.
+// One lock instance serves the whole measurement (cfg.Runs is
+// ignored), so the snapshot covers exactly the reported operations.
+// Kinds without a NewStats constructor run uninstrumented and return
+// an empty snapshot.
+func RunInstrumented(cfg Config) InstrumentedResult {
+	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
+		panic("harness: Threads and OpsPerThread must be positive")
+	}
+	var mk locksuite.ProcMaker
+	var st *obs.Stats
+	if cfg.Impl.NewStats != nil {
+		mk, st = cfg.Impl.NewStats(cfg.Threads)
+	} else {
+		mk = cfg.Impl.New(cfg.Threads)
+	}
+	out := InstrumentedResult{Result: Result{Config: cfg}}
+	begin := time.Now()
+	out.PerRun = []float64{oneRunWith(cfg, mk)}
+	out.Elapsed = time.Since(begin)
+	out.Throughput = out.PerRun[0]
+	out.Snapshot = st.Snapshot()
 	return out
 }
 

@@ -1,0 +1,158 @@
+// Package jsonschema is a deliberately small JSON-Schema-subset
+// validator, just large enough to pin the shape of the machine-readable
+// benchmark artifacts (BENCH_bravo.json) in CI without pulling in a
+// dependency. It understands the draft keywords the checked-in schemas
+// use — type, required, properties, additionalProperties, items,
+// minItems, minimum, maximum, const, enum — and nothing else; unknown
+// keywords are ignored, as the spec requires.
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Schema is a parsed schema node. Decode one with encoding/json.
+type Schema struct {
+	Type                 string             `json:"type"`
+	Required             []string           `json:"required"`
+	Properties           map[string]*Schema `json:"properties"`
+	AdditionalProperties *Schema            `json:"additionalProperties"`
+	Items                *Schema            `json:"items"`
+	MinItems             *int               `json:"minItems"`
+	Minimum              *float64           `json:"minimum"`
+	Maximum              *float64           `json:"maximum"`
+	Const                any                `json:"const"`
+	Enum                 []any              `json:"enum"`
+}
+
+// Validate checks doc (a value produced by encoding/json Unmarshal into
+// any) against s and returns every violation found, each prefixed with
+// a JSON-pointer-ish path. A nil error means the document conforms.
+func Validate(s *Schema, doc any) error {
+	var errs []string
+	validate(s, doc, "$", &errs)
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("schema violations:\n  %s", strings.Join(errs, "\n  "))
+}
+
+// ValidateBytes unmarshals raw JSON and validates it.
+func ValidateBytes(s *Schema, raw []byte) error {
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	return Validate(s, doc)
+}
+
+func validate(s *Schema, doc any, path string, errs *[]string) {
+	if s == nil {
+		return
+	}
+	if s.Type != "" && !hasType(s.Type, doc) {
+		*errs = append(*errs, fmt.Sprintf("%s: got %s, want %s", path, typeName(doc), s.Type))
+		return
+	}
+	if s.Const != nil && !reflect.DeepEqual(doc, s.Const) {
+		*errs = append(*errs, fmt.Sprintf("%s: got %v, want const %v", path, doc, s.Const))
+	}
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, v := range s.Enum {
+			if reflect.DeepEqual(doc, v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			*errs = append(*errs, fmt.Sprintf("%s: %v not in enum %v", path, doc, s.Enum))
+		}
+	}
+	switch v := doc.(type) {
+	case float64:
+		if s.Minimum != nil && v < *s.Minimum {
+			*errs = append(*errs, fmt.Sprintf("%s: %v < minimum %v", path, v, *s.Minimum))
+		}
+		if s.Maximum != nil && v > *s.Maximum {
+			*errs = append(*errs, fmt.Sprintf("%s: %v > maximum %v", path, v, *s.Maximum))
+		}
+	case map[string]any:
+		for _, key := range s.Required {
+			if _, ok := v[key]; !ok {
+				*errs = append(*errs, fmt.Sprintf("%s: missing required property %q", path, key))
+			}
+		}
+		keys := make([]string, 0, len(v))
+		for key := range v {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			sub, known := s.Properties[key]
+			if known {
+				validate(sub, v[key], path+"."+key, errs)
+			} else if s.AdditionalProperties != nil {
+				validate(s.AdditionalProperties, v[key], path+"."+key, errs)
+			}
+		}
+	case []any:
+		if s.MinItems != nil && len(v) < *s.MinItems {
+			*errs = append(*errs, fmt.Sprintf("%s: %d items < minItems %d", path, len(v), *s.MinItems))
+		}
+		if s.Items != nil {
+			for i, item := range v {
+				validate(s.Items, item, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+	}
+}
+
+func hasType(want string, doc any) bool {
+	switch want {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		f, ok := doc.(float64)
+		return ok && f == math.Trunc(f)
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "null":
+		return doc == nil
+	}
+	return false
+}
+
+func typeName(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", doc)
+}

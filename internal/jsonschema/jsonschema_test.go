@@ -1,0 +1,64 @@
+package jsonschema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustSchema(t *testing.T, raw string) *Schema {
+	t.Helper()
+	var s Schema
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+func TestValidate(t *testing.T) {
+	s := mustSchema(t, `{
+		"type": "object",
+		"required": ["name", "count", "items"],
+		"properties": {
+			"name":  {"type": "string", "const": "bench"},
+			"count": {"type": "integer", "minimum": 0},
+			"frac":  {"type": "number", "minimum": 0, "maximum": 1},
+			"items": {
+				"type": "array", "minItems": 1,
+				"items": {"type": "object", "required": ["k"], "properties": {"k": {"type": "string"}}}
+			},
+			"counters": {"type": "object", "additionalProperties": {"type": "integer", "minimum": 0}}
+		}
+	}`)
+
+	good := `{"name":"bench","count":3,"frac":0.5,"items":[{"k":"a"}],"counters":{"x":1,"y":0}}`
+	if err := ValidateBytes(s, []byte(good)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+
+	for _, tc := range []struct{ doc, wantErr string }{
+		{`{"count":3,"items":[{"k":"a"}],"name":"other"}`, "want const"},
+		{`{"count":3,"items":[{"k":"a"}]}`, `missing required property "name"`},
+		{`{"name":"bench","count":-1,"items":[{"k":"a"}]}`, "minimum"},
+		{`{"name":"bench","count":1.5,"items":[{"k":"a"}]}`, "want integer"},
+		{`{"name":"bench","count":3,"frac":1.5,"items":[{"k":"a"}]}`, "maximum"},
+		{`{"name":"bench","count":3,"items":[]}`, "minItems"},
+		{`{"name":"bench","count":3,"items":[{}]}`, `missing required property "k"`},
+		{`{"name":"bench","count":3,"items":[{"k":"a"}],"counters":{"x":-2}}`, "minimum"},
+		{`[1,2]`, "want object"},
+		{`{`, "not valid JSON"},
+	} {
+		err := ValidateBytes(s, []byte(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("doc %s: error %v, want substring %q", tc.doc, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateReportsAllViolations(t *testing.T) {
+	s := mustSchema(t, `{"type":"object","required":["a","b"]}`)
+	err := ValidateBytes(s, []byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), `"a"`) || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("want both missing properties reported, got %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"ollock/internal/hsieh"
 	"ollock/internal/ksuh"
 	"ollock/internal/mcs"
+	"ollock/internal/obs"
 	"ollock/internal/roll"
 	"ollock/internal/solaris"
 )
@@ -46,6 +47,10 @@ type Impl struct {
 	// New creates a fresh lock instance sized for maxProcs goroutines
 	// and returns its ProcMaker.
 	New func(maxProcs int) ProcMaker
+	// NewStats is like New but attaches an obs instrumentation block
+	// (the same counters ollock.WithStats wires up) and returns it
+	// alongside the ProcMaker. Nil for kinds without instrumentation.
+	NewStats func(maxProcs int) (ProcMaker, *obs.Stats)
 	// Upgradable marks locks whose Proc also implements Upgrader.
 	Upgradable bool
 }
@@ -61,17 +66,17 @@ type Upgrader interface {
 // locks, the four prior-work baselines, the naive centralized lock, and
 // the standard library's RWMutex as an external reference point.
 var Locks = []Impl{
-	{Name: "goll", New: newGOLL, Upgradable: true},
-	{Name: "foll", New: newFOLL},
-	{Name: "roll", New: newROLL},
+	{Name: "goll", New: newGOLL, NewStats: newGOLLStats, Upgradable: true},
+	{Name: "foll", New: newFOLL, NewStats: newFOLLStats},
+	{Name: "roll", New: newROLL, NewStats: newROLLStats},
 	{Name: "ksuh", New: newKSUH},
 	{Name: "mcs-rw", New: newMCSRW},
 	{Name: "solaris", New: newSolaris},
 	{Name: "hsieh", New: newHsieh},
 	{Name: "central", New: newCentral},
 	{Name: "sync.RWMutex", New: newStdRW},
-	{Name: "bravo-goll", New: newBravoGOLL},
-	{Name: "bravo-roll", New: newBravoROLL},
+	{Name: "bravo-goll", New: newBravoGOLL, NewStats: newBravoGOLLStats},
+	{Name: "bravo-roll", New: newBravoROLL, NewStats: newBravoROLLStats},
 }
 
 // ByName returns the implementation with the given name, or nil.
@@ -156,6 +161,45 @@ func newBravoROLL(maxProcs int) ProcMaker {
 	base := roll.New(maxProcs)
 	l := bravo.New(func() bravo.BaseProc { return base.NewProc() })
 	return func() Proc { return l.NewProc() }
+}
+
+// --- instrumented adapters ---
+//
+// Each mirrors ollock.WithStats: one obs block per lock instance, its
+// scope set matching the facade's statScopes for that kind, shared
+// across the BRAVO wrapper and its base so one Snapshot covers the
+// whole stack.
+
+func newGOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
+	st := obs.New(obs.WithName("goll"), obs.WithScopes("csnzi", "goll"))
+	l := goll.New(goll.WithStats(st))
+	return func() Proc { return l.NewProc() }, st
+}
+
+func newFOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
+	st := obs.New(obs.WithName("foll"), obs.WithScopes("csnzi", "foll"))
+	l := foll.New(maxProcs, foll.WithStats(st))
+	return func() Proc { return l.NewProc() }, st
+}
+
+func newROLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
+	st := obs.New(obs.WithName("roll"), obs.WithScopes("csnzi", "roll"))
+	l := roll.New(maxProcs, roll.WithStats(st))
+	return func() Proc { return l.NewProc() }, st
+}
+
+func newBravoGOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
+	st := obs.New(obs.WithName("bravo-goll"), obs.WithScopes("csnzi", "goll", "bravo"))
+	base := goll.New(goll.WithStats(st))
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() }, bravo.WithStats(st))
+	return func() Proc { return l.NewProc() }, st
+}
+
+func newBravoROLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
+	st := obs.New(obs.WithName("bravo-roll"), obs.WithScopes("csnzi", "roll", "bravo"))
+	base := roll.New(maxProcs, roll.WithStats(st))
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() }, bravo.WithStats(st))
+	return func() Proc { return l.NewProc() }, st
 }
 
 type stdRWProc struct{ l *sync.RWMutex }

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of log2 buckets: bucket 0 holds values
+// <= 0, bucket b (1..64) holds values in [2^(b-1), 2^b).
+const NumBuckets = 65
+
+// bucketOf maps a sample to its log2 bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketMid returns the representative value reported for a bucket
+// (the arithmetic midpoint of its range; exact for buckets 0 and 1).
+func bucketMid(b int) int64 {
+	switch {
+	case b <= 0:
+		return 0
+	case b >= 63:
+		// 2^62.. overflows the midpoint arithmetic; saturate.
+		return math.MaxInt64
+	default:
+		lo := int64(1) << (b - 1)
+		hi := int64(1)<<b - 1
+		return (lo + hi) / 2
+	}
+}
+
+// Histogram is a single-writer log-bucketed histogram — the one
+// histogram implementation in this module, reused by the harness's
+// latency accounting and by Stats (which stripes atomic copies of the
+// same buckets). The zero value is empty and ready to use. Not safe
+// for concurrent writers; merge per-goroutine histograms instead.
+type Histogram struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     int64
+	max     int64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest recorded sample (exact, not bucketed).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of recorded samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the log-bucket midpoint estimate of the q-quantile
+// (0 < q <= 1), clamped by the exact maximum. Empty histograms return
+// 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for b, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			v := bucketMid(b)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// stripeHist is one stripe's atomic bucket array inside a Stats block:
+// the same log buckets as Histogram, written with atomic adds because
+// several proc ids can hash to one stripe.
+type stripeHist struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func (s *stripeHist) record(v int64) {
+	s.buckets[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (s *stripeHist) mergeInto(h *Histogram) {
+	for i := range s.buckets {
+		h.buckets[i] += s.buckets[i].Load()
+	}
+	h.count += s.count.Load()
+	h.sum += s.sum.Load()
+	if m := s.max.Load(); m > h.max {
+		h.max = m
+	}
+}
+
+// defaultStripes sizes the stripe count to the host's parallelism:
+// enough slots that concurrently incrementing procs rarely share a
+// padded cell, without paying for stripes the machine cannot populate.
+func defaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}

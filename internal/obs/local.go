@@ -1,0 +1,72 @@
+package obs
+
+// FlushEvery bounds how many events a Local buffers before folding
+// them into its parent's striped cells. It trades snapshot freshness
+// for hot-path cost: a Snapshot taken while procs are running can lag
+// by up to FlushEvery-1 events per proc, and the amortized shared-cell
+// cost drops by the same factor.
+const FlushEvery = 32
+
+// Local is a per-proc buffered view of a Stats block — the second
+// level of the striping story. The striped cells already keep
+// concurrent procs off each other's cache lines, but every Inc is
+// still an atomic read-modify-write; on a lock whose entire read path
+// is a handful of atomics, two more per acquisition is a measurable
+// tax. A Local moves that tax off the hot path: increments are plain
+// stores into a proc-owned array, folded into the shared cells once
+// every FlushEvery events via Stats.Add.
+//
+// A Local belongs to one proc (one goroutine at a time), exactly like
+// the lock Procs that embed it; it needs no synchronization of its
+// own. A nil *Local is valid and means "instrumentation off": Inc on
+// a nil receiver is an inlined no-op branch, preserving the
+// zero-overhead-off contract end to end.
+type Local struct {
+	parent  *Stats
+	id      int
+	n       uint32
+	pending [NumEvents]uint32
+}
+
+// NewLocal returns a per-proc buffered view of s for proc id, or nil
+// when s is nil — so uninstrumented locks hold a nil *Local and pay
+// one predictable branch per event site.
+func (s *Stats) NewLocal(id int) *Local {
+	if s == nil {
+		return nil
+	}
+	return &Local{parent: s, id: id}
+}
+
+// Inc buffers one occurrence of e. Nil receivers are no-ops. The whole
+// body stays within the inlining budget (Flush, with its loop, is
+// never inlined and is reached once per FlushEvery events), so the
+// stats-off path compiles to a compare and branch and the stats-on
+// path to two plain increments.
+func (l *Local) Inc(e Event) {
+	if l == nil {
+		return
+	}
+	l.pending[e]++
+	l.n++
+	if l.n >= FlushEvery {
+		l.Flush()
+	}
+}
+
+// Flush folds the buffered counts into the parent's striped cells.
+// Safe (and a no-op) on a nil or empty Local. Procs flush implicitly
+// every FlushEvery events; call Flush explicitly before reading a
+// Snapshot that must include this proc's tail.
+func (l *Local) Flush() {
+	if l == nil || l.n == 0 {
+		return
+	}
+	for e := range l.pending {
+		if c := l.pending[e]; c != 0 {
+			l.parent.Add(Event(e), l.id, uint64(c))
+			l.pending[e] = 0
+		}
+	}
+	l.n = 0
+}

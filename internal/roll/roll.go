@@ -34,6 +34,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/csnzi"
+	"ollock/internal/obs"
 )
 
 // Node kinds.
@@ -73,6 +74,9 @@ type RWLock struct {
 	lastReader atomicx.PaddedPointer[Node] // hint: last known waiting reader node
 	ring       []Node
 	procs      atomic.Int64
+	// stats is the optional instrumentation block (nil = off), shared
+	// with every ring node's C-SNZI.
+	stats *obs.Stats
 }
 
 // Proc is a per-goroutine handle (one outstanding acquisition at a
@@ -84,19 +88,36 @@ type Proc struct {
 	wNode      *Node
 	departFrom *Node
 	ticket     csnzi.Ticket
+	// lc is the proc's buffered counter view (nil when the lock is
+	// uninstrumented); the read hot path counts through it so the
+	// shared stats cells are touched only once per obs.FlushEvery
+	// events.
+	lc *obs.Local
 }
 
+// Option configures the lock.
+type Option func(*RWLock)
+
+// WithStats attaches an instrumentation block (see internal/obs). The
+// lock counts group joins, new-node enqueues, overtakes and lastReader
+// hint hits/misses under roll.*, and shares the block with every ring
+// node's C-SNZI (csnzi.* counters).
+func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
+
 // New returns a ROLL lock sized for maxProcs participating goroutines.
-func New(maxProcs int) *RWLock {
+func New(maxProcs int, opts ...Option) *RWLock {
 	if maxProcs <= 0 {
 		panic("roll: maxProcs must be positive")
 	}
 	l := &RWLock{ring: make([]Node, maxProcs)}
+	for _, o := range opts {
+		o(l)
+	}
 	for i := range l.ring {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.csnzi = csnzi.New()
+		n.csnzi = csnzi.New(csnzi.WithStats(l.stats))
 		n.csnzi.CloseIfEmpty() // not enqueued => closed
 	}
 	return l
@@ -113,6 +134,7 @@ func (l *RWLock) NewProc() *Proc {
 		id:    id,
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
+		lc:    l.stats.NewLocal(id),
 	}
 }
 
@@ -142,10 +164,11 @@ func (p *Proc) tryJoinWaiting(n *Node) bool {
 	if n.kind != kindReader || !n.spin.Load() {
 		return false
 	}
-	t := n.csnzi.Arrive(p.id)
+	t := n.csnzi.ArriveLocal(p.id, p.lc)
 	if !t.Arrived() {
 		return false
 	}
+	p.lc.Inc(obs.ROLLOvertake)
 	// Refresh the hint only when it actually changes: with one waiting
 	// group at a time, an unconditional store would make the hint word a
 	// globally contended line written by every joining reader.
@@ -172,8 +195,10 @@ func (p *Proc) RLock() {
 		// Fast path: the hint points at the last known waiting group.
 		if h := l.lastReader.Load(); h != nil {
 			if p.tryJoinWaiting(h) {
+				p.lc.Inc(obs.ROLLHintHit)
 				return
 			}
+			p.lc.Inc(obs.ROLLHintMiss)
 			l.lastReader.CompareAndSwap(h, nil)
 		}
 		tail := l.tail.Load()
@@ -188,8 +213,9 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				continue
 			}
+			p.lc.Inc(obs.ROLLReadEnqueue)
 			rNode.csnzi.Open()
-			t := rNode.csnzi.Arrive(p.id)
+			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -200,8 +226,9 @@ func (p *Proc) RLock() {
 
 		case tail.kind == kindReader:
 			// Tail is a reader node: join it directly (same as FOLL).
-			t := tail.csnzi.Arrive(p.id)
+			t := tail.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
+				p.lc.Inc(obs.ROLLReadJoin)
 				p.departFrom = tail
 				p.ticket = t
 				if tail.spin.Load() && l.lastReader.Load() != tail {
@@ -236,9 +263,10 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				continue
 			}
+			p.lc.Inc(obs.ROLLReadEnqueue)
 			tail.qNext.Store(rNode)
 			rNode.csnzi.Open()
-			t := rNode.csnzi.Arrive(p.id)
+			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -265,6 +293,7 @@ func (p *Proc) RUnlock() {
 	succ.spin.Store(false)
 	n.qNext.Store(nil)
 	freeReaderNode(n)
+	p.lc.Inc(obs.ROLLNodeRecycle)
 }
 
 // Lock acquires the lock for writing.
@@ -302,6 +331,7 @@ func (p *Proc) Lock() {
 		w.qPrev.Store(nil) // we are the head now
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
+		l.stats.Inc(obs.ROLLNodeRecycle, p.id)
 		return
 	}
 	atomicx.SpinUntil(func() bool { return !w.spin.Load() })

@@ -1,6 +1,7 @@
 package simlock
 
 import (
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
@@ -32,7 +33,15 @@ type Bravo struct {
 	FastReads   int64
 	SlowReads   int64
 	Revocations int64
+
+	// stats mirrors the real wrapper's bravo.* counters. When the
+	// wrapped lock carries its own obs block the wrapper adopts it (one
+	// Snapshot covers the whole stack, as in the real facade).
+	stats *obs.Stats
 }
+
+// Stats returns the wrapper's obs counter block.
+func (l *Bravo) Stats() *obs.Stats { return l.stats }
 
 // Simulated policy constants; these mirror internal/bravo.
 const (
@@ -63,6 +72,12 @@ func NewBravo(m *sim.Machine, maxProcs int, base Lock) *Bravo {
 	for i := range l.table {
 		l.table[i] = m.NewWord(0)
 	}
+	if b, ok := base.(interface{ Stats() *obs.Stats }); ok && b.Stats() != nil {
+		l.stats = b.Stats()
+		l.stats.AddScope("bravo")
+	} else {
+		l.stats = obs.New(obs.WithName("bravo"), obs.WithStripes(1), obs.WithScopes("bravo"))
+	}
 	return l
 }
 
@@ -78,6 +93,7 @@ func (l *Bravo) WithMultiplier(n int) *Bravo {
 type bravoProc struct {
 	l    *Bravo
 	base Proc
+	id   int
 	home uint64
 	// cur is the slot this proc last published successfully; trying it
 	// first lets procs whose home slots collide settle into disjoint
@@ -94,6 +110,7 @@ func (l *Bravo) NewProc(id int) Proc {
 	return &bravoProc{
 		l:    l,
 		base: l.base.NewProc(id),
+		id:   id,
 		home: home,
 		cur:  l.table[home],
 	}
@@ -106,6 +123,7 @@ func (p *bravoProc) RLock(c *sim.Ctx) {
 		// nobody else writes, so the fast path is three primitives.
 		s := p.cur
 		if !c.CAS(s, 0, 1) {
+			l.stats.Inc(obs.BravoSlotCollision, p.id)
 			s = nil
 			for i := uint64(0); i < bravoMaxProbes; i++ {
 				cand := l.table[(p.home+i)&l.mask]
@@ -120,6 +138,7 @@ func (p *bravoProc) RLock(c *sim.Ctx) {
 			if c.Load(l.bias) == 1 {
 				p.slot = s
 				l.FastReads++
+				l.stats.Inc(obs.BravoFastRead, p.id)
 				return
 			}
 			// Revocation raced with our publish: back out.
@@ -128,6 +147,7 @@ func (p *bravoProc) RLock(c *sim.Ctx) {
 	}
 	p.base.RLock(c)
 	l.SlowReads++
+	l.stats.Inc(obs.BravoSlowRead, p.id)
 	if c.Load(l.bias) == 0 {
 		p.slowReadArm(c)
 	}
@@ -148,6 +168,7 @@ func (p *bravoProc) slowReadArm(c *sim.Ctx) {
 	switch {
 	case v == 0:
 		c.Store(l.bias, 1)
+		l.stats.Inc(obs.BravoBiasArm, p.id)
 	case v <= p.pend:
 		c.CAS(l.inhibit, v, 0)
 	default:
@@ -168,7 +189,7 @@ func (p *bravoProc) RUnlock(c *sim.Ctx) {
 func (p *bravoProc) Lock(c *sim.Ctx) {
 	p.base.Lock(c)
 	if c.Load(p.l.bias) == 1 {
-		p.l.revoke(c)
+		p.l.revoke(c, p.id)
 	}
 }
 
@@ -182,7 +203,8 @@ func (p *bravoProc) Unlock(c *sim.Ctx) {
 // contiguous array sweep); any reader that publishes after the bias
 // store backs out on its re-check, so slots found empty in the snapshot
 // stay irrelevant and only the occupied ones need a drain wait.
-func (l *Bravo) revoke(c *sim.Ctx) {
+func (l *Bravo) revoke(c *sim.Ctx, id int) {
+	start := c.Now()
 	c.Store(l.bias, 0)
 	drained := 0
 	for i, v := range c.LoadStream(l.table) {
@@ -192,6 +214,10 @@ func (l *Bravo) revoke(c *sim.Ctx) {
 		}
 	}
 	l.Revocations++
+	l.stats.Inc(obs.BravoRevoke, id)
+	// Virtual cycles, where the real wrapper records nanoseconds: the
+	// histogram carries only the shape.
+	l.stats.Observe(obs.BravoDrainWait, id, c.Now()-start)
 	c.Store(l.inhibit, uint64(len(l.table)+bravoDrainWeight*drained)*l.mult)
 }
 

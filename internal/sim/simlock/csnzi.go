@@ -10,6 +10,7 @@ package simlock
 import (
 	"fmt"
 
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
@@ -85,7 +86,16 @@ type CSNZI struct {
 	// Diagnostic counters (safe as plain ints: the simulation executes
 	// one thread at a time).
 	StatRootCAS, StatNodeCAS, StatPropagate int64
+
+	// stats mirrors the real implementation's csnzi.* counters (see
+	// internal/obs). Host-side, so free in virtual time; single-striped
+	// because the simulation is single-threaded.
+	stats *obs.Stats
 }
+
+// SetStats attaches the obs counter block a containing lock shares
+// with its C-SNZIs, mirroring csnzi.CSNZI.SetStats.
+func (s *CSNZI) SetStats(st *obs.Stats) { s.stats = st }
 
 // CSNZIConfig sizes a simulated C-SNZI.
 type CSNZIConfig struct {
@@ -147,21 +157,27 @@ func (s *CSNZI) Arrive(c *sim.Ctx, id int) Ticket {
 		for {
 			old := c.Load(s.root)
 			if csClosed(old) {
+				s.stats.Inc(obs.CSNZIArriveFail, id)
 				return TicketFailed
 			}
 			s.StatRootCAS++
 			if c.CAS(s.root, old, old+1) {
+				s.stats.Inc(obs.CSNZIArriveRoot, id)
 				return TicketDirect
 			}
+			s.stats.Inc(obs.CSNZICASRetry, id)
 		}
 	}
 	if csClosed(c.Load(s.root)) {
+		s.stats.Inc(obs.CSNZIArriveFail, id)
 		return TicketFailed
 	}
 	leaf := s.leafOf[id%len(s.leafOf)]
 	if s.treeArrive(c, leaf) {
+		s.stats.Inc(obs.CSNZIArriveTree, id)
 		return Ticket(leaf)
 	}
+	s.stats.Inc(obs.CSNZIArriveFail, id)
 	return TicketFailed
 }
 
@@ -317,6 +333,7 @@ func (s *CSNZI) Close(c *sim.Ctx) bool {
 		}
 		new := old | closedBit
 		if c.CAS(s.root, old, new) {
+			s.stats.Inc(obs.CSNZIClose, 0)
 			return new == closedBit
 		}
 	}
@@ -330,6 +347,7 @@ func (s *CSNZI) CloseIfEmpty(c *sim.Ctx) bool {
 			return false
 		}
 		if c.CAS(s.root, 0, closedBit) {
+			s.stats.Inc(obs.CSNZIClose, 0)
 			return true
 		}
 	}
@@ -340,12 +358,14 @@ func (s *CSNZI) Open(c *sim.Ctx) {
 	if old := c.Load(s.root); old != closedBit {
 		panic(fmt.Sprintf("simlock: Open on root=%#x", old))
 	}
+	s.stats.Inc(obs.CSNZIOpen, 0)
 	c.Store(s.root, 0)
 }
 
 // OpenWithArrivals mirrors csnzi.CSNZI.OpenWithArrivals; the arrivals
 // are direct.
 func (s *CSNZI) OpenWithArrivals(c *sim.Ctx, cnt int, close bool) {
+	s.stats.Inc(obs.CSNZIOpen, 0)
 	w := uint64(cnt)
 	if close {
 		w |= closedBit

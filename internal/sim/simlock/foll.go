@@ -1,6 +1,7 @@
 package simlock
 
 import (
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
@@ -37,7 +38,16 @@ type FOLL struct {
 	// time). StatGroups counts reader nodes enqueued (each is one reader
 	// group); StatJoins counts readers who joined an existing node.
 	StatGroups, StatJoins int64
+
+	// stats mirrors the real lock's obs counters. The event triple is
+	// chosen by withPrev, so the ROLL embedding emits roll.* names and
+	// a plain FOLL emits foll.* — same contract as the real locks.
+	stats                        *obs.Stats
+	evJoin, evEnqueue, evRecycle obs.Event
 }
+
+// Stats returns the lock's obs counter block.
+func (l *FOLL) Stats() *obs.Stats { return l.stats }
 
 // NewFOLL allocates a FOLL lock on m with a ring of maxProcs reader
 // nodes.
@@ -47,6 +57,13 @@ func NewFOLL(m *sim.Machine, maxProcs int) *FOLL {
 
 func newFOLL(m *sim.Machine, maxProcs int, withPrev bool) *FOLL {
 	l := &FOLL{m: m, tail: m.NewWord(0), maxProcs: maxProcs, withPrev: withPrev}
+	if withPrev {
+		l.stats = obs.New(obs.WithName("roll"), obs.WithStripes(1), obs.WithScopes("csnzi", "roll"))
+		l.evJoin, l.evEnqueue, l.evRecycle = obs.ROLLReadJoin, obs.ROLLReadEnqueue, obs.ROLLNodeRecycle
+	} else {
+		l.stats = obs.New(obs.WithName("foll"), obs.WithStripes(1), obs.WithScopes("csnzi", "foll"))
+		l.evJoin, l.evEnqueue, l.evRecycle = obs.FOLLReadJoin, obs.FOLLReadEnqueue, obs.FOLLNodeRecycle
+	}
 	for i := 0; i < maxProcs; i++ {
 		n := &qNode{
 			qNext:      m.NewWord(0),
@@ -58,6 +75,7 @@ func newFOLL(m *sim.Machine, maxProcs int, withPrev bool) *FOLL {
 		// Not enqueued => closed (ring nodes start closed with zero
 		// surplus).
 		n.cs.root.Init(closedBit)
+		n.cs.SetStats(l.stats)
 		if withPrev {
 			n.qPrev = m.NewWord(0)
 		}
@@ -138,6 +156,7 @@ func (p *follProc) RLock(c *sim.Ctx) {
 				continue
 			}
 			l.StatGroups++
+			l.stats.Inc(l.evEnqueue, p.id)
 			n.cs.Open(c)
 			t := n.cs.Arrive(c, p.id)
 			if t.Arrived() {
@@ -162,6 +181,7 @@ func (p *follProc) RLock(c *sim.Ctx) {
 				continue
 			}
 			l.StatGroups++
+			l.stats.Inc(l.evEnqueue, p.id)
 			c.Store(pred.qNext, ref(rNode))
 			n.cs.Open(c)
 			t := n.cs.Arrive(c, p.id)
@@ -178,6 +198,7 @@ func (p *follProc) RLock(c *sim.Ctx) {
 			t := tn.cs.Arrive(c, p.id)
 			if t.Arrived() {
 				l.StatJoins++
+				l.stats.Inc(l.evJoin, p.id)
 				if rNode >= 0 {
 					freeNode(c, l.nodes[rNode])
 				}
@@ -204,6 +225,7 @@ func (p *follProc) RUnlock(c *sim.Ctx) {
 	c.Store(succ.spin, 0)
 	c.Store(n.qNext, 0)
 	freeNode(c, n)
+	l.stats.Inc(l.evRecycle, p.id)
 }
 
 func (p *follProc) Lock(c *sim.Ctx) {
@@ -233,6 +255,7 @@ func (p *follProc) Lock(c *sim.Ctx) {
 			c.Store(w.qPrev, 0)
 			c.Store(pred.qNext, 0)
 			freeNode(c, pred)
+			l.stats.Inc(l.evRecycle, p.id)
 			return
 		}
 		c.SpinUntil(w.spin, func(v uint64) bool { return v == 0 })
@@ -243,6 +266,7 @@ func (p *follProc) Lock(c *sim.Ctx) {
 		c.SpinUntil(pred.spin, func(v uint64) bool { return v == 0 })
 		c.Store(pred.qNext, 0)
 		freeNode(c, pred)
+		l.stats.Inc(l.evRecycle, p.id)
 		return
 	}
 	c.SpinUntil(w.spin, func(v uint64) bool { return v == 0 })

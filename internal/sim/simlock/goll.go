@@ -1,27 +1,36 @@
 package simlock
 
 import (
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
 // GOLL is the simulated GOLL lock (mirrors internal/goll): C-SNZI lock
 // state plus a mutex-protected wait queue with Solaris-policy hand-off.
 type GOLL struct {
-	m    *sim.Machine
-	cs   *CSNZI
-	meta simMutex
-	q    simWaitQueue
+	m     *sim.Machine
+	cs    *CSNZI
+	meta  simMutex
+	q     simWaitQueue
+	stats *obs.Stats
 }
 
 // NewGOLL allocates a GOLL lock on m, with the C-SNZI tree sized for
 // maxProcs threads.
 func NewGOLL(m *sim.Machine, maxProcs int) *GOLL {
-	return &GOLL{
-		m:    m,
-		cs:   NewCSNZI(m, DefaultCSNZIConfig(m, maxProcs)),
-		meta: newSimMutex(m),
+	l := &GOLL{
+		m:     m,
+		cs:    NewCSNZI(m, DefaultCSNZIConfig(m, maxProcs)),
+		meta:  newSimMutex(m),
+		stats: obs.New(obs.WithName("goll"), obs.WithStripes(1), obs.WithScopes("csnzi", "goll")),
 	}
+	l.cs.SetStats(l.stats)
+	return l
 }
+
+// Stats returns the lock's obs counter block, which mirrors the
+// counter names of the real internal/goll lock under WithStats.
+func (l *GOLL) Stats() *obs.Stats { return l.stats }
 
 type gollProc struct {
 	l      *GOLL
@@ -67,6 +76,7 @@ func (p *gollProc) RUnlock(c *sim.Ctx) {
 		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
 	}
 	l.meta.unlock(c)
+	l.stats.Inc(obs.GOLLHandoff, p.id)
 	signalBatch(c, batch)
 }
 
@@ -99,5 +109,6 @@ func (p *gollProc) Unlock(c *sim.Ctx) {
 		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
 	}
 	l.meta.unlock(c)
+	l.stats.Inc(obs.GOLLHandoff, p.id)
 	signalBatch(c, batch)
 }

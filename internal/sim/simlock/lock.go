@@ -1,6 +1,7 @@
 package simlock
 
 import (
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
@@ -42,6 +43,17 @@ var Locks = []Factory{
 	{Name: "central", New: func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
 	{Name: "bravo-goll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewGOLL(m, n)) }},
 	{Name: "bravo-roll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewROLL(m, n)) }},
+}
+
+// StatsOf returns a simulated lock's obs counter block, or nil for
+// kinds without instrumentation (the baseline locks). Instrumented
+// kinds mirror the counter names of their real counterparts under
+// ollock.WithStats — a simlock test asserts the name sets match.
+func StatsOf(l Lock) *obs.Stats {
+	if c, ok := l.(interface{ Stats() *obs.Stats }); ok {
+		return c.Stats()
+	}
+	return nil
 }
 
 // ByName returns the factory with the given name, or nil.

@@ -1,6 +1,7 @@
 package simlock
 
 import (
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
 
@@ -27,6 +28,10 @@ func NewROLL(m *sim.Machine, maxProcs int) *ROLL {
 		useHint:    true,
 	}
 }
+
+// Stats returns the lock's obs counter block (shared with the
+// embedded FOLL machinery, which emits roll.* names under withPrev).
+func (l *ROLL) Stats() *obs.Stats { return l.f.stats }
 
 // NewROLLNoHint allocates a ROLL lock with the lastReader hint disabled
 // — the ablation of §4.3's optimization ("reduces the number of
@@ -58,6 +63,7 @@ func (p *rollProc) tryJoinWaiting(c *sim.Ctx, idx int) bool {
 		return false
 	}
 	p.l.f.StatJoins++
+	p.l.f.stats.Inc(obs.ROLLOvertake, p.fp.id)
 	// Refresh the hint only when it changes; an unconditional store
 	// would serialize every joining reader on the hint line.
 	if p.l.useHint && c.Load(p.l.lastReader) != ref(idx) {
@@ -83,9 +89,11 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 		if p.l.useHint {
 			if hRef := c.Load(p.l.lastReader); !isNil(hRef) {
 				if p.tryJoinWaiting(c, deref(hRef)) {
+					f.stats.Inc(obs.ROLLHintHit, p.fp.id)
 					freeSpare()
 					return
 				}
+				f.stats.Inc(obs.ROLLHintMiss, p.fp.id)
 				c.CAS(p.l.lastReader, hRef, 0)
 			}
 		}
@@ -103,6 +111,7 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 				continue
 			}
 			f.StatGroups++
+			f.stats.Inc(f.evEnqueue, p.fp.id)
 			n.cs.Open(c)
 			t := n.cs.Arrive(c, p.fp.id)
 			if t.Arrived() {
@@ -118,6 +127,7 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 			t := tn.cs.Arrive(c, p.fp.id)
 			if t.Arrived() {
 				f.StatJoins++
+				f.stats.Inc(f.evJoin, p.fp.id)
 				freeSpare()
 				p.fp.departFrom = deref(tailRef)
 				p.fp.ticket = t
@@ -160,6 +170,7 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 				continue
 			}
 			f.StatGroups++
+			f.stats.Inc(f.evEnqueue, p.fp.id)
 			c.Store(pred.qNext, ref(rNode))
 			n.cs.Open(c)
 			t := n.cs.Arrive(c, p.fp.id)

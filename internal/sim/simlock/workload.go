@@ -3,6 +3,7 @@ package simlock
 import (
 	"fmt"
 
+	"ollock/internal/obs"
 	"ollock/internal/sim"
 	"ollock/internal/xrand"
 )
@@ -66,13 +67,17 @@ func RunConfigured(e Experiment) Result {
 }
 
 // InstrumentedResult extends Result with the BRAVO wrapper's fast-path
-// accounting (zero for unwrapped locks).
+// accounting (zero for unwrapped locks) and the lock's full obs
+// counter Snapshot (empty for uninstrumented baseline kinds).
 type InstrumentedResult struct {
 	Result
 	// FastReads / SlowReads split read acquisitions by path taken.
 	FastReads, SlowReads int64
 	// Revocations counts writer-side bias revocations.
 	Revocations int64
+	// Snapshot carries the lock's internal counters (csnzi.*, goll.*,
+	// foll.*, roll.*, bravo.*), deterministic for a fixed seed.
+	Snapshot obs.Snapshot
 }
 
 // RunInstrumented is RunExperiment plus the wrapper counters, for
@@ -90,6 +95,7 @@ func RunInstrumented(f Factory, mcfg sim.Config, threads int, readFraction float
 	if b, ok := l.(*Bravo); ok {
 		out.FastReads, out.SlowReads, out.Revocations = b.FastReads, b.SlowReads, b.Revocations
 	}
+	out.Snapshot = StatsOf(l).Snapshot()
 	return out
 }
 
@@ -229,11 +235,28 @@ func VerifyExclusion(f Factory, mcfg sim.Config, threads int, readFraction float
 
 // LatencyStats summarizes acquisition latency for one kind of
 // acquisition (virtual cycles from the start of the acquire call to
-// lock ownership).
+// lock ownership). P50 and P99 are log-bucket midpoint estimates from
+// the obs histogram (the module's one histogram implementation); Max
+// is exact.
 type LatencyStats struct {
-	Count int64
-	Mean  float64
-	Max   int64
+	Count    int64
+	Mean     float64
+	P50, P99 int64
+	Max      int64
+}
+
+// latencyStatsOf summarizes one merged histogram.
+func latencyStatsOf(h *obs.Histogram) LatencyStats {
+	if h.Count() == 0 {
+		return LatencyStats{}
+	}
+	return LatencyStats{
+		Count: int64(h.Count()),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
 }
 
 // LatencyResult extends Result with per-kind acquisition latency — the
@@ -254,10 +277,9 @@ func RunLatencyExperiment(f Factory, mcfg sim.Config, threads int, readFraction 
 	}
 	m := sim.New(mcfg)
 	l := f.New(m, threads)
-	// Plain accumulators are safe: simulated threads execute one at a
-	// time.
-	var readSum, writeSum, readMax, writeMax int64
-	var readN, writeN int64
+	// Host-side histograms are safe: simulated threads execute one at a
+	// time, so each histogram has a single writer at any instant.
+	var readHist, writeHist obs.Histogram
 	for i := 0; i < threads; i++ {
 		p := l.NewProc(i)
 		rng := xrand.New(seed + uint64(i)*0x9E3779B9 + 1)
@@ -266,21 +288,11 @@ func RunLatencyExperiment(f Factory, mcfg sim.Config, threads int, readFraction 
 				t0 := c.Now()
 				if rng.Bool(readFraction) {
 					p.RLock(c)
-					lat := c.Now() - t0
-					readSum += lat
-					readN++
-					if lat > readMax {
-						readMax = lat
-					}
+					readHist.Record(c.Now() - t0)
 					p.RUnlock(c)
 				} else {
 					p.Lock(c)
-					lat := c.Now() - t0
-					writeSum += lat
-					writeN++
-					if lat > writeMax {
-						writeMax = lat
-					}
+					writeHist.Record(c.Now() - t0)
 					p.Unlock(c)
 				}
 			}
@@ -300,12 +312,8 @@ func RunLatencyExperiment(f Factory, mcfg sim.Config, threads int, readFraction 
 	if cycles > 0 {
 		out.Throughput = float64(out.TotalOps) / (float64(cycles) / sim.ClockHz)
 	}
-	if readN > 0 {
-		out.Read = LatencyStats{Count: readN, Mean: float64(readSum) / float64(readN), Max: readMax}
-	}
-	if writeN > 0 {
-		out.Write = LatencyStats{Count: writeN, Mean: float64(writeSum) / float64(writeN), Max: writeMax}
-	}
+	out.Read = latencyStatsOf(&readHist)
+	out.Write = latencyStatsOf(&writeHist)
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 	"ollock/internal/hsieh"
 	"ollock/internal/ksuh"
 	"ollock/internal/mcs"
+	"ollock/internal/obs"
 	"ollock/internal/roll"
 	"ollock/internal/snzi"
 	"ollock/internal/solaris"
@@ -49,7 +50,12 @@ func NewSNZI(opts ...snzi.Option) *SNZI { return snzi.New(opts...) }
 
 // GOLLLock is the general OLL reader-writer lock. Its Procs additionally
 // implement Upgrader.
-type GOLLLock struct{ l *goll.RWLock }
+type GOLLLock struct {
+	l     *goll.RWLock
+	stats *obs.Stats
+}
+
+func (l *GOLLLock) lockStats() *obs.Stats { return l.stats }
 
 // NewGOLL returns a GOLL lock. It has no participant limit.
 func NewGOLL() *GOLLLock { return &GOLLLock{l: goll.New()} }
@@ -99,7 +105,12 @@ func (p *GOLLProc) Downgrade() { p.p.Downgrade() }
 // --- FOLL ---
 
 // FOLLLock is the FIFO distributed-queue OLL lock.
-type FOLLLock struct{ l *foll.RWLock }
+type FOLLLock struct {
+	l     *foll.RWLock
+	stats *obs.Stats
+}
+
+func (l *FOLLLock) lockStats() *obs.Stats { return l.stats }
 
 // NewFOLL returns a FOLL lock for up to maxProcs goroutines.
 func NewFOLL(maxProcs int) *FOLLLock { return &FOLLLock{l: foll.New(maxProcs)} }
@@ -126,7 +137,12 @@ func (p *FOLLProc) Unlock() { p.p.Unlock() }
 // --- ROLL ---
 
 // ROLLLock is the reader-preference distributed-queue OLL lock.
-type ROLLLock struct{ l *roll.RWLock }
+type ROLLLock struct {
+	l     *roll.RWLock
+	stats *obs.Stats
+}
+
+func (l *ROLLLock) lockStats() *obs.Stats { return l.stats }
 
 // NewROLL returns a ROLL lock for up to maxProcs goroutines.
 func NewROLL(maxProcs int) *ROLLLock { return &ROLLLock{l: roll.New(maxProcs)} }
@@ -290,17 +306,36 @@ func (p *HsiehProc) Unlock() { p.p.Unlock() }
 // entirely; a writer revokes the bias and drains published readers
 // before relying on the underlying lock for exclusion. Create one with
 // WrapBias or via New(kind, n, WithBias()).
-type BravoLock struct{ l *bravo.Lock }
+type BravoLock struct {
+	l     *bravo.Lock
+	stats *obs.Stats
+}
+
+func (l *BravoLock) lockStats() *obs.Stats { return l.stats }
 
 // WrapBias wraps base with the BRAVO biased reader fast path.
 func WrapBias(base Lock) *BravoLock { return wrapBias(base, 0) }
 
-func wrapBias(base Lock, mult int) *BravoLock {
-	var opts []bravo.Option
+func wrapBias(base Lock, mult int) *BravoLock { return wrapBiasStats(base, mult, nil) }
+
+// wrapBiasStats wraps base, sharing the instrumentation block between
+// the wrapper (bravo.* counters) and the underlying lock, so one
+// Snapshot covers the whole stack. If base carries a block and st is
+// nil the wrapper adopts base's block for SnapshotOf pass-through.
+func wrapBiasStats(base Lock, mult int, st *obs.Stats) *BravoLock {
+	if st == nil {
+		if c, ok := base.(statsCarrier); ok {
+			st = c.lockStats()
+		}
+	}
+	opts := []bravo.Option{bravo.WithStats(st)}
 	if mult > 0 {
 		opts = append(opts, bravo.WithInhibitMultiplier(mult))
 	}
-	return &BravoLock{l: bravo.New(func() bravo.BaseProc { return base.NewProc() }, opts...)}
+	return &BravoLock{
+		l:     bravo.New(func() bravo.BaseProc { return base.NewProc() }, opts...),
+		stats: st,
+	}
 }
 
 // Biased reports whether the read bias is currently armed. Diagnostic;

@@ -43,6 +43,11 @@ package ollock
 
 import (
 	"fmt"
+
+	"ollock/internal/foll"
+	"ollock/internal/goll"
+	"ollock/internal/obs"
+	"ollock/internal/roll"
 )
 
 // Proc is a per-goroutine handle on a reader-writer lock. RLock/RUnlock
@@ -116,8 +121,10 @@ func Kinds() []Kind {
 type Option func(*newConfig)
 
 type newConfig struct {
-	bias     bool
-	biasMult int
+	bias      bool
+	biasMult  int
+	withStats bool
+	statsName string
 }
 
 // WithBias wraps the created lock with the BRAVO biased reader fast path
@@ -140,6 +147,71 @@ func WithBiasMultiplier(n int) Option {
 	}
 }
 
+// WithStats attaches a striped instrumentation block to the created
+// lock, counting the internal events of its algorithm (C-SNZI arrival
+// routing, GOLL hand-offs, FOLL/ROLL queue behaviour, BRAVO bias
+// transitions; see ALGORITHMS.md for the counter glossary). Read the
+// counters with SnapshotOf. A lock created without WithStats pays
+// nothing for the machinery beyond one predictable nil-check branch
+// per event site.
+//
+// If name is non-empty the block is also published through expvar
+// under "ollock.<name>" (re-using a name replaces the previous
+// block); an empty name defaults to the kind string and skips the
+// expvar registration.
+func WithStats(name string) Option {
+	return func(c *newConfig) {
+		c.withStats = true
+		c.statsName = name
+	}
+}
+
+// Snapshot is an immutable point-in-time view of an instrumented
+// lock's counters and histograms. See internal/obs for the field
+// semantics.
+type Snapshot = obs.Snapshot
+
+// HistSnapshot summarizes one latency histogram inside a Snapshot.
+type HistSnapshot = obs.HistSnapshot
+
+// statsCarrier is implemented by the lock wrappers that can carry an
+// instrumentation block.
+type statsCarrier interface {
+	lockStats() *obs.Stats
+}
+
+// SnapshotOf returns a consistent-enough snapshot of the counters of a
+// lock created with WithStats. The second result is false when the
+// lock is uninstrumented (not created through New with WithStats) or
+// its kind has no instrumentation.
+func SnapshotOf(l Lock) (Snapshot, bool) {
+	c, ok := l.(statsCarrier)
+	if !ok || c.lockStats() == nil {
+		return Snapshot{}, false
+	}
+	return c.lockStats().Snapshot(), true
+}
+
+// statScopes returns the obs counter scopes a lock kind reports:
+// every OLL lock carries its own scope plus the C-SNZI substrate, and
+// a biased wrapper adds the bravo scope on top. Baseline kinds have no
+// instrumentation.
+func statScopes(kind Kind, bias bool) []string {
+	var s []string
+	switch kind {
+	case GOLL, KindBravoGOLL:
+		s = []string{"csnzi", "goll"}
+	case FOLL:
+		s = []string{"csnzi", "foll"}
+	case ROLL, KindBravoROLL:
+		s = []string{"csnzi", "roll"}
+	}
+	if bias {
+		s = append(s, "bravo")
+	}
+	return s
+}
+
 // New creates a lock of the given kind sized for maxProcs participating
 // goroutines. GOLL, KSUH, MCSRW, Solaris and Central ignore maxProcs
 // (they have no fixed capacity); FOLL, ROLL and Hsieh panic if more than
@@ -150,14 +222,23 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	bias := cfg.bias || kind == KindBravoGOLL || kind == KindBravoROLL
+	var st *obs.Stats
+	if cfg.withStats {
+		name := cfg.statsName
+		if name == "" {
+			name = string(kind)
+		}
+		st = obs.New(obs.WithName(name), obs.WithScopes(statScopes(kind, bias)...))
+	}
 	var base Lock
 	switch kind {
-	case GOLL:
-		base = NewGOLL()
+	case GOLL, KindBravoGOLL:
+		base = &GOLLLock{l: goll.New(goll.WithStats(st)), stats: st}
 	case FOLL:
-		base = NewFOLL(maxProcs)
-	case ROLL:
-		base = NewROLL(maxProcs)
+		base = &FOLLLock{l: foll.New(maxProcs, foll.WithStats(st)), stats: st}
+	case ROLL, KindBravoROLL:
+		base = &ROLLLock{l: roll.New(maxProcs, roll.WithStats(st)), stats: st}
 	case KSUH:
 		base = NewKSUH()
 	case MCSRW:
@@ -168,15 +249,14 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		base = NewHsieh(maxProcs)
 	case Central:
 		base = NewCentral()
-	case KindBravoGOLL:
-		base, cfg.bias = NewGOLL(), true
-	case KindBravoROLL:
-		base, cfg.bias = NewROLL(maxProcs), true
 	default:
 		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
 	}
-	if cfg.bias {
-		return wrapBias(base, cfg.biasMult), nil
+	if cfg.withStats && cfg.statsName != "" {
+		st.PublishExpvar()
+	}
+	if bias {
+		return wrapBiasStats(base, cfg.biasMult, st), nil
 	}
 	return base, nil
 }

@@ -1,0 +1,123 @@
+package ollock_test
+
+import (
+	"testing"
+	"time"
+
+	"ollock"
+)
+
+// Guards for the zero-overhead-off contract of the WithStats
+// instrumentation: attaching a stats block must not put allocations on
+// the read path, and the striped counters must not meaningfully slow a
+// read-dominated workload. The stats-off side (no block at all) is
+// covered by alloc_test.go; these tests pin the stats-on side.
+
+func TestReadPathZeroAllocsWithStats(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			l := ollock.MustNew(kind, 4, ollock.WithStats(""))
+			p := l.NewProc()
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("instrumented RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			if sn, ok := ollock.SnapshotOf(l); !ok || sn.Counters["csnzi.arrive.root"]+sn.Counters["csnzi.arrive.tree"] == 0 {
+				t.Fatalf("instrumentation did not count the arrivals (snapshot %v, ok=%v)", sn.Counters, ok)
+			}
+		})
+	}
+}
+
+func TestBravoFastPathZeroAllocsWithStats(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			l := ollock.MustNew(kind, 4, ollock.WithStats(""))
+			p := l.NewProc().(*ollock.BravoProc)
+			p.RLock()
+			hit := p.ReadFastPath()
+			p.RUnlock()
+			if !hit {
+				t.Fatal("biased read did not take the fast path")
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("instrumented biased RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			if sn, ok := ollock.SnapshotOf(l); !ok || sn.Counters["bravo.read.fast"] == 0 {
+				t.Fatalf("instrumentation did not count the fast reads (snapshot %v, ok=%v)", sn.Counters, ok)
+			}
+		})
+	}
+}
+
+// readThroughput measures single-proc read acquisitions per
+// nanosecond-ish unit: ops over a monotonic-clock interval is noisy in
+// CI, so the guard below compares best-of trials with slack instead of
+// asserting a tight bound.
+func readThroughput(b *testing.B, kind ollock.Kind, opts ...ollock.Option) {
+	l := ollock.MustNew(kind, 4, opts...)
+	p := l.NewProc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RLock()
+		p.RUnlock()
+	}
+}
+
+// BenchmarkReadPathStats makes the stats-on/off read-path delta
+// visible in `go test -bench`: compare stats=off with stats=on per
+// kind (acceptance: on within 15% of off at 100% reads).
+func BenchmarkReadPathStats(b *testing.B) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		kind := kind
+		b.Run(string(kind)+"/stats=off", func(b *testing.B) { readThroughput(b, kind) })
+		b.Run(string(kind)+"/stats=on", func(b *testing.B) { readThroughput(b, kind, ollock.WithStats("")) })
+	}
+}
+
+// TestStatsReadOverheadBounded is the noise-tolerant in-test version
+// of the benchmark delta: on an uncontended 100%-read loop, the
+// instrumented lock must reach at least 85% of the uninstrumented
+// throughput. Best-of-trials on both sides (with whole-test retries)
+// absorbs scheduler noise; a genuine hot-path regression — an
+// allocation, a shared-line counter — fails by far more than 15%.
+func TestStatsReadOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard, skipped with -short")
+	}
+	const ops = 200_000
+	const trials = 5
+	measure := func(opts ...ollock.Option) float64 {
+		best := 0.0
+		for trial := 0; trial < trials; trial++ {
+			p := ollock.MustNew(ollock.ROLL, 4, opts...).NewProc()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				p.RLock()
+				p.RUnlock()
+			}
+			if rate := float64(ops) / float64(time.Since(start)); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	for attempt := 0; ; attempt++ {
+		off := measure()
+		on := measure(ollock.WithStats(""))
+		if on >= 0.85*off {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("instrumented read path at %.0f%% of uninstrumented throughput, want >= 85%%", 100*on/off)
+		}
+	}
+}
