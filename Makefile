@@ -2,13 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json-check fig5 fig5-plot fig5-real fairness stress clean
+.PHONY: all build build-386 test race bench bench-json bench-json-check fig5 fig5-plot fig5-real fairness stress clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# 32-bit build smoke (64-bit atomics must stay alignment-safe).
+build-386:
+	GOARCH=386 $(GO) build ./...
 
 test:
 	$(GO) test ./...

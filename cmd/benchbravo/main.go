@@ -5,8 +5,11 @@
 // For each base lock (goll, roll) it measures the bravo-wrapped and
 // unwrapped variants at every read percentage of the paper's Figure 5
 // (100/99/95/80/50/0), averaging over -runs seeded runs (default 3, the
-// paper's methodology). Runs are deterministic for a given seed, so the
-// JSON is reproducible bit-for-bit on any host.
+// paper's methodology). The sweep also carries a read-indicator
+// dimension (ollock.WithIndicator): the default C-SNZI keeps the full
+// grid, and the central and sharded indicators are measured at the
+// 100/99/0 read percentages. Runs are deterministic for a given seed,
+// so the JSON is reproducible bit-for-bit on any host.
 //
 // Usage:
 //
@@ -25,11 +28,15 @@ import (
 	"ollock/internal/sim/simlock"
 )
 
-// Series is one measured (lock, threads, read-ratio) point, with its
-// unwrapped base alongside so the wrapper's effect is self-contained.
+// Series is one measured (lock, indicator, threads, read-ratio) point,
+// with its unwrapped base alongside so the wrapper's effect is
+// self-contained.
 type Series struct {
-	Lock             string  `json:"lock"`
-	Base             string  `json:"base"`
+	Lock string `json:"lock"`
+	Base string `json:"base"`
+	// Indicator is the read indicator backing both the wrapped and the
+	// base lock (csnzi, central, sharded; see ollock.WithIndicator).
+	Indicator        string  `json:"indicator"`
 	Threads          int     `json:"threads"`
 	ReadFraction     float64 `json:"read_fraction"`
 	Runs             int     `json:"runs"`
@@ -61,6 +68,47 @@ type Output struct {
 
 var readFractions = []float64{1.00, 0.99, 0.95, 0.80, 0.50, 0.00}
 
+// indicatorFractions is the reduced sweep for the non-default
+// indicators: the read-dominated regimes the indicator choice is about,
+// plus the all-writer floor.
+var indicatorFractions = []float64{1.00, 0.99, 0.00}
+
+// indicators lists the read-indicator dimension of the sweep; csnzi is
+// the default and keeps the full read-fraction grid.
+var indicators = []string{"csnzi", "central", "sharded"}
+
+// factories returns the (base, bravo-wrapped) factory pair for a base
+// lock over the named indicator. The default csnzi uses the registered
+// factories; the others use the lock × indicator matrix entries, with
+// the wrapper built inline (NewBravo adopts the base's stats block
+// either way).
+func factories(baseName, indicator string) (base, wrapped simlock.Factory, err error) {
+	lookup := func(name string) (simlock.Factory, error) {
+		f := simlock.ByName(name)
+		if f == nil {
+			return simlock.Factory{}, fmt.Errorf("missing factory for %s", name)
+		}
+		return *f, nil
+	}
+	if indicator == "csnzi" {
+		if base, err = lookup(baseName); err != nil {
+			return
+		}
+		wrapped, err = lookup("bravo-" + baseName)
+		return
+	}
+	if base, err = lookup(baseName + "-" + indicator); err != nil {
+		return
+	}
+	wrapped = simlock.Factory{
+		Name: "bravo-" + baseName,
+		New: func(m *sim.Machine, n int) simlock.Lock {
+			return simlock.NewBravo(m, n, base.New(m, n))
+		},
+	}
+	return
+}
+
 func main() {
 	threadsFlag := flag.String("threads", "64,256", "comma-separated simulated thread counts")
 	ops := flag.Int("ops", 120, "acquisitions per simulated thread")
@@ -77,52 +125,57 @@ func main() {
 
 	doc := Output{Tool: "benchbravo", Machine: "sim-T5440", Ops: *ops, Seed: *seed}
 	for _, baseName := range []string{"goll", "roll"} {
-		base := simlock.ByName(baseName)
-		wrapped := simlock.ByName("bravo-" + baseName)
-		if base == nil || wrapped == nil {
-			fmt.Fprintf(os.Stderr, "benchbravo: missing factory for %s\n", baseName)
-			os.Exit(1)
-		}
-		for _, n := range threads {
-			for _, frac := range readFractions {
-				s := Series{
-					Lock: wrapped.Name, Base: base.Name,
-					Threads: n, ReadFraction: frac, Runs: *runs,
-				}
-				var fast, slow, revs int64
-				counters := map[string]uint64{}
-				for r := 0; r < *runs; r++ {
-					runSeed := *seed + uint64(r)
-					// Re-create the wrapped lock per run to read its
-					// counters.
-					m := simlock.RunInstrumented(*wrapped, sim.T5440(), n, frac, *ops, runSeed)
-					s.Throughput += m.Result.Throughput
-					fast += m.FastReads
-					slow += m.SlowReads
-					revs += m.Revocations
-					for k, v := range m.Snapshot.Counters {
-						counters[k] += v
+		for _, indicator := range indicators {
+			base, wrapped, err := factories(baseName, indicator)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchbravo:", err)
+				os.Exit(1)
+			}
+			fracs := readFractions
+			if indicator != "csnzi" {
+				fracs = indicatorFractions
+			}
+			for _, n := range threads {
+				for _, frac := range fracs {
+					s := Series{
+						Lock: wrapped.Name, Base: baseName, Indicator: indicator,
+						Threads: n, ReadFraction: frac, Runs: *runs,
 					}
-					b := simlock.RunExperiment(*base, sim.T5440(), n, frac, *ops, runSeed)
-					s.BaseThroughput += b.Throughput
+					var fast, slow, revs int64
+					counters := map[string]uint64{}
+					for r := 0; r < *runs; r++ {
+						runSeed := *seed + uint64(r)
+						// Re-create the wrapped lock per run to read its
+						// counters.
+						m := simlock.RunInstrumented(wrapped, sim.T5440(), n, frac, *ops, runSeed)
+						s.Throughput += m.Result.Throughput
+						fast += m.FastReads
+						slow += m.SlowReads
+						revs += m.Revocations
+						for k, v := range m.Snapshot.Counters {
+							counters[k] += v
+						}
+						b := simlock.RunExperiment(base, sim.T5440(), n, frac, *ops, runSeed)
+						s.BaseThroughput += b.Throughput
+					}
+					s.Counters = counters
+					s.BiasArms = int64(counters["bravo.bias.arm"])
+					if tot := counters["csnzi.arrive.tree"] + counters["csnzi.arrive.root"]; tot > 0 {
+						s.TreeArriveFraction = float64(counters["csnzi.arrive.tree"]) / float64(tot)
+					}
+					s.Throughput /= float64(*runs)
+					s.BaseThroughput /= float64(*runs)
+					if s.BaseThroughput > 0 {
+						s.Speedup = s.Throughput / s.BaseThroughput
+					}
+					if fast+slow > 0 {
+						s.FastReadFraction = float64(fast) / float64(fast+slow)
+					}
+					s.Revocations = revs / int64(*runs)
+					doc.Series = append(doc.Series, s)
+					fmt.Fprintf(os.Stderr, "%-11s ind=%-8s t=%-4d read%%=%-5.1f %.3e vs %.3e acq/s (%.2fx, fast=%.0f%%, revs=%d)\n",
+						s.Lock, s.Indicator, n, frac*100, s.Throughput, s.BaseThroughput, s.Speedup, s.FastReadFraction*100, s.Revocations)
 				}
-				s.Counters = counters
-				s.BiasArms = int64(counters["bravo.bias.arm"])
-				if tot := counters["csnzi.arrive.tree"] + counters["csnzi.arrive.root"]; tot > 0 {
-					s.TreeArriveFraction = float64(counters["csnzi.arrive.tree"]) / float64(tot)
-				}
-				s.Throughput /= float64(*runs)
-				s.BaseThroughput /= float64(*runs)
-				if s.BaseThroughput > 0 {
-					s.Speedup = s.Throughput / s.BaseThroughput
-				}
-				if fast+slow > 0 {
-					s.FastReadFraction = float64(fast) / float64(fast+slow)
-				}
-				s.Revocations = revs / int64(*runs)
-				doc.Series = append(doc.Series, s)
-				fmt.Fprintf(os.Stderr, "%-11s t=%-4d read%%=%-5.1f %.3e vs %.3e acq/s (%.2fx, fast=%.0f%%, revs=%d)\n",
-					s.Lock, n, frac*100, s.Throughput, s.BaseThroughput, s.Speedup, s.FastReadFraction*100, s.Revocations)
 			}
 		}
 	}

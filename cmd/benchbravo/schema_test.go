@@ -46,7 +46,8 @@ func TestSeriesMarshalMatchesSchema(t *testing.T) {
 	doc := Output{
 		Tool: "benchbravo", Machine: "sim-T5440", Ops: 1, Seed: 1,
 		Series: []Series{{
-			Lock: "bravo-goll", Base: "goll", Threads: 1, ReadFraction: 1, Runs: 1,
+			Lock: "bravo-goll", Base: "goll", Indicator: "csnzi",
+			Threads: 1, ReadFraction: 1, Runs: 1,
 			Counters: map[string]uint64{"csnzi.arrive.root": 1},
 		}},
 	}

@@ -10,7 +10,13 @@
 // Usage:
 //
 //	benchfig5 [-panel a|b|c|d|e|f|all] [-threads 1,2,4,...] [-ops N]
-//	          [-runs N] [-seed N] [-locks ...] [-csv]
+//	          [-runs N] [-seed N] [-locks ...] [-indicator csnzi|central|sharded]
+//	          [-csv]
+//
+// The -indicator flag selects the read indicator backing the OLL locks
+// (ollock.WithIndicator): with central or sharded, the goll/foll/roll
+// entries are remapped to their lock × indicator matrix variants
+// (goll-central, roll-sharded, ...); the baseline locks are unaffected.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 	runs := flag.Int("runs", 3, "runs to average (paper uses 3)")
 	seed := flag.Uint64("seed", 42, "base PRNG seed")
 	locksFlag := flag.String("locks", "goll,foll,roll,ksuh,solaris", "comma-separated lock subset (see -list)")
+	indicator := flag.String("indicator", "csnzi", "read indicator for the OLL locks: csnzi, central or sharded")
 	list := flag.Bool("list", false, "list available locks and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()
@@ -64,7 +71,8 @@ func main() {
 	}
 	var impls []locksuite.Impl
 	for _, name := range strings.Split(*locksFlag, ",") {
-		impl := locksuite.ByName(strings.TrimSpace(name))
+		name = indicatorVariant(strings.TrimSpace(name), *indicator)
+		impl := locksuite.ByName(name)
 		if impl == nil {
 			fmt.Fprintf(os.Stderr, "benchfig5: unknown lock %q (use -list)\n", name)
 			os.Exit(2)
@@ -112,6 +120,19 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// indicatorVariant maps an OLL lock name to its lock × indicator
+// matrix entry for a non-default indicator; other names pass through.
+func indicatorVariant(name, indicator string) string {
+	if indicator == "" || indicator == "csnzi" {
+		return name
+	}
+	switch name {
+	case "goll", "foll", "roll":
+		return name + "-" + indicator
+	}
+	return name
 }
 
 func parseInts(s string) ([]int, error) {

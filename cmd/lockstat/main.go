@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	lockstat [-lock goll,roll,...|all] [-threads N] [-ops N]
-//	         [-readpct 0..100] [-seed N] [-json]
+//	lockstat [-lock goll,roll,...|all] [-indicator csnzi|central|sharded]
+//	         [-threads N] [-ops N] [-readpct 0..100] [-seed N] [-json]
+//
+// The -indicator flag selects the read indicator backing the OLL locks
+// (ollock.WithIndicator); every indicator reports through the same
+// csnzi.* counter names, so the tables stay comparable across choices.
 //
 // With -json the full snapshots are emitted as a JSON object keyed by
 // kind, in the same shape WithStats publishes through expvar.
@@ -35,6 +39,7 @@ var instrumented = []ollock.Kind{
 
 func main() {
 	lockFlag := flag.String("lock", "all", "comma-separated lock kinds, or all instrumented kinds")
+	indicator := flag.String("indicator", "csnzi", "read indicator for the OLL locks: csnzi, central or sharded")
 	threads := flag.Int("threads", 8, "concurrent goroutines")
 	ops := flag.Int("ops", 20000, "acquisitions per goroutine")
 	readPct := flag.Float64("readpct", 95, "percentage of read acquisitions")
@@ -53,7 +58,8 @@ func main() {
 
 	snaps := map[string]ollock.Snapshot{}
 	for _, kind := range kinds {
-		l, err := ollock.New(kind, *threads, ollock.WithStats(""))
+		l, err := ollock.New(kind, *threads, ollock.WithStats(""),
+			ollock.WithIndicator(ollock.IndicatorKind(*indicator)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
 			os.Exit(2)

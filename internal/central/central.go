@@ -7,20 +7,21 @@
 // of reader threads") and the C-SNZI with zero leaves reduces to. It is
 // included as the floor baseline for the scalability experiments and as
 // a correctness cross-check: it is simple enough to be obviously right.
+//
+// The lockword itself is exported (Lockword) because it doubles as the
+// centralized read indicator of internal/rind: the lock spins where the
+// indicator reports failure, but the word transitions are identical.
 package central
 
 import (
 	"ollock/internal/atomicx"
 )
 
-// Lockword layout: bit 63 = write-locked, bits 0..62 = reader count.
-const writerBit = uint64(1) << 63
-
 // RWLock is a centralized reader-writer lock. The zero value is an
 // unlocked lock. It is writer-preferring only by CAS luck; no fairness
 // is guaranteed (matching the classic "counter + flag" lock).
 type RWLock struct {
-	word atomicx.PaddedUint64
+	word Lockword
 }
 
 // New returns an unlocked centralized RW lock.
@@ -29,63 +30,42 @@ func New() *RWLock { return &RWLock{} }
 // RLock acquires the lock for reading, spinning while a writer holds it.
 func (l *RWLock) RLock() {
 	var b atomicx.Backoff
-	for {
-		w := l.word.Load()
-		if w&writerBit == 0 {
-			if l.word.CompareAndSwap(w, w+1) {
-				return
-			}
-			continue
-		}
+	for !l.word.Arrive() {
 		b.Pause()
 	}
 }
 
-// TryRLock attempts a read acquisition without waiting.
+// TryRLock attempts a read acquisition without waiting for the writer;
+// it fails exactly when a writer holds the lock.
 func (l *RWLock) TryRLock() bool {
-	w := l.word.Load()
-	return w&writerBit == 0 && l.word.CompareAndSwap(w, w+1)
+	return l.word.Arrive()
 }
 
 // RUnlock releases a read acquisition.
 func (l *RWLock) RUnlock() {
-	for {
-		w := l.word.Load()
-		if w&^writerBit == 0 {
-			panic("central: RUnlock without RLock")
-		}
-		if l.word.CompareAndSwap(w, w-1) {
-			return
-		}
-	}
+	l.word.Depart()
 }
 
 // Lock acquires the lock for writing, spinning until it is free.
 func (l *RWLock) Lock() {
 	var b atomicx.Backoff
-	for {
-		if l.word.Load() == 0 && l.word.CompareAndSwap(0, writerBit) {
-			return
-		}
+	for !l.word.CloseIfEmpty() {
 		b.Pause()
 	}
 }
 
 // TryLock attempts a write acquisition without waiting.
 func (l *RWLock) TryLock() bool {
-	return l.word.Load() == 0 && l.word.CompareAndSwap(0, writerBit)
+	return l.word.CloseIfEmpty()
 }
 
 // Unlock releases a write acquisition.
 func (l *RWLock) Unlock() {
-	if l.word.Load() != writerBit {
-		panic("central: Unlock without Lock")
-	}
-	l.word.Store(0)
+	l.word.Open()
 }
 
 // Readers returns the current reader count (diagnostic).
-func (l *RWLock) Readers() int { return int(l.word.Load() &^ writerBit) }
+func (l *RWLock) Readers() int { return l.word.Count() }
 
 // WriteLocked reports whether a writer holds the lock (diagnostic).
-func (l *RWLock) WriteLocked() bool { return l.word.Load()&writerBit != 0 }
+func (l *RWLock) WriteLocked() bool { return l.word.Closed() }

@@ -1,0 +1,145 @@
+package central
+
+import (
+	"fmt"
+
+	"ollock/internal/atomicx"
+)
+
+// Lockword is the classic centralized closable reader count: a single
+// CAS-able 64-bit word packing a closed flag (bit 63) and an arrival
+// count (bits 0..62). It is the degenerate case of the paper's C-SNZI
+// (a C-SNZI with zero leaves reduces to exactly this word) and the
+// "central counter" point of BRAVO's read-indicator taxonomy.
+//
+// Two layers of this module build on it: the naive centralized RWLock
+// in this package (which spins where an indicator would fail), and the
+// rind.Central read indicator (which plugs the word under the OLL
+// locks). Keeping both on one implementation is the point — the
+// centralized-vs-distributed ablation then differs only in the
+// indicator, not in incidental word-layout details.
+//
+// The zero Lockword is open with zero count.
+type Lockword struct {
+	w atomicx.PaddedUint64
+}
+
+// ClosedBit is the closed flag of the word; the remaining 63 bits hold
+// the arrival count. "Closed with zero count" (write-acquired, in lock
+// terms) is therefore the exact word value ClosedBit.
+const ClosedBit = uint64(1) << 63
+
+// Arrive attempts to increment the count. It fails, without modifying
+// the word, iff the word is closed. CAS retries back off (tight retry
+// loops on a single hot word are exactly where backoff pays).
+func (l *Lockword) Arrive() bool {
+	var b atomicx.Backoff
+	for {
+		w := l.w.Load()
+		if w&ClosedBit != 0 {
+			return false
+		}
+		if l.w.CompareAndSwap(w, w+1) {
+			return true
+		}
+		b.Pause()
+	}
+}
+
+// Depart decrements the count. It returns false iff the resulting word
+// is closed with zero count — the departer was the last one out of a
+// closed word and must hand over. It panics if the count is zero.
+func (l *Lockword) Depart() bool {
+	var b atomicx.Backoff
+	for {
+		w := l.w.Load()
+		if w&^ClosedBit == 0 {
+			panic("central: Depart without matching Arrive")
+		}
+		if l.w.CompareAndSwap(w, w-1) {
+			return w-1 != ClosedBit
+		}
+		b.Pause()
+	}
+}
+
+// Close transitions the word from open to closed, reporting whether
+// this call made the transition and whether the closed word has zero
+// count (acquired outright). An already-closed word is left unchanged
+// (false, false).
+func (l *Lockword) Close() (transitioned, acquired bool) {
+	var b atomicx.Backoff
+	for {
+		w := l.w.Load()
+		if w&ClosedBit != 0 {
+			return false, false
+		}
+		if l.w.CompareAndSwap(w, w|ClosedBit) {
+			return true, w == 0
+		}
+		b.Pause()
+	}
+}
+
+// CloseIfEmpty closes the word only if it is open with zero count,
+// reporting whether it did. One CAS: the writer fast path.
+func (l *Lockword) CloseIfEmpty() bool {
+	return l.w.Load() == 0 && l.w.CompareAndSwap(0, ClosedBit)
+}
+
+// Open reopens the word. It requires (and panics otherwise) that the
+// word is closed with zero count.
+func (l *Lockword) Open() {
+	if w := l.w.Load(); w != ClosedBit {
+		panic(fmt.Sprintf("central: Open on word %#x", w))
+	}
+	l.w.Store(0)
+}
+
+// OpenWithArrivals atomically opens the word, performs cnt arrivals,
+// and, if close is set, closes it again. Like Open it requires the
+// word to be closed with zero count.
+func (l *Lockword) OpenWithArrivals(cnt int, close bool) {
+	if cnt < 0 || uint64(cnt) >= ClosedBit {
+		panic(fmt.Sprintf("central: OpenWithArrivals count %d out of range", cnt))
+	}
+	if w := l.w.Load(); w != ClosedBit {
+		panic(fmt.Sprintf("central: OpenWithArrivals on word %#x", w))
+	}
+	w := uint64(cnt)
+	if close {
+		w |= ClosedBit
+	}
+	l.w.Store(w)
+}
+
+// TryUpgrade attempts to atomically transition from "count exactly one"
+// to "closed with zero count", regardless of the open/closed state. On
+// success the caller's arrival is consumed (do not Depart it). It fails
+// if any other arrival exists.
+func (l *Lockword) TryUpgrade() bool {
+	var b atomicx.Backoff
+	for {
+		w := l.w.Load()
+		if w&^ClosedBit != 1 {
+			return false
+		}
+		if l.w.CompareAndSwap(w, ClosedBit) {
+			return true
+		}
+		b.Pause()
+	}
+}
+
+// Query returns whether the count is nonzero and whether the word is
+// open.
+func (l *Lockword) Query() (nonzero, open bool) {
+	w := l.w.Load()
+	return w&^ClosedBit != 0, w&ClosedBit == 0
+}
+
+// Count returns the current arrival count (diagnostic).
+func (l *Lockword) Count() int { return int(l.w.Load() &^ ClosedBit) }
+
+// Closed reports whether the word is closed (diagnostic).
+func (l *Lockword) Closed() bool { return l.w.Load()&ClosedBit != 0 }

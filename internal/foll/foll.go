@@ -26,8 +26,8 @@ import (
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
-	"ollock/internal/csnzi"
 	"ollock/internal/obs"
+	"ollock/internal/rind"
 )
 
 // Node kinds.
@@ -50,7 +50,7 @@ type Node struct {
 	qNext atomicx.PaddedPointer[Node]
 	spin  atomicx.PaddedBool
 	// Reader-node-only fields.
-	csnzi      *csnzi.CSNZI // closed whenever the node is not enqueued
+	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
 	ringNext   *Node // immutable ring pointer for the pool
 }
@@ -58,11 +58,12 @@ type Node struct {
 // RWLock is a FOLL reader-writer lock for up to a fixed number of
 // participating goroutines. Use New, then create one Proc per goroutine.
 type RWLock struct {
-	tail  atomicx.PaddedPointer[Node]
-	ring  []Node
-	procs atomic.Int64
+	tail    atomicx.PaddedPointer[Node]
+	ring    []Node
+	procs   atomic.Int64
+	factory rind.Factory
 	// stats is the optional instrumentation block (nil = off), shared
-	// with every ring node's C-SNZI.
+	// with every ring node's indicator.
 	stats *obs.Stats
 }
 
@@ -75,7 +76,7 @@ type Proc struct {
 	rNode      *Node // default ring start for allocation
 	wNode      *Node
 	departFrom *Node
-	ticket     csnzi.Ticket
+	ticket     rind.Ticket
 	// lc is the proc's buffered counter view (nil when the lock is
 	// uninstrumented); the read hot path counts through it so the
 	// shared stats cells are touched only once per obs.FlushEvery
@@ -92,6 +93,12 @@ type Option func(*RWLock)
 // C-SNZI (csnzi.* counters, including the per-group close/open churn).
 func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
+// WithIndicator substitutes a read-indicator factory (see
+// internal/rind) for the per-node C-SNZIs. A factory rather than an
+// instance: every ring-pool node carries its own indicator, and
+// recycled nodes then recycle indicators of the chosen kind.
+func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
+
 // New returns a FOLL lock sized for maxProcs participating goroutines
 // (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
 // proves sufficient).
@@ -103,15 +110,18 @@ func New(maxProcs int, opts ...Option) *RWLock {
 	for _, o := range opts {
 		o(l)
 	}
+	if l.factory == nil {
+		l.factory = rind.CSNZIFactory()
+	}
 	for i := range l.ring {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.csnzi = csnzi.New(csnzi.WithStats(l.stats))
+		n.ind = rind.Instrument(l.factory(), l.stats)
 		// Fresh nodes start closed with no surplus (§4.2: "when just
-		// allocated, has a closed C-SNZI"): a node's C-SNZI is open only
-		// while the node is enqueued.
-		n.csnzi.CloseIfEmpty()
+		// allocated, has a closed C-SNZI"): a node's indicator is open
+		// only while the node is enqueued.
+		n.ind.CloseIfEmpty()
 	}
 	return l
 }
@@ -178,8 +188,8 @@ func (p *Proc) RLock() {
 				continue // tail changed; retry (keep rNode)
 			}
 			p.lc.Inc(obs.FOLLReadEnqueue)
-			rNode.csnzi.Open()
-			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
+			rNode.ind.Open()
+			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -203,8 +213,8 @@ func (p *Proc) RLock() {
 			}
 			p.lc.Inc(obs.FOLLReadEnqueue)
 			tail.qNext.Store(rNode)
-			rNode.csnzi.Open()
-			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
+			rNode.ind.Open()
+			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -215,7 +225,7 @@ func (p *Proc) RLock() {
 
 		default:
 			// Tail is a reader node: join it.
-			t := tail.csnzi.ArriveLocal(p.id, p.lc)
+			t := tail.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.lc.Inc(obs.FOLLReadJoin)
 				if rNode != nil {
@@ -237,7 +247,7 @@ func (p *Proc) RLock() {
 // recycles the reader node.
 func (p *Proc) RUnlock() {
 	n := p.departFrom
-	if n.csnzi.Depart(p.ticket) {
+	if n.ind.Depart(p.ticket) {
 		return
 	}
 	// Last departer: the closing writer linked itself before closing, so
@@ -269,10 +279,10 @@ func (p *Proc) Lock() {
 	// opens it just after the enqueue; see also node recycling): wait
 	// until it is, then close it to stop further readers joining.
 	atomicx.SpinUntil(func() bool {
-		_, open := oldTail.csnzi.Query()
+		_, open := oldTail.ind.Query()
 		return open
 	})
-	if oldTail.csnzi.Close() {
+	if oldTail.ind.Close() {
 		// Closed empty: no readers will signal us. Wait for the
 		// predecessor node's own grant and recycle it ourselves.
 		atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })

@@ -25,6 +25,7 @@ import (
 
 	"ollock/internal/csnzi"
 	"ollock/internal/obs"
+	"ollock/internal/rind"
 	"ollock/internal/spin"
 	"ollock/internal/waitq"
 )
@@ -32,7 +33,7 @@ import (
 // RWLock is a GOLL reader-writer lock. Use New, then one Proc per
 // goroutine.
 type RWLock struct {
-	cs   *csnzi.CSNZI
+	cs   rind.Indicator
 	meta spin.Mutex
 	q    waitq.Queue
 	ids  atomic.Int64
@@ -49,7 +50,7 @@ type Proc struct {
 	l        *RWLock
 	id       int
 	priority int
-	ticket   csnzi.Ticket
+	ticket   rind.Ticket
 	// lc is the proc's buffered counter view (nil when the lock is
 	// uninstrumented); the arrival hot path counts through it so the
 	// shared stats cells are touched only once per obs.FlushEvery
@@ -69,7 +70,16 @@ type Option func(*RWLock)
 
 // WithCSNZI substitutes a custom-configured C-SNZI (tree width, fanout,
 // arrival policy) — used by the ablation benchmarks.
-func WithCSNZI(c *csnzi.CSNZI) Option { return func(l *RWLock) { l.cs = c } }
+func WithCSNZI(c *csnzi.CSNZI) Option {
+	return func(l *RWLock) { l.cs = rind.WrapCSNZI(c) }
+}
+
+// WithIndicator substitutes an arbitrary read indicator (see
+// internal/rind) for the default C-SNZI — the centralized-vs-tree
+// ablation as an architectural knob.
+func WithIndicator(ind rind.Indicator) Option {
+	return func(l *RWLock) { l.cs = ind }
+}
 
 // WithStats attaches an instrumentation block (see internal/obs). The
 // lock counts hand-offs and upgrade attempts/failures under goll.*,
@@ -84,10 +94,9 @@ func New(opts ...Option) *RWLock {
 		o(l)
 	}
 	if l.cs == nil {
-		l.cs = csnzi.New(csnzi.WithStats(l.stats))
-	} else if l.stats != nil {
-		l.cs.SetStats(l.stats)
+		l.cs = rind.NewCSNZI()
 	}
+	l.cs = rind.Instrument(l.cs, l.stats)
 	return l
 }
 

@@ -22,6 +22,7 @@ import (
 	"ollock/internal/ksuh"
 	"ollock/internal/mcs"
 	"ollock/internal/obs"
+	"ollock/internal/rind"
 	"ollock/internal/roll"
 	"ollock/internal/solaris"
 )
@@ -77,6 +78,15 @@ var Locks = []Impl{
 	{Name: "sync.RWMutex", New: newStdRW},
 	{Name: "bravo-goll", New: newBravoGOLL, NewStats: newBravoGOLLStats},
 	{Name: "bravo-roll", New: newBravoROLL, NewStats: newBravoROLLStats},
+	// The lock × read-indicator matrix (ollock.WithIndicator): each OLL
+	// lock over the two non-default rind implementations. The plain
+	// goll/foll/roll entries above cover the default C-SNZI indicator.
+	{Name: "goll-central", New: newGOLLInd(rind.CentralFactory()), Upgradable: true},
+	{Name: "goll-sharded", New: newGOLLInd(rind.ShardedFactory(0)), Upgradable: true},
+	{Name: "foll-central", New: newFOLLInd(rind.CentralFactory())},
+	{Name: "foll-sharded", New: newFOLLInd(rind.ShardedFactory(0))},
+	{Name: "roll-central", New: newROLLInd(rind.CentralFactory())},
+	{Name: "roll-sharded", New: newROLLInd(rind.ShardedFactory(0))},
 }
 
 // ByName returns the implementation with the given name, or nil.
@@ -161,6 +171,29 @@ func newBravoROLL(maxProcs int) ProcMaker {
 	base := roll.New(maxProcs)
 	l := bravo.New(func() bravo.BaseProc { return base.NewProc() })
 	return func() Proc { return l.NewProc() }
+}
+
+// --- indicator-matrix adapters ---
+
+func newGOLLInd(f rind.Factory) func(int) ProcMaker {
+	return func(maxProcs int) ProcMaker {
+		l := goll.New(goll.WithIndicator(f()))
+		return func() Proc { return l.NewProc() }
+	}
+}
+
+func newFOLLInd(f rind.Factory) func(int) ProcMaker {
+	return func(maxProcs int) ProcMaker {
+		l := foll.New(maxProcs, foll.WithIndicator(f))
+		return func() Proc { return l.NewProc() }
+	}
+}
+
+func newROLLInd(f rind.Factory) func(int) ProcMaker {
+	return func(maxProcs int) ProcMaker {
+		l := roll.New(maxProcs, roll.WithIndicator(f))
+		return func() Proc { return l.NewProc() }
+	}
 }
 
 // --- instrumented adapters ---

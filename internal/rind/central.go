@@ -1,0 +1,81 @@
+package rind
+
+import (
+	"ollock/internal/central"
+	"ollock/internal/obs"
+)
+
+// Central is the degenerate centralized read indicator: a single
+// CAS-able counter word with a closed bit — exactly the word at the
+// heart of the naive centralized lock (it *is* central.Lockword), and
+// what a C-SNZI with zero leaves reduces to. Every arrival and
+// departure hits the one word; it exists as the ablation floor the
+// paper measures the C-SNZI against.
+//
+// All Central tickets are direct: the word is the root.
+type Central struct {
+	w central.Lockword
+}
+
+// NewCentral returns an open centralized indicator with zero surplus.
+func NewCentral() *Central { return &Central{} }
+
+// Arrive implements Indicator.
+func (c *Central) Arrive(id int) Ticket {
+	if c.w.Arrive() {
+		return directTicket
+	}
+	return Ticket{}
+}
+
+// ArriveLocal implements Indicator. The centralized word does its own
+// accounting-free arrivals; lc is used only by the Instrument wrapper.
+func (c *Central) ArriveLocal(id int, _ *obs.Local) Ticket { return c.Arrive(id) }
+
+// Depart implements Indicator.
+func (c *Central) Depart(t Ticket) bool {
+	if t.kind != ticketDirect {
+		panic("rind: Depart with failed ticket")
+	}
+	return c.w.Depart()
+}
+
+// Query implements Indicator.
+func (c *Central) Query() (nonzero, open bool) { return c.w.Query() }
+
+// Close implements Indicator.
+func (c *Central) Close() bool {
+	_, acquired := c.w.Close()
+	return acquired
+}
+
+// closeReport exposes the transition/acquisition split for the
+// Instrument wrapper (close events are counted per transition).
+func (c *Central) closeReport() (transitioned, acquired bool) { return c.w.Close() }
+
+// CloseIfEmpty implements Indicator.
+func (c *Central) CloseIfEmpty() bool { return c.w.CloseIfEmpty() }
+
+// Open implements Indicator.
+func (c *Central) Open() { c.w.Open() }
+
+// OpenWithArrivals implements Indicator.
+func (c *Central) OpenWithArrivals(cnt int, close bool) { c.w.OpenWithArrivals(cnt, close) }
+
+// DirectTicket implements Indicator.
+func (c *Central) DirectTicket() Ticket { return directTicket }
+
+// TradeToRoot implements Indicator. Central arrivals are already
+// direct.
+func (c *Central) TradeToRoot(t Ticket) Ticket {
+	if t.kind != ticketDirect {
+		panic("rind: TradeToRoot with foreign ticket")
+	}
+	return t
+}
+
+// SoleDirect implements Indicator.
+func (c *Central) SoleDirect() bool { return c.w.Count() == 1 }
+
+// TryUpgrade implements Indicator.
+func (c *Central) TryUpgrade() bool { return c.w.TryUpgrade() }

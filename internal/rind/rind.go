@@ -1,0 +1,169 @@
+// Package rind defines the closable read-indicator contract the OLL
+// locks are built on, and its three implementations.
+//
+// The paper's core move is compositional: "take a reader-writer lock
+// and replace the central reader count with a C-SNZI". BRAVO (Dice &
+// Kogan, ATC '19) generalizes the observation — a reader-writer lock
+// design is largely a choice of *read indicator*: the mechanism through
+// which readers announce and retract their presence and writers block
+// new readers and detect the old ones draining. This package makes that
+// choice a first-class axis of the module:
+//
+//   - CSNZI: the paper's closable scalable nonzero indicator tree
+//     (package csnzi) — the default, and the subject of the paper.
+//   - Central: a single CAS-able counter word (central.Lockword), the
+//     degenerate indicator the paper's introduction criticizes; kept as
+//     the ablation floor.
+//   - Sharded: cache-line-padded per-proc ingress/egress counter pairs
+//     behind a closable gate word, in the style of BRAVO's
+//     ingress-egress taxonomy — readers stripe across slots, writers
+//     seal the slots and sum them.
+//
+// A closable indicator tracks a surplus (arrivals minus departures) and
+// an open/closed state. While closed, Arrive fails without changing the
+// surplus, so once a closed indicator's surplus drains to zero it stays
+// zero until reopened. The locks map their entire state onto this:
+//
+//	lock free       = open, surplus 0
+//	write-acquired  = closed, surplus 0
+//	read-acquired   = surplus > 0 (open, or closed when a writer waits)
+//
+// Exactly one caller observes each drain: the Depart that takes a
+// closed indicator's surplus to zero returns false (all others return
+// true), or the Close/CloseIfEmpty/TryUpgrade call that transitions an
+// empty indicator reports acquisition. That exactly-once property is
+// what lets the locks hand ownership over without further arbitration.
+package rind
+
+import (
+	"ollock/internal/csnzi"
+	"ollock/internal/obs"
+)
+
+// Indicator is a closable read indicator. Implementations must be safe
+// for concurrent use. The zero state of every implementation returned
+// by the package constructors is open with zero surplus.
+type Indicator interface {
+	// Arrive attempts to increment the surplus. It fails (returns a
+	// ticket for which Arrived is false) iff the indicator is closed;
+	// a failed arrival never modifies the surplus. The id selects the
+	// arrival point (leaf, slot) under contention; pass a stable
+	// per-goroutine value.
+	Arrive(id int) Ticket
+
+	// ArriveLocal is Arrive with event accounting routed through the
+	// caller's per-proc buffer (obs.Local). A nil lc falls back to the
+	// indicator's shared stats block, if any.
+	ArriveLocal(id int, lc *obs.Local) Ticket
+
+	// Depart decrements the surplus. It returns false iff the
+	// resulting state is closed with zero surplus — the caller was the
+	// last departer out of a closed indicator and must hand the
+	// guarded resource to the closer. The ticket must come from a
+	// successful Arrive (or be a DirectTicket matched by an
+	// OpenWithArrivals), each ticket departing at most once.
+	Depart(t Ticket) bool
+
+	// Query returns whether the indicator has a surplus and whether it
+	// is open. Both answers can be stale by the time they return.
+	Query() (nonzero, open bool)
+
+	// Close transitions the indicator from open to closed. It returns
+	// true iff the closer thereby acquired the indicator outright:
+	// the transition happened with the surplus zero (and, arrivals now
+	// failing, it stays zero). Closing an already-closed indicator
+	// returns false and changes nothing.
+	Close() bool
+
+	// CloseIfEmpty closes the indicator only if it is open with zero
+	// surplus, reporting whether it did. This is the writer fast path.
+	CloseIfEmpty() bool
+
+	// Open reopens the indicator. It requires (and panics otherwise)
+	// that the indicator is closed with zero surplus.
+	Open()
+
+	// OpenWithArrivals atomically opens the indicator, performs cnt
+	// direct arrivals, and, if close is set, closes it again. The
+	// matching departures must use DirectTicket, and must not begin
+	// until OpenWithArrivals returns. Like Open it requires the
+	// indicator to be closed with zero surplus.
+	OpenWithArrivals(cnt int, close bool)
+
+	// DirectTicket constructs the ticket for a departure matching an
+	// OpenWithArrivals arrival (a reader woken by a releasing writer
+	// that pre-arrived on its behalf).
+	DirectTicket() Ticket
+
+	// TradeToRoot converts the ticket of a held arrival into a direct
+	// ticket, so that SoleDirect/TryUpgrade can attribute the surplus.
+	// The caller must hold a successful arrival. Direct tickets are
+	// returned unchanged.
+	TradeToRoot(t Ticket) Ticket
+
+	// SoleDirect reports whether exactly one direct arrival and no
+	// other surplus exists — the probe behind write upgrade (§3.2.1):
+	// a caller holding a direct ticket learns whether it is the only
+	// thread with an arrival. Advisory: the answer can be stale.
+	SoleDirect() bool
+
+	// TryUpgrade attempts to atomically transition from "exactly one
+	// direct arrival, no other surplus" to "closed with zero surplus"
+	// (write-acquired), regardless of the current open/closed state.
+	// On success the caller's direct arrival is consumed (do not
+	// Depart it). It fails if any other arrival exists.
+	TryUpgrade() bool
+}
+
+// Factory constructs indicators. FOLL/ROLL hold one indicator per
+// ring-pool node, so they take a Factory rather than an Indicator;
+// recycled nodes then recycle indicators of any kind.
+type Factory func() Indicator
+
+// Ticket kinds. A Ticket is a small value naming where an arrival
+// landed; it carries no pointers beyond the C-SNZI node reference.
+const (
+	ticketFailed uint8 = iota // failed arrival (zero Ticket)
+	ticketDirect              // direct arrival (root word / gate word)
+	ticketCSNZI               // C-SNZI tree arrival
+	ticketSlot                // sharded-indicator slot arrival
+)
+
+// Ticket names the arrival point an Arrive landed at. Tickets are
+// opaque: obtain them from Arrive or DirectTicket and pass them back to
+// Depart (or TradeToRoot) on the same indicator. The zero Ticket is a
+// failed arrival.
+type Ticket struct {
+	cs   csnzi.Ticket // ticketCSNZI: the underlying tree ticket
+	slot int32        // ticketSlot: the slot index
+	kind uint8
+}
+
+// Arrived reports whether the Arrive that produced t succeeded.
+func (t Ticket) Arrived() bool { return t.kind != ticketFailed }
+
+// Direct reports whether t departs directly at the central word (root
+// or gate).
+func (t Ticket) Direct() bool { return t.kind == ticketDirect }
+
+// directTicket is the shared direct ticket value.
+var directTicket = Ticket{kind: ticketDirect}
+
+// CSNZIFactory returns a Factory producing C-SNZI-backed indicators
+// with the given configuration.
+func CSNZIFactory(opts ...csnzi.Option) Factory {
+	return func() Indicator { return NewCSNZI(opts...) }
+}
+
+// CentralFactory returns a Factory producing centralized single-word
+// indicators.
+func CentralFactory() Factory {
+	return func() Indicator { return NewCentral() }
+}
+
+// ShardedFactory returns a Factory producing sharded ingress/egress
+// indicators with nshards slots each (nshards <= 0 selects
+// DefaultShards).
+func ShardedFactory(nshards int) Factory {
+	return func() Indicator { return NewSharded(nshards) }
+}

@@ -1,0 +1,443 @@
+package rind
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ollock/internal/atomicx"
+	"ollock/internal/obs"
+)
+
+// Sharded is a closable read indicator built from cache-line-padded
+// per-proc ingress/egress counter pairs behind one closable gate word —
+// the "ingress-egress" point of BRAVO's read-indicator taxonomy, made
+// closable so the OLL locks can use it.
+//
+// Readers stripe across slots: an arrival CASes its slot's ingress
+// counter up, a departure fetch-adds the slot's egress counter. Under a
+// read-mostly workload distinct procs touch distinct cache lines and
+// never agree on anything — the same non-communication the C-SNZI tree
+// buys, without the tree's propagation logic, at the price of writers
+// summing every slot.
+//
+// # Protocol
+//
+// Gate word: bit 63 = closed, bit 62 = drained (the closed indicator's
+// surplus has provably reached zero; claimed by exactly one CAS), bit
+// 61 = pending (a multi-step probe or open-transition is in flight),
+// low bits = direct-arrival count (OpenWithArrivals hand-offs and
+// TradeToRoot transfers).
+//
+// Slot ingress word: bit 63 = sealed, low bits = cumulative arrivals.
+// Arrivals CAS the ingress, so sealing a slot (setting bit 63) makes
+// further arrivals fail cleanly: a failed arrival never modifies any
+// counter, which is what makes drain detection exact.
+//
+// Closing sets the gate's closed bit, then seals every slot. Any
+// thread that sums the slots under a closed gate first helps seal them
+// (sealing is an idempotent CAS), so a sum taken under a closed gate
+// only ever reads frozen ingress words: per-slot surplus is then
+// monotonically nonincreasing, a sum of zero implies the true surplus
+// is zero and stays zero. The last counter modification is followed by
+// such a sum (the departer's own), so the drain is never missed; the
+// drained bit's CAS makes its observation exactly-once.
+//
+// While the gate is pending — CloseIfEmpty and TryUpgrade probe via
+// pending so they can roll back, and Open/OpenWithArrivals reset the
+// slot pairs under it — arrivals spin rather than fail, and Close
+// waits. Arrive therefore fails iff the indicator is closed, with no
+// transient-failure window (a GOLL reader that fails must find a
+// closer to queue behind).
+type Sharded struct {
+	gate  atomicx.PaddedUint64
+	slots []shard
+}
+
+// shard is one ingress/egress pair, alone on its cache line (a proc's
+// arrive and depart touch the same line, which that proc mostly owns).
+type shard struct {
+	_       atomicx.Pad
+	ingress atomic.Uint64
+	egress  atomic.Uint64
+	_       [atomicx.CacheLineSize - 16]byte
+}
+
+// Gate word layout.
+const (
+	gateClosed     = uint64(1) << 63
+	gateDrained    = uint64(1) << 62
+	gatePending    = uint64(1) << 61
+	gateDirectMask = (uint64(1) << 31) - 1
+)
+
+// Slot ingress seal flag.
+const sealedBit = uint64(1) << 63
+
+// DefaultShards is the default slot count: one per processor, capped.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// NewSharded returns an open sharded indicator with zero surplus and
+// nshards ingress/egress slots (nshards <= 0 selects DefaultShards).
+func NewSharded(nshards int) *Sharded {
+	if nshards <= 0 {
+		nshards = DefaultShards()
+	}
+	return &Sharded{slots: make([]shard, nshards)}
+}
+
+func (s *Sharded) slotIndex(id int) int32 {
+	if id < 0 {
+		id = -id
+	}
+	return int32(id % len(s.slots))
+}
+
+// Arrive implements Indicator.
+func (s *Sharded) Arrive(id int) Ticket { return s.ArriveLocal(id, nil) }
+
+// ArriveLocal implements Indicator. The lc buffer is used only by the
+// Instrument wrapper; the raw indicator keeps no counters of its own.
+func (s *Sharded) ArriveLocal(id int, _ *obs.Local) Ticket {
+	var b atomicx.Backoff
+	for {
+		g := s.gate.Load()
+		if g&gateClosed != 0 {
+			return Ticket{}
+		}
+		if g&gatePending != 0 {
+			// A probe or open-transition is deciding; wait it out
+			// rather than failing (it either commits to closed, making
+			// us fail honestly, or finishes open, letting us in).
+			b.Pause()
+			continue
+		}
+		idx := s.slotIndex(id)
+		sl := &s.slots[idx]
+		for {
+			x := sl.ingress.Load()
+			if x&sealedBit != 0 {
+				break // sealed under us: re-read the gate
+			}
+			if sl.ingress.CompareAndSwap(x, x+1) {
+				return Ticket{kind: ticketSlot, slot: idx}
+			}
+			b.Pause()
+		}
+	}
+}
+
+// Depart implements Indicator.
+func (s *Sharded) Depart(t Ticket) bool {
+	switch t.kind {
+	case ticketSlot:
+		sl := &s.slots[t.slot]
+		sl.egress.Add(1)
+		g := s.gate.Load()
+		if g&gateClosed == 0 {
+			return true
+		}
+		return !s.tryDrain(g)
+	case ticketDirect:
+		return s.departDirect()
+	default:
+		panic("rind: Depart with failed ticket")
+	}
+}
+
+func (s *Sharded) departDirect() bool {
+	var b atomicx.Backoff
+	for {
+		g := s.gate.Load()
+		if g&gateDirectMask == 0 {
+			panic("rind: direct Depart without matching arrival")
+		}
+		ng := g - 1
+		if s.gate.CompareAndSwap(g, ng) {
+			if ng&gateClosed == 0 || ng&gateDirectMask != 0 {
+				return true
+			}
+			return !s.tryDrain(ng)
+		}
+		b.Pause()
+	}
+}
+
+// tryDrain attempts to claim the drained state of a closed gate whose
+// word was read as g. It returns true iff this call won the claim (the
+// caller owns the write-acquired indicator or must hand it over).
+func (s *Sharded) tryDrain(g uint64) bool {
+	for {
+		if g&gateDrained != 0 || g&gateDirectMask != 0 {
+			return false
+		}
+		if s.sumSealed() != 0 {
+			return false
+		}
+		// The claim CAS re-validates the whole gate word: if the direct
+		// count moved (a TradeToRoot) or someone else drained, it fails
+		// and the reload re-evaluates.
+		if s.gate.CompareAndSwap(g, g|gateDrained) {
+			return true
+		}
+		g = s.gate.Load()
+		if g&gateClosed == 0 {
+			return false
+		}
+	}
+}
+
+// sumSealed seals every slot (idempotent help: a sum under a closed
+// gate must never read a moving ingress) and returns the summed
+// surplus. Per slot the egress is read first: with the ingress frozen
+// the slot surplus can only be overestimated, never underestimated, so
+// a zero sum proves a true — and, closed, permanent — zero surplus.
+func (s *Sharded) sumSealed() uint64 {
+	var total uint64
+	for i := range s.slots {
+		sl := &s.slots[i]
+		for {
+			x := sl.ingress.Load()
+			if x&sealedBit != 0 {
+				break
+			}
+			if sl.ingress.CompareAndSwap(x, x|sealedBit) {
+				break
+			}
+		}
+		e := sl.egress.Load()
+		in := sl.ingress.Load() &^ sealedBit
+		total += in - e
+	}
+	return total
+}
+
+func (s *Sharded) unsealSlots() {
+	for i := range s.slots {
+		sl := &s.slots[i]
+		for {
+			x := sl.ingress.Load()
+			if x&sealedBit == 0 || sl.ingress.CompareAndSwap(x, x&^sealedBit) {
+				break
+			}
+		}
+	}
+}
+
+// quickSum is the advisory (unsealed, racy) surplus estimate used by
+// Query and the CloseIfEmpty pre-check.
+func (s *Sharded) quickSum() uint64 {
+	var total uint64
+	for i := range s.slots {
+		sl := &s.slots[i]
+		e := sl.egress.Load()
+		in := sl.ingress.Load() &^ sealedBit
+		total += in - e
+	}
+	return total
+}
+
+// Query implements Indicator. The pending state reports open: a probe
+// in flight has not closed anything yet, and callers polling for open
+// (GOLL's retry loop, the FOLL writer's pre-close wait) must treat it
+// as such.
+func (s *Sharded) Query() (nonzero, open bool) {
+	g := s.gate.Load()
+	return g&gateDirectMask != 0 || s.quickSum() != 0, g&gateClosed == 0
+}
+
+// Close implements Indicator.
+func (s *Sharded) Close() bool {
+	_, acquired := s.closeReport()
+	return acquired
+}
+
+// closeReport exposes the transition/acquisition split for the
+// Instrument wrapper.
+func (s *Sharded) closeReport() (transitioned, acquired bool) {
+	var b atomicx.Backoff
+	for {
+		g := s.gate.Load()
+		if g&gateClosed != 0 {
+			return false, false
+		}
+		if g&gatePending != 0 {
+			b.Pause() // wait out the probe / open-transition
+			continue
+		}
+		if s.gate.CompareAndSwap(g, g|gateClosed) {
+			// Seal and try to claim the drain ourselves. Losing the
+			// race (or finding surplus) is fine: the last departer's
+			// own sum claims it then.
+			return true, s.tryDrain(g | gateClosed)
+		}
+		b.Pause()
+	}
+}
+
+// CloseIfEmpty implements Indicator. The probe takes the gate pending,
+// seals and sums, and either commits to closed+drained or rolls back;
+// arrivals spin out the pending window instead of failing.
+func (s *Sharded) CloseIfEmpty() bool {
+	if s.gate.Load() != 0 || s.quickSum() != 0 {
+		return false
+	}
+	if !s.gate.CompareAndSwap(0, gatePending) {
+		return false
+	}
+	if s.sumSealed() == 0 && s.gate.CompareAndSwap(gatePending, gateClosed|gateDrained) {
+		return true // slots stay sealed while closed
+	}
+	// Surplus appeared (a straddling arrival, or a TradeToRoot bumped
+	// the direct count): roll back. Unseal before publishing the open
+	// gate — arrivals check the gate before touching a slot.
+	s.unsealSlots()
+	s.clearPending()
+	return false
+}
+
+func (s *Sharded) clearPending() {
+	for {
+		g := s.gate.Load()
+		if s.gate.CompareAndSwap(g, g&^gatePending) {
+			return
+		}
+	}
+}
+
+// Open implements Indicator.
+func (s *Sharded) Open() {
+	s.openWithArrivals(0, false)
+}
+
+// OpenWithArrivals implements Indicator.
+func (s *Sharded) OpenWithArrivals(cnt int, close bool) {
+	if cnt < 0 || uint64(cnt) > gateDirectMask {
+		panic(fmt.Sprintf("rind: OpenWithArrivals count %d out of range", cnt))
+	}
+	s.openWithArrivals(cnt, close)
+}
+
+func (s *Sharded) openWithArrivals(cnt int, close bool) {
+	if g := s.gate.Load(); g != gateClosed|gateDrained {
+		panic(fmt.Sprintf("rind: Open on %s", s.describe(g)))
+	}
+	w := uint64(cnt)
+	if close {
+		if w == 0 {
+			return // identity: stays write-acquired
+		}
+		// Handed-off direct arrivals under a still-closed gate; the
+		// slots stay sealed and the last direct departer re-drains.
+		s.gate.Store(gateClosed | w)
+		return
+	}
+	// Open transition: reset the slot pairs under the pending state so
+	// concurrent closers wait and arrivals spin (a plain reset would
+	// race a closer's seals). The owner of a drained indicator is the
+	// only possible gate writer here, so plain stores suffice for the
+	// gate itself. Per slot the egress resets before the ingress: the
+	// ingress store also unseals, and a stale arriver may CAS the slot
+	// the moment it is unsealed.
+	s.gate.Store(gatePending)
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.egress.Store(0)
+		sl.ingress.Store(0)
+	}
+	s.gate.Store(w)
+}
+
+// DirectTicket implements Indicator.
+func (s *Sharded) DirectTicket() Ticket { return directTicket }
+
+// TradeToRoot implements Indicator: the held slot arrival moves into
+// the gate's direct count (direct count up first, then the slot
+// departure — the order keeps the total surplus visibly nonzero, so a
+// concurrent summer can never claim a spurious drain).
+func (s *Sharded) TradeToRoot(t Ticket) Ticket {
+	switch t.kind {
+	case ticketDirect:
+		return t
+	case ticketSlot:
+	default:
+		panic("rind: TradeToRoot with failed ticket")
+	}
+	var b atomicx.Backoff
+	for {
+		g := s.gate.Load()
+		if g&gateDirectMask == gateDirectMask {
+			panic("rind: direct-arrival count overflow")
+		}
+		if s.gate.CompareAndSwap(g, g+1) {
+			break
+		}
+		b.Pause()
+	}
+	s.slots[t.slot].egress.Add(1)
+	return directTicket
+}
+
+// SoleDirect implements Indicator.
+func (s *Sharded) SoleDirect() bool {
+	return s.gate.Load()&gateDirectMask == 1 && s.quickSum() == 0
+}
+
+// TryUpgrade implements Indicator: probe via pending (stalling
+// arrivals), seal and sum, and either commit — consuming the caller's
+// direct arrival — or roll back.
+func (s *Sharded) TryUpgrade() bool {
+	var b atomicx.Backoff
+	var g uint64
+	for {
+		g = s.gate.Load()
+		if g&gateDirectMask != 1 {
+			return false
+		}
+		if g&gatePending != 0 {
+			b.Pause()
+			continue
+		}
+		if s.gate.CompareAndSwap(g, g|gatePending) {
+			break
+		}
+		b.Pause()
+	}
+	wasClosed := g&gateClosed != 0
+	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, gateClosed|gateDrained) {
+		return true // sole arrival consumed; write-acquired
+	}
+	if !wasClosed {
+		// Our probe did the sealing; a closed gate's seals belong to
+		// the closer and stay.
+		s.unsealSlots()
+	}
+	s.clearPending()
+	return false
+}
+
+func (s *Sharded) describe(g uint64) string {
+	state := "OPEN"
+	if g&gateClosed != 0 {
+		state = "CLOSED"
+	}
+	if g&gatePending != 0 {
+		state += "+PENDING"
+	}
+	if g&gateDrained != 0 {
+		state += "+DRAINED"
+	}
+	return fmt.Sprintf("Sharded{state=%s direct=%d slots=%d}", state, g&gateDirectMask, s.quickSum())
+}
+
+// Shards returns the slot count (diagnostic).
+func (s *Sharded) Shards() int { return len(s.slots) }

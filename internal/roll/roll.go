@@ -33,8 +33,8 @@ import (
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
-	"ollock/internal/csnzi"
 	"ollock/internal/obs"
+	"ollock/internal/rind"
 )
 
 // Node kinds.
@@ -62,7 +62,7 @@ type Node struct {
 	qPrev atomicx.PaddedPointer[Node]
 	spin  atomicx.PaddedBool
 	// Reader-node-only fields.
-	csnzi      *csnzi.CSNZI
+	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
 	ringNext   *Node
 }
@@ -74,8 +74,9 @@ type RWLock struct {
 	lastReader atomicx.PaddedPointer[Node] // hint: last known waiting reader node
 	ring       []Node
 	procs      atomic.Int64
+	factory    rind.Factory
 	// stats is the optional instrumentation block (nil = off), shared
-	// with every ring node's C-SNZI.
+	// with every ring node's indicator.
 	stats *obs.Stats
 }
 
@@ -87,7 +88,7 @@ type Proc struct {
 	rNode      *Node
 	wNode      *Node
 	departFrom *Node
-	ticket     csnzi.Ticket
+	ticket     rind.Ticket
 	// lc is the proc's buffered counter view (nil when the lock is
 	// uninstrumented); the read hot path counts through it so the
 	// shared stats cells are touched only once per obs.FlushEvery
@@ -104,6 +105,11 @@ type Option func(*RWLock)
 // node's C-SNZI (csnzi.* counters).
 func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
+// WithIndicator substitutes a read-indicator factory (see
+// internal/rind) for the per-node C-SNZIs; every ring-pool node gets
+// its own indicator of the chosen kind.
+func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
+
 // New returns a ROLL lock sized for maxProcs participating goroutines.
 func New(maxProcs int, opts ...Option) *RWLock {
 	if maxProcs <= 0 {
@@ -113,12 +119,15 @@ func New(maxProcs int, opts ...Option) *RWLock {
 	for _, o := range opts {
 		o(l)
 	}
+	if l.factory == nil {
+		l.factory = rind.CSNZIFactory()
+	}
 	for i := range l.ring {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.csnzi = csnzi.New(csnzi.WithStats(l.stats))
-		n.csnzi.CloseIfEmpty() // not enqueued => closed
+		n.ind = rind.Instrument(l.factory(), l.stats)
+		n.ind.CloseIfEmpty() // not enqueued => closed
 	}
 	return l
 }
@@ -164,7 +173,7 @@ func (p *Proc) tryJoinWaiting(n *Node) bool {
 	if n.kind != kindReader || !n.spin.Load() {
 		return false
 	}
-	t := n.csnzi.ArriveLocal(p.id, p.lc)
+	t := n.ind.ArriveLocal(p.id, p.lc)
 	if !t.Arrived() {
 		return false
 	}
@@ -214,8 +223,8 @@ func (p *Proc) RLock() {
 				continue
 			}
 			p.lc.Inc(obs.ROLLReadEnqueue)
-			rNode.csnzi.Open()
-			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
+			rNode.ind.Open()
+			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -226,7 +235,7 @@ func (p *Proc) RLock() {
 
 		case tail.kind == kindReader:
 			// Tail is a reader node: join it directly (same as FOLL).
-			t := tail.csnzi.ArriveLocal(p.id, p.lc)
+			t := tail.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.lc.Inc(obs.ROLLReadJoin)
 				p.departFrom = tail
@@ -265,8 +274,8 @@ func (p *Proc) RLock() {
 			}
 			p.lc.Inc(obs.ROLLReadEnqueue)
 			tail.qNext.Store(rNode)
-			rNode.csnzi.Open()
-			t := rNode.csnzi.ArriveLocal(p.id, p.lc)
+			rNode.ind.Open()
+			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
@@ -285,7 +294,7 @@ func (p *Proc) RLock() {
 // this thread departed last and recycling the group's node.
 func (p *Proc) RUnlock() {
 	n := p.departFrom
-	if n.csnzi.Depart(p.ticket) {
+	if n.ind.Depart(p.ticket) {
 		return
 	}
 	succ := n.qNext.Load()
@@ -315,7 +324,7 @@ func (p *Proc) Lock() {
 	// Reader-node predecessor. First wait out the enqueue/Open window
 	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
 	atomicx.SpinUntil(func() bool {
-		_, open := oldTail.csnzi.Query()
+		_, open := oldTail.ind.Query()
 		return open
 	})
 	// ROLL's key difference from FOLL: do NOT close the group's C-SNZI
@@ -325,7 +334,7 @@ func (p *Proc) Lock() {
 	// reader targets it (the backward search joins only spin==true
 	// nodes).
 	atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
-	if oldTail.csnzi.Close() {
+	if oldTail.ind.Close() {
 		// Group already drained: no reader will signal us; the grant we
 		// just observed (spin false) is ours to take over.
 		w.qPrev.Store(nil) // we are the head now

@@ -97,6 +97,10 @@ type CSNZI struct {
 // with its C-SNZIs, mirroring csnzi.CSNZI.SetStats.
 func (s *CSNZI) SetStats(st *obs.Stats) { s.stats = st }
 
+// InitClosed sets the root to closed with zero surplus before the
+// simulation starts (host-side; ring-pool nodes start closed).
+func (s *CSNZI) InitClosed() { s.root.Init(closedBit) }
+
 // CSNZIConfig sizes a simulated C-SNZI.
 type CSNZIConfig struct {
 	// Direct disables the tree entirely: all arrivals go to the root

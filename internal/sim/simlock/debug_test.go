@@ -34,7 +34,7 @@ func TestDebugGOLLReadOnly(t *testing.T) {
 		}
 		ops := int64(threads) * 150
 		fmt.Printf("goll threads=%-3d cycles=%-10d cyc/op=%-8.1f accesses/op=%-6.2f remote/op=%-6.3f root=%#x\n",
-			threads, cycles, float64(cycles)/float64(ops), float64(acc)/float64(ops), float64(rem)/float64(ops), l.cs.root.Value())
+			threads, cycles, float64(cycles)/float64(ops), float64(acc)/float64(ops), float64(rem)/float64(ops), l.cs.(*CSNZI).root.Value())
 	}
 }
 
@@ -123,7 +123,7 @@ func TestDebugGOLLCounters(t *testing.T) {
 		}
 		cycles := m.Run()
 		ops := float64(threads) * 150
-		cs := l.cs
+		cs := l.cs.(*CSNZI)
 		fmt.Printf("threads=%d cycles=%d ops=%v\n  rootCAS/op=%.3f nodeCAS/op=%.2f propagate/op=%.3f\n",
 			threads, cycles, ops,
 			float64(cs.StatRootCAS)/ops, float64(cs.StatNodeCAS)/ops, float64(cs.StatPropagate)/ops)
@@ -149,7 +149,7 @@ func TestDebugGOLLT5440(t *testing.T) {
 		}
 		cycles := m.Run()
 		ops := float64(threads) * 150
-		cs := l.cs
+		cs := l.cs.(*CSNZI)
 		fmt.Printf("T5440 goll threads=%-4d cyc/op=%-8.1f thr=%.3e rootCAS/op=%.4f nodeCAS/op=%.2f propagate/op=%.4f\n",
 			threads, float64(cycles)/ops, ops/(float64(cycles)/sim.ClockHz),
 			float64(cs.StatRootCAS)/ops, float64(cs.StatNodeCAS)/ops, float64(cs.StatPropagate)/ops)

@@ -17,7 +17,7 @@ type qNode struct {
 	qNext    *sim.Word // node ref
 	spin     *sim.Word // 1 = waiting
 	// Reader-node fields.
-	cs         *CSNZI
+	cs         Indicator
 	allocState *sim.Word // 0 free, 1 in use
 	ringNext   int
 	// ROLL only.
@@ -50,31 +50,37 @@ type FOLL struct {
 func (l *FOLL) Stats() *obs.Stats { return l.stats }
 
 // NewFOLL allocates a FOLL lock on m with a ring of maxProcs reader
-// nodes.
+// nodes over the default C-SNZI indicators.
 func NewFOLL(m *sim.Machine, maxProcs int) *FOLL {
-	return newFOLL(m, maxProcs, false)
+	return newFOLL(m, maxProcs, false, "foll", CSNZIIndicator)
 }
 
-func newFOLL(m *sim.Machine, maxProcs int, withPrev bool) *FOLL {
+// NewFOLLInd is NewFOLL with an explicit read-indicator choice
+// (mirrors ollock.WithIndicator); name labels the stats block.
+func NewFOLLInd(m *sim.Machine, maxProcs int, name string, f IndicatorFactory) *FOLL {
+	return newFOLL(m, maxProcs, false, name, f)
+}
+
+func newFOLL(m *sim.Machine, maxProcs int, withPrev bool, name string, f IndicatorFactory) *FOLL {
 	l := &FOLL{m: m, tail: m.NewWord(0), maxProcs: maxProcs, withPrev: withPrev}
 	if withPrev {
-		l.stats = obs.New(obs.WithName("roll"), obs.WithStripes(1), obs.WithScopes("csnzi", "roll"))
+		l.stats = obs.New(obs.WithName(name), obs.WithStripes(1), obs.WithScopes("csnzi", "roll"))
 		l.evJoin, l.evEnqueue, l.evRecycle = obs.ROLLReadJoin, obs.ROLLReadEnqueue, obs.ROLLNodeRecycle
 	} else {
-		l.stats = obs.New(obs.WithName("foll"), obs.WithStripes(1), obs.WithScopes("csnzi", "foll"))
+		l.stats = obs.New(obs.WithName(name), obs.WithStripes(1), obs.WithScopes("csnzi", "foll"))
 		l.evJoin, l.evEnqueue, l.evRecycle = obs.FOLLReadJoin, obs.FOLLReadEnqueue, obs.FOLLNodeRecycle
 	}
 	for i := 0; i < maxProcs; i++ {
 		n := &qNode{
 			qNext:      m.NewWord(0),
 			spin:       m.NewWord(0),
-			cs:         NewCSNZI(m, DefaultCSNZIConfig(m, maxProcs)),
+			cs:         f(m, maxProcs),
 			allocState: m.NewWord(0),
 			ringNext:   (i + 1) % maxProcs,
 		}
 		// Not enqueued => closed (ring nodes start closed with zero
 		// surplus).
-		n.cs.root.Init(closedBit)
+		n.cs.InitClosed()
 		n.cs.SetStats(l.stats)
 		if withPrev {
 			n.qPrev = m.NewWord(0)

@@ -5,24 +5,31 @@ import (
 	"ollock/internal/sim"
 )
 
-// GOLL is the simulated GOLL lock (mirrors internal/goll): C-SNZI lock
-// state plus a mutex-protected wait queue with Solaris-policy hand-off.
+// GOLL is the simulated GOLL lock (mirrors internal/goll): a closable
+// read indicator holding the lock state plus a mutex-protected wait
+// queue with Solaris-policy hand-off.
 type GOLL struct {
 	m     *sim.Machine
-	cs    *CSNZI
+	cs    Indicator
 	meta  simMutex
 	q     simWaitQueue
 	stats *obs.Stats
 }
 
-// NewGOLL allocates a GOLL lock on m, with the C-SNZI tree sized for
-// maxProcs threads.
+// NewGOLL allocates a GOLL lock on m over the default C-SNZI indicator
+// sized for maxProcs threads.
 func NewGOLL(m *sim.Machine, maxProcs int) *GOLL {
+	return NewGOLLInd(m, maxProcs, "goll", CSNZIIndicator)
+}
+
+// NewGOLLInd is NewGOLL with an explicit read-indicator choice
+// (mirrors ollock.WithIndicator); name labels the stats block.
+func NewGOLLInd(m *sim.Machine, maxProcs int, name string, f IndicatorFactory) *GOLL {
 	l := &GOLL{
 		m:     m,
-		cs:    NewCSNZI(m, DefaultCSNZIConfig(m, maxProcs)),
+		cs:    f(m, maxProcs),
 		meta:  newSimMutex(m),
-		stats: obs.New(obs.WithName("goll"), obs.WithStripes(1), obs.WithScopes("csnzi", "goll")),
+		stats: obs.New(obs.WithName(name), obs.WithStripes(1), obs.WithScopes("csnzi", "goll")),
 	}
 	l.cs.SetStats(l.stats)
 	return l

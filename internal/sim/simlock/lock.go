@@ -43,6 +43,15 @@ var Locks = []Factory{
 	{Name: "central", New: func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
 	{Name: "bravo-goll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewGOLL(m, n)) }},
 	{Name: "bravo-roll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewROLL(m, n)) }},
+	// The lock × read-indicator matrix (mirrors the real locksuite
+	// entries): each OLL lock over the two non-default indicators. The
+	// plain goll/foll/roll entries cover the default C-SNZI.
+	{Name: "goll-central", New: func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-central", CentralIndicator) }},
+	{Name: "goll-sharded", New: func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-sharded", ShardedIndicator) }},
+	{Name: "foll-central", New: func(m *sim.Machine, n int) Lock { return NewFOLLInd(m, n, "foll-central", CentralIndicator) }},
+	{Name: "foll-sharded", New: func(m *sim.Machine, n int) Lock { return NewFOLLInd(m, n, "foll-sharded", ShardedIndicator) }},
+	{Name: "roll-central", New: func(m *sim.Machine, n int) Lock { return NewROLLInd(m, n, "roll-central", CentralIndicator) }},
+	{Name: "roll-sharded", New: func(m *sim.Machine, n int) Lock { return NewROLLInd(m, n, "roll-sharded", ShardedIndicator) }},
 }
 
 // StatsOf returns a simulated lock's obs counter block, or nil for

@@ -53,6 +53,49 @@ func TestCounterNamesMatchRealLocks(t *testing.T) {
 	}
 }
 
+// TestCounterNamesMatchIndicatorMatrix extends the name-set contract to
+// the lock × read-indicator matrix: for every non-default pairing, the
+// simulator port's counter names match the real lock built with
+// ollock.WithIndicator (all indicators report through the same csnzi.*
+// names; see rind.Instrument).
+func TestCounterNamesMatchIndicatorMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind ollock.Kind
+		ind  ollock.IndicatorKind
+	}{
+		{"goll-central", ollock.GOLL, ollock.IndicatorCentral},
+		{"goll-sharded", ollock.GOLL, ollock.IndicatorSharded},
+		{"foll-central", ollock.FOLL, ollock.IndicatorCentral},
+		{"foll-sharded", ollock.FOLL, ollock.IndicatorSharded},
+		{"roll-central", ollock.ROLL, ollock.IndicatorCentral},
+		{"roll-sharded", ollock.ROLL, ollock.IndicatorSharded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			real, err := ollock.New(tc.kind, 4, ollock.WithStats(""), ollock.WithIndicator(tc.ind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			realSnap, ok := ollock.SnapshotOf(real)
+			if !ok {
+				t.Fatalf("real %s lock has no stats", tc.name)
+			}
+			f := simlock.ByName(tc.name)
+			if f == nil {
+				t.Fatalf("no simulated factory %q", tc.name)
+			}
+			m := sim.New(sim.T5440())
+			st := simlock.StatsOf(f.New(m, 4))
+			if st == nil {
+				t.Fatalf("simulated %s lock has no stats", tc.name)
+			}
+			if got, want := st.Snapshot().Names(), realSnap.Names(); !reflect.DeepEqual(got, want) {
+				t.Errorf("counter name sets differ:\n  sim:  %v\n  real: %v", got, want)
+			}
+		})
+	}
+}
+
 func histNames(sn ollock.Snapshot) []string {
 	out := []string{}
 	for name := range sn.Hists {

@@ -20,10 +20,16 @@ type ROLL struct {
 const rollSearchLimit = 256
 
 // NewROLL allocates a ROLL lock on m with a ring of maxProcs reader
-// nodes.
+// nodes over the default C-SNZI indicators.
 func NewROLL(m *sim.Machine, maxProcs int) *ROLL {
+	return NewROLLInd(m, maxProcs, "roll", CSNZIIndicator)
+}
+
+// NewROLLInd is NewROLL with an explicit read-indicator choice
+// (mirrors ollock.WithIndicator); name labels the stats block.
+func NewROLLInd(m *sim.Machine, maxProcs int, name string, f IndicatorFactory) *ROLL {
 	return &ROLL{
-		f:          newFOLL(m, maxProcs, true),
+		f:          newFOLL(m, maxProcs, true, name, f),
 		lastReader: m.NewWord(0),
 		useHint:    true,
 	}

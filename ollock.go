@@ -47,6 +47,7 @@ import (
 	"ollock/internal/foll"
 	"ollock/internal/goll"
 	"ollock/internal/obs"
+	"ollock/internal/rind"
 	"ollock/internal/roll"
 )
 
@@ -117,6 +118,30 @@ func Kinds() []Kind {
 	return []Kind{GOLL, FOLL, ROLL, KSUH, MCSRW, Solaris, Hsieh, Central, KindBravoGOLL, KindBravoROLL}
 }
 
+// IndicatorKind names a read-indicator implementation (see
+// internal/rind): the mechanism through which readers announce and
+// retract their presence inside an OLL lock.
+type IndicatorKind string
+
+// Available read indicators for the OLL locks.
+const (
+	// IndicatorCSNZI is the paper's closable scalable nonzero
+	// indicator tree — the default.
+	IndicatorCSNZI IndicatorKind = "csnzi"
+	// IndicatorCentral is a single CAS-able counter word, the
+	// degenerate centralized indicator (the ablation floor).
+	IndicatorCentral IndicatorKind = "central"
+	// IndicatorSharded is the cache-line-padded per-proc
+	// ingress/egress counter array behind a closable gate word
+	// (BRAVO-style ingress-egress indicator).
+	IndicatorSharded IndicatorKind = "sharded"
+)
+
+// IndicatorKinds lists every available read indicator.
+func IndicatorKinds() []IndicatorKind {
+	return []IndicatorKind{IndicatorCSNZI, IndicatorCentral, IndicatorSharded}
+}
+
 // Option configures New.
 type Option func(*newConfig)
 
@@ -125,6 +150,7 @@ type newConfig struct {
 	biasMult  int
 	withStats bool
 	statsName string
+	indicator IndicatorKind
 }
 
 // WithBias wraps the created lock with the BRAVO biased reader fast path
@@ -145,6 +171,18 @@ func WithBiasMultiplier(n int) Option {
 		c.bias = true
 		c.biasMult = n
 	}
+}
+
+// WithIndicator selects the read indicator backing an OLL lock (GOLL,
+// FOLL, ROLL, and their BRAVO-wrapped variants): the paper's C-SNZI
+// tree (the default), a degenerate centralized counter word, or a
+// sharded ingress/egress counter array. Baseline kinds have their own
+// fixed reader-tracking mechanisms; New returns an error when a
+// non-default indicator is requested for one. Composes with WithStats
+// (every indicator reports through the same csnzi.* counter names) and
+// WithBias.
+func WithIndicator(k IndicatorKind) Option {
+	return func(c *newConfig) { c.indicator = k }
 }
 
 // WithStats attaches a striped instrumentation block to the created
@@ -231,14 +269,37 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		}
 		st = obs.New(obs.WithName(name), obs.WithScopes(statScopes(kind, bias)...))
 	}
+	factory, err := indicatorFactory(cfg.indicator)
+	if err != nil {
+		return nil, err
+	}
+	if factory != nil {
+		switch kind {
+		case GOLL, FOLL, ROLL, KindBravoGOLL, KindBravoROLL:
+		default:
+			return nil, fmt.Errorf("ollock: lock kind %q does not take a read indicator (%q)", kind, cfg.indicator)
+		}
+	}
 	var base Lock
 	switch kind {
 	case GOLL, KindBravoGOLL:
-		base = &GOLLLock{l: goll.New(goll.WithStats(st)), stats: st}
+		gopts := []goll.Option{goll.WithStats(st)}
+		if factory != nil {
+			gopts = append(gopts, goll.WithIndicator(factory()))
+		}
+		base = &GOLLLock{l: goll.New(gopts...), stats: st}
 	case FOLL:
-		base = &FOLLLock{l: foll.New(maxProcs, foll.WithStats(st)), stats: st}
+		fopts := []foll.Option{foll.WithStats(st)}
+		if factory != nil {
+			fopts = append(fopts, foll.WithIndicator(factory))
+		}
+		base = &FOLLLock{l: foll.New(maxProcs, fopts...), stats: st}
 	case ROLL, KindBravoROLL:
-		base = &ROLLLock{l: roll.New(maxProcs, roll.WithStats(st)), stats: st}
+		ropts := []roll.Option{roll.WithStats(st)}
+		if factory != nil {
+			ropts = append(ropts, roll.WithIndicator(factory))
+		}
+		base = &ROLLLock{l: roll.New(maxProcs, ropts...), stats: st}
 	case KSUH:
 		base = NewKSUH()
 	case MCSRW:
@@ -259,6 +320,22 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		return wrapBiasStats(base, cfg.biasMult, st), nil
 	}
 	return base, nil
+}
+
+// indicatorFactory maps an IndicatorKind to a rind.Factory, or nil for
+// the default (the locks build their own C-SNZI when given no
+// indicator, preserving the pre-option construction path exactly).
+func indicatorFactory(k IndicatorKind) (rind.Factory, error) {
+	switch k {
+	case "", IndicatorCSNZI:
+		return nil, nil
+	case IndicatorCentral:
+		return rind.CentralFactory(), nil
+	case IndicatorSharded:
+		return rind.ShardedFactory(0), nil
+	default:
+		return nil, fmt.Errorf("ollock: unknown indicator kind %q", k)
+	}
 }
 
 // MustNew is New, panicking on error; convenient for tables of kinds

@@ -84,6 +84,38 @@ func TestBravoKindsMatchWithBias(t *testing.T) {
 	}
 }
 
+func TestWithIndicatorAllCombos(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		for _, ind := range ollock.IndicatorKinds() {
+			kind, ind := kind, ind
+			t.Run(string(kind)+"/"+string(ind), func(t *testing.T) {
+				l, err := ollock.New(kind, 4, ollock.WithIndicator(ind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := l.NewProc()
+				p.RLock()
+				p.RUnlock()
+				p.Lock()
+				p.Unlock()
+			})
+		}
+	}
+}
+
+func TestWithIndicatorRejections(t *testing.T) {
+	if _, err := ollock.New(ollock.GOLL, 1, ollock.WithIndicator("no-such-indicator")); err == nil {
+		t.Fatal("expected error for unknown indicator kind")
+	}
+	if _, err := ollock.New(ollock.KSUH, 1, ollock.WithIndicator(ollock.IndicatorSharded)); err == nil {
+		t.Fatal("expected error for indicator on a fixed-tracking kind")
+	}
+	// The default indicator is accepted everywhere (it is a no-op).
+	if _, err := ollock.New(ollock.KSUH, 1, ollock.WithIndicator(ollock.IndicatorCSNZI)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConcurrentCounterAllKinds(t *testing.T) {
 	for _, kind := range ollock.Kinds() {
 		kind := kind
