@@ -26,8 +26,20 @@ import (
 // Gate word: bit 63 = closed, bit 62 = drained (the closed indicator's
 // surplus has provably reached zero; claimed by exactly one CAS), bit
 // 61 = pending (a multi-step probe or open-transition is in flight),
-// low bits = direct-arrival count (OpenWithArrivals hand-offs and
-// TradeToRoot transfers).
+// bits 31-60 = close-epoch sequence counter (incremented on every open
+// transition), low 31 bits = direct-arrival count (OpenWithArrivals
+// hand-offs and TradeToRoot transfers).
+//
+// The epoch counter exists to break an ABA on the drain claim: without
+// it, the gate word "closed, direct=0" recurs bit-identically in every
+// close epoch, so a departer preempted inside tryDrain between its sum
+// and its claim CAS could resume after the owner has Opened and a new
+// writer has Closed, succeed the stale CAS, and spuriously hand the
+// lock over while new-epoch readers hold slot arrivals. With the epoch
+// in the word, a claim CAS formed in epoch N can only succeed while the
+// gate is still in epoch N, where the claim is genuine. (The counter
+// wraps at 2^30 opens; a claimant would have to stall across exactly
+// that many open transitions to alias, the standard seqlock caveat.)
 //
 // Slot ingress word: bit 63 = sealed, low bits = cumulative arrivals.
 // Arrivals CAS the ingress, so sealing a slot (setting bit 63) makes
@@ -68,6 +80,9 @@ const (
 	gateClosed     = uint64(1) << 63
 	gateDrained    = uint64(1) << 62
 	gatePending    = uint64(1) << 61
+	gateEpochShift = 31
+	gateEpochMask  = ((uint64(1) << 30) - 1) << gateEpochShift
+	gateEpochInc   = uint64(1) << gateEpochShift
 	gateDirectMask = (uint64(1) << 31) - 1
 )
 
@@ -96,10 +111,9 @@ func NewSharded(nshards int) *Sharded {
 }
 
 func (s *Sharded) slotIndex(id int) int32 {
-	if id < 0 {
-		id = -id
-	}
-	return int32(id % len(s.slots))
+	// Unsigned reduction: -id would overflow for math.MinInt and leave
+	// the remainder negative.
+	return int32(uint(id) % uint(len(s.slots)))
 }
 
 // Arrive implements Indicator.
@@ -176,6 +190,7 @@ func (s *Sharded) departDirect() bool {
 // word was read as g. It returns true iff this call won the claim (the
 // caller owns the write-acquired indicator or must hand it over).
 func (s *Sharded) tryDrain(g uint64) bool {
+	epoch := g & gateEpochMask
 	for {
 		if g&gateDrained != 0 || g&gateDirectMask != 0 {
 			return false
@@ -183,14 +198,18 @@ func (s *Sharded) tryDrain(g uint64) bool {
 		if s.sumSealed() != 0 {
 			return false
 		}
-		// The claim CAS re-validates the whole gate word: if the direct
-		// count moved (a TradeToRoot) or someone else drained, it fails
-		// and the reload re-evaluates.
+		// The claim CAS re-validates the whole gate word — including the
+		// close epoch, so a claim formed before an Open/Close cycle can
+		// never land on the new epoch's gate (see the layout comment):
+		// if the direct count moved, someone else drained, or the epoch
+		// advanced, it fails and the reload re-evaluates.
 		if s.gate.CompareAndSwap(g, g|gateDrained) {
 			return true
 		}
 		g = s.gate.Load()
-		if g&gateClosed == 0 {
+		if g&gateClosed == 0 || g&gateEpochMask != epoch {
+			// Reopened, or a later close epoch entirely: this call's
+			// drain is no longer ours to claim.
 			return false
 		}
 	}
@@ -288,13 +307,14 @@ func (s *Sharded) closeReport() (transitioned, acquired bool) {
 // seals and sums, and either commits to closed+drained or rolls back;
 // arrivals spin out the pending window instead of failing.
 func (s *Sharded) CloseIfEmpty() bool {
-	if s.gate.Load() != 0 || s.quickSum() != 0 {
+	g := s.gate.Load()
+	if g&^gateEpochMask != 0 || s.quickSum() != 0 {
 		return false
 	}
-	if !s.gate.CompareAndSwap(0, gatePending) {
+	if !s.gate.CompareAndSwap(g, g|gatePending) {
 		return false
 	}
-	if s.sumSealed() == 0 && s.gate.CompareAndSwap(gatePending, gateClosed|gateDrained) {
+	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, g|gateClosed|gateDrained) {
 		return true // slots stay sealed while closed
 	}
 	// Surplus appeared (a straddling arrival, or a TradeToRoot bumped
@@ -328,33 +348,38 @@ func (s *Sharded) OpenWithArrivals(cnt int, close bool) {
 }
 
 func (s *Sharded) openWithArrivals(cnt int, close bool) {
-	if g := s.gate.Load(); g != gateClosed|gateDrained {
+	g := s.gate.Load()
+	if g&^gateEpochMask != gateClosed|gateDrained {
 		panic(fmt.Sprintf("rind: Open on %s", s.describe(g)))
 	}
+	epoch := g & gateEpochMask
 	w := uint64(cnt)
 	if close {
 		if w == 0 {
 			return // identity: stays write-acquired
 		}
 		// Handed-off direct arrivals under a still-closed gate; the
-		// slots stay sealed and the last direct departer re-drains.
-		s.gate.Store(gateClosed | w)
+		// slots stay sealed (so their sums cannot move) and the last
+		// direct departer re-drains, all within the same close epoch.
+		s.gate.Store(gateClosed | epoch | w)
 		return
 	}
-	// Open transition: reset the slot pairs under the pending state so
-	// concurrent closers wait and arrivals spin (a plain reset would
-	// race a closer's seals). The owner of a drained indicator is the
-	// only possible gate writer here, so plain stores suffice for the
-	// gate itself. Per slot the egress resets before the ingress: the
-	// ingress store also unseals, and a stale arriver may CAS the slot
-	// the moment it is unsealed.
-	s.gate.Store(gatePending)
+	// Open transition: bump the close epoch, retiring any drain claim
+	// still in flight from the epoch that just ended, and reset the
+	// slot pairs under the pending state so concurrent closers wait and
+	// arrivals spin (a plain reset would race a closer's seals). The
+	// owner of a drained indicator is the only possible gate writer
+	// here, so plain stores suffice for the gate itself. Per slot the
+	// egress resets before the ingress: the ingress store also unseals,
+	// and a stale arriver may CAS the slot the moment it is unsealed.
+	epoch = (epoch + gateEpochInc) & gateEpochMask
+	s.gate.Store(epoch | gatePending)
 	for i := range s.slots {
 		sl := &s.slots[i]
 		sl.egress.Store(0)
 		sl.ingress.Store(0)
 	}
-	s.gate.Store(w)
+	s.gate.Store(epoch | w)
 }
 
 // DirectTicket implements Indicator.
@@ -413,7 +438,7 @@ func (s *Sharded) TryUpgrade() bool {
 		b.Pause()
 	}
 	wasClosed := g&gateClosed != 0
-	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, gateClosed|gateDrained) {
+	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, g&gateEpochMask|gateClosed|gateDrained) {
 		return true // sole arrival consumed; write-acquired
 	}
 	if !wasClosed {
@@ -436,7 +461,8 @@ func (s *Sharded) describe(g uint64) string {
 	if g&gateDrained != 0 {
 		state += "+DRAINED"
 	}
-	return fmt.Sprintf("Sharded{state=%s direct=%d slots=%d}", state, g&gateDirectMask, s.quickSum())
+	return fmt.Sprintf("Sharded{state=%s epoch=%d direct=%d slots=%d}",
+		state, (g&gateEpochMask)>>gateEpochShift, g&gateDirectMask, s.quickSum())
 }
 
 // Shards returns the slot count (diagnostic).

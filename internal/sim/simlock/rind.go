@@ -179,12 +179,18 @@ func (s *CentralInd) OpenWithArrivals(c *sim.Ctx, cnt int, close bool) {
 // --- sharded ingress/egress indicator ---
 
 // Gate word layout (mirrors rind.Sharded): bit 63 closed, bit 62
-// drained, bit 61 pending, low bits the direct-arrival count. Slot
+// drained, bit 61 pending, bits 31-60 the close-epoch counter (bumped
+// on every open transition so a stale drain-claim CAS from a prior
+// close epoch can never succeed — see rind.Sharded's layout comment for
+// the ABA this prevents), low 31 bits the direct-arrival count. Slot
 // ingress words carry bit 63 as the seal flag.
 const (
 	sgClosed     = uint64(1) << 63
 	sgDrained    = uint64(1) << 62
 	sgPending    = uint64(1) << 61
+	sgEpochShift = 31
+	sgEpochMask  = ((uint64(1) << 30) - 1) << sgEpochShift
+	sgEpochInc   = uint64(1) << sgEpochShift
 	sgDirectMask = (uint64(1) << 31) - 1
 	slotSealed   = uint64(1) << 63
 )
@@ -295,8 +301,11 @@ func (s *ShardedInd) departDirect(c *sim.Ctx) bool {
 }
 
 // tryDrain attempts to claim the drained state of a closed gate whose
-// word was read as g; true iff this call won the claim.
+// word was read as g; true iff this call won the claim. The claim CAS
+// carries g's close epoch, so a stale claim can never land on a later
+// epoch's gate.
 func (s *ShardedInd) tryDrain(c *sim.Ctx, g uint64) bool {
+	epoch := g & sgEpochMask
 	for {
 		if g&sgDrained != 0 || g&sgDirectMask != 0 {
 			return false
@@ -308,7 +317,7 @@ func (s *ShardedInd) tryDrain(c *sim.Ctx, g uint64) bool {
 			return true
 		}
 		g = c.Load(s.gate)
-		if g&sgClosed == 0 {
+		if g&sgClosed == 0 || g&sgEpochMask != epoch {
 			return false
 		}
 	}
@@ -388,13 +397,14 @@ func (s *ShardedInd) Close(c *sim.Ctx) bool {
 // CloseIfEmpty implements Indicator: probe via pending, seal and sum,
 // commit or roll back.
 func (s *ShardedInd) CloseIfEmpty(c *sim.Ctx) bool {
-	if c.Load(s.gate) != 0 || s.quickSum(c) != 0 {
+	g := c.Load(s.gate)
+	if g&^sgEpochMask != 0 || s.quickSum(c) != 0 {
 		return false
 	}
-	if !c.CAS(s.gate, 0, sgPending) {
+	if !c.CAS(s.gate, g, g|sgPending) {
 		return false
 	}
-	if s.sumSealed(c) == 0 && c.CAS(s.gate, sgPending, sgClosed|sgDrained) {
+	if s.sumSealed(c) == 0 && c.CAS(s.gate, g|sgPending, g|sgClosed|sgDrained) {
 		s.stats.Inc(obs.CSNZIClose, 0)
 		return true // slots stay sealed while closed
 	}
@@ -425,23 +435,27 @@ func (s *ShardedInd) OpenWithArrivals(c *sim.Ctx, cnt int, close bool) {
 }
 
 func (s *ShardedInd) openWithArrivals(c *sim.Ctx, cnt int, close bool) {
-	if g := c.Load(s.gate); g != sgClosed|sgDrained {
+	g := c.Load(s.gate)
+	if g&^sgEpochMask != sgClosed|sgDrained {
 		panic(fmt.Sprintf("simlock: sharded Open on gate=%#x", g))
 	}
+	epoch := g & sgEpochMask
 	w := uint64(cnt)
 	if close {
 		if w == 0 {
 			return // identity: stays write-acquired
 		}
-		c.Store(s.gate, sgClosed|w)
+		c.Store(s.gate, sgClosed|epoch|w)
 		return
 	}
-	// Open transition: reset the slot pairs under pending; per slot the
+	// Open transition: bump the close epoch (retiring stale drain
+	// claims) and reset the slot pairs under pending; per slot the
 	// egress resets before the ingress (the ingress store also unseals).
-	c.Store(s.gate, sgPending)
+	epoch = (epoch + sgEpochInc) & sgEpochMask
+	c.Store(s.gate, epoch|sgPending)
 	for i := range s.ing {
 		c.Store(s.eg[i], 0)
 		c.Store(s.ing[i], 0)
 	}
-	c.Store(s.gate, w)
+	c.Store(s.gate, epoch|w)
 }
