@@ -9,6 +9,7 @@
 //
 //	lockstat [-lock goll,roll,...|all] [-indicator csnzi|central|sharded]
 //	         [-threads N] [-ops N] [-readpct 0..100] [-seed N] [-json]
+//	         [-trace out.json]
 //
 // The -indicator flag selects the read indicator backing the OLL locks
 // (ollock.WithIndicator); every indicator reports through the same
@@ -16,6 +17,11 @@
 //
 // With -json the full snapshots are emitted as a JSON object keyed by
 // kind, in the same shape WithStats publishes through expvar.
+//
+// With -trace the run is additionally flight-recorded (ollock.WithTrace)
+// and the recording is written to the named file in the same JSON shape
+// cmd/locktrace records — convert it with "locktrace export" or fold it
+// with "locktrace top".
 package main
 
 import (
@@ -45,7 +51,13 @@ func main() {
 	readPct := flag.Float64("readpct", 95, "percentage of read acquisitions")
 	seed := flag.Uint64("seed", 42, "PRNG seed")
 	asJSON := flag.Bool("json", false, "emit snapshots as JSON instead of tables")
+	traceOut := flag.String("trace", "", "also flight-record the run and write the recording (JSON) to this file")
 	flag.Parse()
+
+	var tracer *ollock.Tracer
+	if *traceOut != "" {
+		tracer = ollock.NewTracer(0)
+	}
 
 	var kinds []ollock.Kind
 	if *lockFlag == "all" {
@@ -58,8 +70,14 @@ func main() {
 
 	snaps := map[string]ollock.Snapshot{}
 	for _, kind := range kinds {
-		l, err := ollock.New(kind, *threads, ollock.WithStats(""),
-			ollock.WithIndicator(ollock.IndicatorKind(*indicator)))
+		opts := []ollock.Option{
+			ollock.WithStats(""),
+			ollock.WithIndicator(ollock.IndicatorKind(*indicator)),
+		}
+		if tracer != nil {
+			opts = append(opts, ollock.WithTrace(tracer.Register(string(kind))))
+		}
+		l, err := ollock.New(kind, *threads, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
 			os.Exit(2)
@@ -82,6 +100,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
 			os.Exit(1)
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		rec := tracer.Record()
+		if err := rec.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockstat: wrote %d trace events to %s\n", len(rec.Events), *traceOut)
 	}
 }
 

@@ -1,0 +1,265 @@
+// Command locktrace drives the flight-recorder tracing layer
+// (ollock.WithTrace) end to end: record a traced workload, export a
+// recording to Perfetto, fold it into a contention profile, validate it
+// against the checked-in schema, or run the stall-watchdog demo.
+//
+// Usage:
+//
+//	locktrace record [-lock goll,roll,...] [-indicator csnzi|central|sharded]
+//	                 [-threads N] [-ops N] [-readpct 0..100] [-seed N]
+//	                 [-events N] [-out trace.json]
+//	locktrace export [-out trace.chrome.json] recording.json
+//	locktrace top    recording.json
+//	locktrace check  [-schema TRACE_events.schema.json] recording.json
+//	locktrace watch  [-lock goll] [-indicator sharded] [-threads N]
+//	                 [-threshold D] [-hold D]
+//
+// record runs the §5.1 workload shape against each requested lock kind
+// with a shared flight recorder attached and writes the portable
+// recording JSON (schema: TRACE_events.schema.json).
+//
+// export converts a recording to Chrome trace-event JSON: load the
+// result in https://ui.perfetto.dev (or chrome://tracing) to see one
+// process track per lock and one thread track per proc, with acquire
+// and held spans enclosing the wait-phase spans.
+//
+// top folds a recording into a wait-time-by-phase-by-lock table, the
+// pprof-style "where did the blocked time go" view.
+//
+// check validates a recording against the JSON schema, as CI does.
+//
+// watch demonstrates the stall watchdog: it wedges the lock by holding
+// a write acquisition while readers pile up behind it, and the watchdog
+// names each stuck proc's wait phase and dumps the live queue nodes and
+// decoded indicator gate word.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ollock"
+	"ollock/internal/harness"
+	"ollock/internal/jsonschema"
+	"ollock/internal/locksuite"
+	"ollock/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: locktrace <record|export|top|check|watch> [flags]")
+	os.Exit(2)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	lockFlag := fs.String("lock", "goll,foll,roll", "comma-separated lock kinds to trace")
+	indicator := fs.String("indicator", "csnzi", "read indicator for the OLL locks")
+	threads := fs.Int("threads", 8, "concurrent goroutines")
+	ops := fs.Int("ops", 5000, "acquisitions per goroutine")
+	readPct := fs.Float64("readpct", 95, "percentage of read acquisitions")
+	seed := fs.Uint64("seed", 42, "PRNG seed")
+	events := fs.Int("events", 0, "ring capacity per proc (0 = default)")
+	out := fs.String("out", "trace.json", "output recording file (- for stdout)")
+	fs.Parse(args)
+
+	tracer := ollock.NewTracer(*events)
+	for _, name := range strings.Split(*lockFlag, ",") {
+		kind := ollock.Kind(strings.TrimSpace(name))
+		l, err := ollock.New(kind, *threads,
+			ollock.WithTrace(tracer.Register(string(kind))),
+			ollock.WithIndicator(ollock.IndicatorKind(*indicator)))
+		if err != nil {
+			return err
+		}
+		tp := harness.RunOn(harness.Config{
+			Threads:      *threads,
+			ReadFraction: *readPct / 100,
+			OpsPerThread: *ops,
+			Seed:         *seed,
+		}, func() locksuite.Proc { return l.NewProc() })
+		fmt.Fprintf(os.Stderr, "locktrace: %s: %.3e acq/s\n", kind, tp)
+	}
+	rec := tracer.Record()
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(w); err != nil {
+		closeW()
+		return err
+	}
+	if err := closeW(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "locktrace: recorded %d events\n", len(rec.Events))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("out", "-", "output Chrome trace file (- for stdout)")
+	fs.Parse(args)
+	rec, err := readRecording(fs.Args())
+	if err != nil {
+		return err
+	}
+	evs, lockName, err := rec.Decode()
+	if err != nil {
+		return err
+	}
+	w, closeW, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(w, evs, lockName); err != nil {
+		closeW()
+		return err
+	}
+	return closeW()
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	fs.Parse(args)
+	rec, err := readRecording(fs.Args())
+	if err != nil {
+		return err
+	}
+	evs, lockName, err := rec.Decode()
+	if err != nil {
+		return err
+	}
+	trace.Fold(evs, lockName).WriteTop(os.Stdout)
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	schemaPath := fs.String("schema", "TRACE_events.schema.json", "schema file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("check: want exactly one recording file")
+	}
+	raw, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	var schema jsonschema.Schema
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		return fmt.Errorf("%s: %w", *schemaPath, err)
+	}
+	doc, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := jsonschema.ValidateBytes(&schema, doc); err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	fmt.Printf("locktrace: %s conforms to %s\n", fs.Arg(0), *schemaPath)
+	return nil
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	lockFlag := fs.String("lock", "goll", "lock kind to wedge")
+	indicator := fs.String("indicator", "sharded", "read indicator for the OLL locks")
+	threads := fs.Int("threads", 4, "readers to pile up behind the held write lock")
+	threshold := fs.Duration("threshold", 50*time.Millisecond, "stall threshold")
+	hold := fs.Duration("hold", 500*time.Millisecond, "how long the writer wedges the lock")
+	fs.Parse(args)
+
+	tracer := ollock.NewTracer(0)
+	kind := ollock.Kind(*lockFlag)
+	l, err := ollock.New(kind, *threads+1,
+		ollock.WithTrace(tracer.Register(string(kind))),
+		ollock.WithIndicator(ollock.IndicatorKind(*indicator)))
+	if err != nil {
+		return err
+	}
+	wd := ollock.NewTraceWatchdog(tracer, *threshold, os.Stdout)
+	wd.Start()
+	defer wd.Stop()
+
+	// Wedge: take the write lock and sit on it while readers queue up.
+	writer := l.NewProc()
+	writer.Lock()
+	fmt.Printf("locktrace: writer holding %s for %v; %d readers piling up\n", kind, *hold, *threads)
+	var wg sync.WaitGroup
+	for i := 0; i < *threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := l.NewProc()
+			p.RLock()
+			p.RUnlock()
+		}()
+	}
+	time.Sleep(*hold)
+	writer.Unlock()
+	wg.Wait()
+	// One last poll so a stall that crossed the threshold between ticker
+	// firings still gets reported before exit.
+	stalls := wd.CheckNow()
+	fmt.Printf("locktrace: lock released; %d stalls pending at exit\n", len(stalls))
+	return nil
+}
+
+func readRecording(args []string) (ollock.TraceRecording, error) {
+	if len(args) != 1 {
+		return ollock.TraceRecording{}, fmt.Errorf("want exactly one recording file")
+	}
+	var r io.Reader
+	if args[0] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return ollock.TraceRecording{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadRecording(r)
+}
+
+func outWriter(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

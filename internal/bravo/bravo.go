@@ -38,11 +38,14 @@
 package bravo
 
 import (
+	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
+	"ollock/internal/trace"
 )
 
 // BaseProc is the per-goroutine view of the wrapped lock: the same
@@ -117,6 +120,12 @@ type Lock struct {
 	// covers the wrapper's own events (bravo.*); the underlying lock
 	// carries its own block if instrumented.
 	stats *obs.Stats
+	// lt is the optional flight-recorder handle (nil = off). Share the
+	// same handle with the underlying lock: the wrapper emits only the
+	// bravo-specific events (fast-path acquire/release, re-check
+	// failures, revocations), the base lock emits the slow-path ones, and
+	// together they form one coherent per-proc timeline.
+	lt *trace.LockTrace
 }
 
 // Option configures the wrapper.
@@ -140,6 +149,11 @@ func WithInhibitMultiplier(n int) Option {
 // the bravo.drain.wait histogram.
 func WithStats(s *obs.Stats) Option { return func(l *Lock) { l.stats = s } }
 
+// WithTrace attaches a flight-recorder handle (see internal/trace).
+// Pass the same handle to the underlying lock so wrapper and base
+// events interleave on one timeline.
+func WithTrace(lt *trace.LockTrace) Option { return func(l *Lock) { l.lt = lt } }
+
 // New wraps the lock whose Procs newProc creates. The lock starts
 // read-biased.
 func New(newProc func() BaseProc, opts ...Option) *Lock {
@@ -149,6 +163,7 @@ func New(newProc func() BaseProc, opts ...Option) *Lock {
 	}
 	l.salt = mix64(lockSeq.Add(1))
 	l.bias.Store(1)
+	l.lt.AddDumper(l)
 	return l
 }
 
@@ -183,6 +198,10 @@ type Proc struct {
 	// uninstrumented); the read paths count through it so the shared
 	// stats cells are touched only once per obs.FlushEvery events.
 	lc *obs.Local
+	// tr is the proc's flight-recorder ring for wrapper-level events
+	// (nil when untraced). The base Proc owns a separate ring under the
+	// same lock id; each ring stays single-writer.
+	tr *trace.Local
 }
 
 // NewProc registers a goroutine with the lock, creating the underlying
@@ -197,6 +216,7 @@ func (l *Lock) NewProc() *Proc {
 		home: home,
 		cur:  &readers[home],
 		lc:   l.stats.NewLocal(int(id)),
+		tr:   l.lt.NewLocal(int(id)),
 	}
 }
 
@@ -210,6 +230,7 @@ func (p *Proc) ReadFastPath() bool { return p.slot != nil }
 // underlying lock's read acquisition plus the adaptive re-arm check.
 func (p *Proc) RLock() {
 	l := p.l
+	t0 := p.tr.Now()
 	if l.bias.Load() != 0 {
 		// Memoized slot first: after settling this CAS is on a line no
 		// other goroutine writes, so the whole fast path touches no
@@ -233,12 +254,14 @@ func (p *Proc) RLock() {
 			if l.bias.Load() != 0 {
 				p.slot = s
 				p.lc.Inc(obs.BravoFastRead)
+				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteBravoFast)
 				return
 			}
 			// A writer revoked between our publish and re-check:
 			// unpublish so its scan does not wait for us, and fall
 			// through to the slow path.
 			s.Store(nil)
+			p.tr.Emit(trace.KindBravoRecheckFail, 0, 0)
 		}
 	}
 	p.base.RLock()
@@ -281,6 +304,7 @@ func (p *Proc) RUnlock() {
 	if s := p.slot; s != nil {
 		p.slot = nil
 		s.Store(nil)
+		p.tr.Released(trace.KindReadReleased)
 		return
 	}
 	p.base.RUnlock()
@@ -293,7 +317,10 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	p.base.Lock()
 	if p.l.bias.Load() != 0 {
-		p.l.revoke(p.id)
+		p.tr.Begin(trace.PhaseRevoke)
+		drained := p.l.revoke(p.id)
+		p.tr.End(trace.PhaseRevoke)
+		p.tr.Emit(trace.KindBravoRevoke, 0, uint64(drained))
 	}
 }
 
@@ -304,10 +331,11 @@ func (p *Proc) Unlock() {
 }
 
 // revoke clears the read bias and waits for every published reader of
-// this lock to drain. Caller holds the underlying write lock, so no new
-// fast-path reader can succeed (the re-check fails) and nobody can
-// re-arm the bias (that requires the read lock).
-func (l *Lock) revoke(id int) {
+// this lock to drain, returning how many readers it drained. Caller
+// holds the underlying write lock, so no new fast-path reader can
+// succeed (the re-check fails) and nobody can re-arm the bias (that
+// requires the read lock).
+func (l *Lock) revoke(id int) int {
 	l.stats.Inc(obs.BravoRevoke, id)
 	// Sample the drain wait only when instrumented: the clock reads are
 	// off the reader fast path, but revocation frequency is part of the
@@ -332,6 +360,24 @@ func (l *Lock) revoke(id int) {
 	// published reader, paid back by future slow-path reads before the
 	// bias may return.
 	l.inhibit.Store(uint64(TableSize+drainWeight*drained) * l.mult)
+	return drained
+}
+
+// DumpLockState renders the wrapper's live state for the trace
+// watchdog: bias flag, inhibition window, and every visible-readers
+// slot currently published for this lock.
+func (l *Lock) DumpLockState(w io.Writer) {
+	fmt.Fprintf(w, "bravo: bias=%v inhibit=%d\n", l.Biased(), l.InhibitRemaining())
+	published := 0
+	for i := range readers {
+		if readers[i].Load() == l {
+			published++
+			fmt.Fprintf(w, "bravo: visible reader published in slot %d\n", i)
+		}
+	}
+	if published == 0 {
+		fmt.Fprintf(w, "bravo: no visible readers published\n")
+	}
 }
 
 // mix64 is the splitmix64 finalizer, used to spread (lock, Proc) pairs

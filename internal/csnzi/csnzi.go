@@ -586,3 +586,8 @@ func describe(w uint64) string {
 	}
 	return fmt.Sprintf("C-SNZI{state=%s direct=%d tree=%d}", state, directCount(w), treeCount(w))
 }
+
+// Describe renders the current root word for diagnostics — the decoded
+// indicator state a trace watchdog dump reports for C-SNZI-backed
+// locks.
+func (c *CSNZI) Describe() string { return describe(c.root.Load()) }

@@ -22,12 +22,15 @@
 package foll
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
 	"ollock/internal/rind"
+	"ollock/internal/trace"
 )
 
 // Node kinds.
@@ -65,6 +68,8 @@ type RWLock struct {
 	// stats is the optional instrumentation block (nil = off), shared
 	// with every ring node's indicator.
 	stats *obs.Stats
+	// lt is the optional flight-recorder handle (nil = off).
+	lt *trace.LockTrace
 }
 
 // Proc is a per-goroutine handle. It carries the thread-local state of
@@ -82,6 +87,8 @@ type Proc struct {
 	// shared stats cells are touched only once per obs.FlushEvery
 	// events.
 	lc *obs.Local
+	// tr is the proc's flight-recorder ring (nil when untraced).
+	tr *trace.Local
 }
 
 // Option configures the lock.
@@ -98,6 +105,11 @@ func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 // instance: every ring-pool node carries its own indicator, and
 // recycled nodes then recycle indicators of the chosen kind.
 func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
+
+// WithTrace attaches a flight-recorder handle (see internal/trace). The
+// lock emits queue/group/hand-off lifecycle events per proc and
+// registers itself as a live-state dumper for the stall watchdog.
+func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
 
 // New returns a FOLL lock sized for maxProcs participating goroutines
 // (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
@@ -123,6 +135,7 @@ func New(maxProcs int, opts ...Option) *RWLock {
 		// only while the node is enqueued.
 		n.ind.CloseIfEmpty()
 	}
+	l.lt.AddDumper(l)
 	return l
 }
 
@@ -140,6 +153,7 @@ func (l *RWLock) NewProc() *Proc {
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
 		lc:    l.stats.NewLocal(id),
+		tr:    l.lt.NewLocal(id),
 	}
 }
 
@@ -171,6 +185,7 @@ func freeReaderNode(n *Node) {
 // RLock acquires the lock for reading.
 func (p *Proc) RLock() {
 	l := p.l
+	t0 := p.tr.Now()
 	var rNode *Node
 	for {
 		tail := l.tail.Load()
@@ -188,16 +203,19 @@ func (p *Proc) RLock() {
 				continue // tail changed; retry (keep rNode)
 			}
 			p.lc.Inc(obs.FOLLReadEnqueue)
+			p.tr.Emit(trace.KindGroupEnqueue, 0, 0)
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
+				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
 			// A writer closed the node between Open and Arrive. The node
 			// is in the queue; the closer owns its cleanup. Retry with a
 			// new node.
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 			rNode = nil
 
 		case tail.kind == kindWriter:
@@ -212,15 +230,21 @@ func (p *Proc) RLock() {
 				continue
 			}
 			p.lc.Inc(obs.FOLLReadEnqueue)
+			p.tr.Emit(trace.KindGroupEnqueue, 0, 1)
 			tail.qNext.Store(rNode)
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
+				if p.tr != nil && rNode.spin.Load() {
+					p.tr.Begin(trace.PhaseSpinWait)
+				}
 				atomicx.SpinUntil(func() bool { return !rNode.spin.Load() })
+				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 			rNode = nil
 
 		default:
@@ -233,11 +257,16 @@ func (p *Proc) RLock() {
 				}
 				p.departFrom = tail
 				p.ticket = t
+				if p.tr != nil && tail.spin.Load() {
+					p.tr.Begin(trace.PhaseSpinWait)
+				}
 				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 				return
 			}
 			// Arrive failed: a writer closed the node after enqueuing
 			// behind it, so the tail must have changed. Retry.
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 		}
 	}
 }
@@ -248,51 +277,65 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
+		p.tr.Released(trace.KindReadReleased)
 		return
 	}
 	// Last departer: the closing writer linked itself before closing, so
 	// qNext is set.
+	p.tr.Emit(trace.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
 	succ.spin.Store(false)
 	n.qNext.Store(nil) // clean up before recycling
 	freeReaderNode(n)
 	p.lc.Inc(obs.FOLLNodeRecycle)
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, true))
+	p.tr.Released(trace.KindReadReleased)
 }
 
 // Lock acquires the lock for writing, exactly as in the MCS mutex except
 // for the reader-node predecessor handling.
 func (p *Proc) Lock() {
 	l := p.l
+	t0 := p.tr.Now()
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	if oldTail == nil {
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return // free lock acquired
 	}
 	w.spin.Store(true)
 	oldTail.qNext.Store(w)
+	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
+		p.tr.BeginAt(t0, trace.PhaseQueueWait)
 		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 		return
 	}
 	// Reader predecessor. Its C-SNZI may not be open yet (the enqueuer
 	// opens it just after the enqueue; see also node recycling): wait
 	// until it is, then close it to stop further readers joining.
+	p.tr.BeginAt(t0, trace.PhaseDrainWait)
 	atomicx.SpinUntil(func() bool {
 		_, open := oldTail.ind.Query()
 		return open
 	})
-	if oldTail.ind.Close() {
+	closedEmpty := oldTail.ind.Close()
+	p.tr.Emit(trace.KindIndClose, 0, 0)
+	if closedEmpty {
 		// Closed empty: no readers will signal us. Wait for the
 		// predecessor node's own grant and recycle it ourselves.
 		atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
 		l.stats.Inc(obs.FOLLNodeRecycle, p.id)
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
 	// Readers exist: the last departer will signal us.
 	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
 // Unlock releases a write acquisition.
@@ -301,6 +344,7 @@ func (p *Proc) Unlock() {
 	w := p.wNode
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
+			p.tr.Released(trace.KindWriteReleased)
 			return
 		}
 		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
@@ -308,7 +352,34 @@ func (p *Proc) Unlock() {
 	succ := w.qNext.Load()
 	succ.spin.Store(false)
 	w.qNext.Store(nil) // clean up
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
+	p.tr.Released(trace.KindWriteReleased)
 }
 
 // MaxProcs returns the ring size (diagnostic).
 func (l *RWLock) MaxProcs() int { return len(l.ring) }
+
+// DumpLockState renders the live queue for the trace watchdog: the tail
+// node plus every in-use ring node. All fields involved are atomics (or
+// immutable), so the racy read is safe, merely advisory.
+func (l *RWLock) DumpLockState(w io.Writer) {
+	tail := l.tail.Load()
+	if tail == nil {
+		fmt.Fprintf(w, "foll: queue empty (lock free)\n")
+		return
+	}
+	fmt.Fprintf(w, "foll: tail node: %s\n", l.describeNode(tail))
+	for i := range l.ring {
+		n := &l.ring[i]
+		if n.allocState.Load() == allocInUse && n != tail {
+			fmt.Fprintf(w, "foll: ring node %d: %s\n", i, l.describeNode(n))
+		}
+	}
+}
+
+func (l *RWLock) describeNode(n *Node) string {
+	if n.kind == kindWriter {
+		return fmt.Sprintf("writer spin=%v", n.spin.Load())
+	}
+	return fmt.Sprintf("reader spin=%v ind=%s", n.spin.Load(), rind.Describe(n.ind))
+}

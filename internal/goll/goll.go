@@ -21,12 +21,15 @@
 package goll
 
 import (
+	"fmt"
+	"io"
 	"sync/atomic"
 
 	"ollock/internal/csnzi"
 	"ollock/internal/obs"
 	"ollock/internal/rind"
 	"ollock/internal/spin"
+	"ollock/internal/trace"
 	"ollock/internal/waitq"
 )
 
@@ -41,6 +44,9 @@ type RWLock struct {
 	// shared with the lock's C-SNZI so one Snapshot covers both
 	// layers.
 	stats *obs.Stats
+	// lt is the optional flight-recorder handle (nil = off); every Proc
+	// mints its per-proc trace ring from it.
+	lt *trace.LockTrace
 }
 
 // Proc is a per-goroutine handle carrying the Local record of the
@@ -56,6 +62,9 @@ type Proc struct {
 	// shared stats cells are touched only once per obs.FlushEvery
 	// events.
 	lc *obs.Local
+	// tr is the proc's flight-recorder ring (nil when untraced): every
+	// emission below is one predictable branch when tracing is off.
+	tr *trace.Local
 }
 
 // SetPriority sets the scheduling priority used when this Proc has to
@@ -87,6 +96,15 @@ func WithIndicator(ind rind.Indicator) Option {
 // Snapshot covers the whole acquisition path.
 func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
+// WithTrace attaches a flight-recorder handle (see internal/trace).
+// The lock emits lifecycle events — arrive decisions, queue waits,
+// indicator close/open/drain, hand-offs — into per-proc ring buffers,
+// and registers itself as the handle's state dumper for watchdog
+// post-mortems.
+func WithTrace(lt *trace.LockTrace) Option {
+	return func(l *RWLock) { l.lt = lt }
+}
+
 // New returns an unlocked GOLL lock.
 func New(opts ...Option) *RWLock {
 	l := &RWLock{}
@@ -97,6 +115,7 @@ func New(opts ...Option) *RWLock {
 		l.cs = rind.NewCSNZI()
 	}
 	l.cs = rind.Instrument(l.cs, l.stats)
+	l.lt.AddDumper(l)
 	return l
 }
 
@@ -105,7 +124,7 @@ func New(opts ...Option) *RWLock {
 // created.
 func (l *RWLock) NewProc() *Proc {
 	id := int(l.ids.Add(1)) - 1
-	return &Proc{l: l, id: id, lc: l.stats.NewLocal(id)}
+	return &Proc{l: l, id: id, lc: l.stats.NewLocal(id), tr: l.lt.NewLocal(id)}
 }
 
 // RLock acquires the lock for reading. On the conflict-free path this is
@@ -114,11 +133,21 @@ func (l *RWLock) NewProc() *Proc {
 // writer.
 func (p *Proc) RLock() {
 	l := p.l
+	t0 := p.tr.Now()
+	slow := false
 	for {
 		p.ticket = l.cs.ArriveLocal(p.id, p.lc)
 		if p.ticket.Arrived() {
+			p.tr.Acquired(trace.KindReadAcquired, t0, p.ticket.TraceRoute())
 			return
 		}
+		if !slow {
+			// Open the arrive phase retroactively: the fast path never
+			// pays for this event.
+			slow = true
+			p.tr.BeginAt(t0, trace.PhaseArrive)
+		}
+		p.tr.Emit(trace.KindArriveFail, 0, 0)
 		l.meta.Lock()
 		if _, open := l.cs.Query(); open {
 			// The closer released before we got the mutex; retry the
@@ -128,10 +157,13 @@ func (p *Proc) RLock() {
 		}
 		e := l.q.Enqueue(waitq.Reader, p.priority)
 		l.meta.Unlock()
+		p.tr.Emit(trace.KindQueueEnqueue, 0, 0)
 		// The thread releasing the lock pre-arrives at the root for us
 		// (OpenWithArrivals), so we will depart directly.
 		p.ticket = l.cs.DirectTicket()
+		p.tr.Begin(trace.PhaseQueueWait)
 		e.Wait()
+		p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteDirect)
 		return
 	}
 }
@@ -141,41 +173,56 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	l := p.l
 	if l.cs.Depart(p.ticket) {
+		p.tr.Released(trace.KindReadReleased)
 		return
 	}
 	// The C-SNZI is closed with zero surplus: write-acquired state, to
 	// be handed to the next waiter. A waiting writer must exist (readers
 	// only queue behind a closer), but the queue may also hand to
 	// readers if a policy lets them overtake (§3.2, footnote 1).
+	p.tr.Emit(trace.KindIndDrain, 0, 0)
 	l.meta.Lock()
 	batch := l.q.DequeueHandoff(waitq.Reader)
 	if batch.Kind == waitq.Reader {
 		// Readers overtook the waiting writer: move the lock straight to
 		// the read-acquired state, keeping it closed while writers wait.
 		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
+		p.tr.Emit(trace.KindIndOpen, 0, uint64(batch.Count()))
 	}
 	l.meta.Unlock()
 	l.stats.Inc(obs.GOLLHandoff, p.id)
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
 	batch.Signal()
+	p.tr.Released(trace.KindReadReleased)
 }
 
 // Lock acquires the lock for writing: one CAS (CloseIfEmpty) when the
 // lock is free, otherwise close-and-enqueue under the queue mutex.
 func (p *Proc) Lock() {
 	l := p.l
+	t0 := p.tr.Now()
 	if l.cs.CloseIfEmpty() {
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
+	p.tr.BeginAt(t0, trace.PhaseArrive)
 	l.meta.Lock()
 	if l.cs.Close() {
 		// The lock drained between our fast path and here; Close
 		// acquired it.
 		l.meta.Unlock()
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
+	// The indicator is now closed over the readers holding it (by our
+	// Close, or an earlier writer's); their last departer hands off.
+	p.tr.Emit(trace.KindIndClose, 0, 0)
 	e := l.q.Enqueue(waitq.Writer, p.priority)
 	l.meta.Unlock()
+	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
+	p.tr.Begin(trace.PhaseQueueWait)
 	e.Wait()
+	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
 // Unlock releases a write acquisition, handing ownership to the next
@@ -187,18 +234,23 @@ func (p *Proc) Unlock() {
 	if batch == nil {
 		l.cs.Open()
 		l.meta.Unlock()
+		p.tr.Emit(trace.KindIndOpen, 0, 0)
+		p.tr.Released(trace.KindWriteReleased)
 		return
 	}
 	if batch.Kind == waitq.Reader {
 		// Convert to read-acquired: surplus = group size, closed iff
 		// writers still wait.
 		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
+		p.tr.Emit(trace.KindIndOpen, 0, uint64(batch.Count()))
 	}
 	// For a writer batch the C-SNZI is already closed with zero surplus
 	// (write-acquired); nothing to change.
 	l.meta.Unlock()
 	l.stats.Inc(obs.GOLLHandoff, p.id)
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
 	batch.Signal()
+	p.tr.Released(trace.KindWriteReleased)
 }
 
 // TryRLock attempts a read acquisition without waiting, reporting
@@ -254,4 +306,18 @@ func (p *Proc) Downgrade() {
 	l.meta.Unlock()
 	p.ticket = l.cs.DirectTicket()
 	readers.Signal()
+}
+
+// DumpLockState implements trace.StateDumper: a human-readable
+// description of the live indicator word and wait-queue chain, taken
+// under the queue mutex (safe — the dumper holds no acquisition).
+func (l *RWLock) DumpLockState(w io.Writer) {
+	l.meta.Lock()
+	defer l.meta.Unlock()
+	fmt.Fprintf(w, "goll: indicator %s\n", rind.Describe(l.cs))
+	fmt.Fprintf(w, "goll: wait queue: %d waiters (%d writers, %d readers)\n",
+		l.q.Len(), l.q.NumWriters(), l.q.NumReaders())
+	for i, e := range l.q.Entries() {
+		fmt.Fprintf(w, "goll:   queue node %d: %s priority=%d\n", i, e.Kind, e.Priority)
+	}
 }

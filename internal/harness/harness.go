@@ -77,6 +77,18 @@ func oneRun(cfg Config, run uint64) float64 {
 	return oneRunOn(cfg, cfg.Impl.New(cfg.Threads), run)
 }
 
+// RunOn executes one run of the cfg workload against an
+// already-constructed lock (mk makes the per-goroutine Procs),
+// returning the throughput. For tools that must keep hold of the lock
+// instance — cmd/locktrace drives a traced lock this way and then
+// snapshots its flight recorder. cfg.Impl and cfg.Runs are ignored.
+func RunOn(cfg Config, mk locksuite.ProcMaker) float64 {
+	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
+		panic("harness: Threads and OpsPerThread must be positive")
+	}
+	return oneRunOn(cfg, mk, 0)
+}
+
 // oneRunWith times one run against an already-constructed lock (used
 // by RunInstrumented, which needs the instance to read its counters).
 func oneRunWith(cfg Config, mk locksuite.ProcMaker) float64 {

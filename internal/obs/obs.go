@@ -227,7 +227,8 @@ type Stats struct {
 	name    string
 	stripes int
 	mask    uint32
-	scopes  map[string]bool // nil = every scope
+	scopeMu sync.RWMutex
+	scopes  map[string]bool // nil = every scope; guarded by scopeMu
 	cells   []atomicx.PaddedUint64
 	hists   []histStripe
 }
@@ -372,26 +373,40 @@ func (s *Stats) Hist(h HistID) Histogram {
 }
 
 // inScope reports whether a counter scope is reported by Snapshot.
+// Only the snapshot/report paths consult the scope set, so the RWMutex
+// here costs nothing on the lock hot path.
 func (s *Stats) inScope(scope string) bool {
-	return s.scopes == nil || s.scopes[scope]
+	s.scopeMu.RLock()
+	ok := s.scopes == nil || s.scopes[scope]
+	s.scopeMu.RUnlock()
+	return ok
 }
 
-// AddScope widens the snapshot scope set. Used at setup time by
-// wrappers that adopt an existing block (e.g. the simulated BRAVO
-// wrapper over a simulated OLL lock); a nil or unrestricted block is
-// left as is. Not safe concurrently with Snapshot — call during lock
-// construction only.
+// AddScope widens the snapshot scope set. Used by wrappers that adopt
+// an existing block (e.g. the BRAVO wrapper over an OLL lock); a nil
+// or unrestricted block is left as is. Safe concurrently with
+// Snapshot: the scope set is guarded, so a wrapper constructed while
+// another goroutine snapshots (e.g. an expvar poll) does not race.
 func (s *Stats) AddScope(scope string) {
-	if s == nil || s.scopes == nil {
+	if s == nil {
 		return
 	}
-	s.scopes[scope] = true
+	s.scopeMu.Lock()
+	if s.scopes != nil {
+		s.scopes[scope] = true
+	}
+	s.scopeMu.Unlock()
 }
 
 // Scopes returns the sorted scope list ("" receiver or unrestricted
 // block returns nil, meaning all scopes).
 func (s *Stats) Scopes() []string {
-	if s == nil || s.scopes == nil {
+	if s == nil {
+		return nil
+	}
+	s.scopeMu.RLock()
+	defer s.scopeMu.RUnlock()
+	if s.scopes == nil {
 		return nil
 	}
 	out := make([]string, 0, len(s.scopes))

@@ -1,0 +1,75 @@
+package rind
+
+import (
+	"fmt"
+
+	"ollock/internal/trace"
+)
+
+// Tree reports whether t's arrival landed at a distributed arrival
+// point (a C-SNZI tree leaf or a sharded slot) rather than the central
+// word. The trace layer uses it to classify arrive decisions
+// (trace.RouteTree vs. RouteRoot) without widening the Indicator
+// interface.
+func (t Ticket) Tree() bool { return t.kind == ticketCSNZI || t.kind == ticketSlot }
+
+// TraceRoute classifies a successful arrival as a trace route: tree
+// (distributed arrival point) or root (central word). Failed tickets
+// report RouteNone.
+func (t Ticket) TraceRoute() trace.Route {
+	switch {
+	case t.Tree():
+		return trace.RouteTree
+	case t.kind == ticketDirect:
+		return trace.RouteRoot
+	default:
+		return trace.RouteNone
+	}
+}
+
+// Describe renders an indicator's live state for diagnostics (trace
+// watchdog dumps): decoded gate/root word plus surplus estimate. The
+// answer is advisory — words are read racily, exactly like Query.
+func Describe(ind Indicator) string {
+	switch x := ind.(type) {
+	case *instrumented:
+		return Describe(x.inner)
+	case *CSNZI:
+		return x.cs.Describe()
+	case *Sharded:
+		return x.DescribeGate()
+	case *Central:
+		nonzero, open := x.Query()
+		state := "OPEN"
+		if !open {
+			state = "CLOSED"
+		}
+		return fmt.Sprintf("Central{state=%s count=%d nonzero=%v}", state, x.w.Count(), nonzero)
+	default:
+		nonzero, open := ind.Query()
+		return fmt.Sprintf("Indicator{open=%v nonzero=%v}", open, nonzero)
+	}
+}
+
+// GateWord returns the raw gate word (diagnostic; see the layout
+// comment on Sharded).
+func (s *Sharded) GateWord() uint64 { return s.gate.Load() }
+
+// DescribeGate decodes the current gate word: open/closed/pending/
+// drained state, close epoch, direct-arrival count, and the advisory
+// slot surplus.
+func (s *Sharded) DescribeGate() string { return s.describe(s.gate.Load()) }
+
+// SetSealHook registers fn to be called with the close epoch whenever a
+// close transition commits with the slots sealed (Close, CloseIfEmpty,
+// TryUpgrade) — the trace layer's ind.seal event source. Set it before
+// the indicator is shared; fn may be called from any goroutine that
+// closes the indicator and must be cheap and non-blocking.
+func (s *Sharded) SetSealHook(fn func(epoch uint64)) { s.sealHook = fn }
+
+// sealed reports a committed close transition to the seal hook.
+func (s *Sharded) sealed(g uint64) {
+	if s.sealHook != nil {
+		s.sealHook((g & gateEpochMask) >> gateEpochShift)
+	}
+}

@@ -64,6 +64,9 @@ import (
 type Sharded struct {
 	gate  atomicx.PaddedUint64
 	slots []shard
+	// sealHook, when set, observes committed close transitions (see
+	// SetSealHook in describe.go). Nil when tracing is off.
+	sealHook func(epoch uint64)
 }
 
 // shard is one ingress/egress pair, alone on its cache line (a proc's
@@ -294,6 +297,7 @@ func (s *Sharded) closeReport() (transitioned, acquired bool) {
 			continue
 		}
 		if s.gate.CompareAndSwap(g, g|gateClosed) {
+			s.sealed(g)
 			// Seal and try to claim the drain ourselves. Losing the
 			// race (or finding surplus) is fine: the last departer's
 			// own sum claims it then.
@@ -315,6 +319,7 @@ func (s *Sharded) CloseIfEmpty() bool {
 		return false
 	}
 	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, g|gateClosed|gateDrained) {
+		s.sealed(g)
 		return true // slots stay sealed while closed
 	}
 	// Surplus appeared (a straddling arrival, or a TradeToRoot bumped
@@ -439,6 +444,7 @@ func (s *Sharded) TryUpgrade() bool {
 	}
 	wasClosed := g&gateClosed != 0
 	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, g&gateEpochMask|gateClosed|gateDrained) {
+		s.sealed(g)
 		return true // sole arrival consumed; write-acquired
 	}
 	if !wasClosed {

@@ -29,12 +29,15 @@
 package roll
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
 	"ollock/internal/rind"
+	"ollock/internal/trace"
 )
 
 // Node kinds.
@@ -78,6 +81,8 @@ type RWLock struct {
 	// stats is the optional instrumentation block (nil = off), shared
 	// with every ring node's indicator.
 	stats *obs.Stats
+	// lt is the optional flight-recorder handle (nil = off).
+	lt *trace.LockTrace
 }
 
 // Proc is a per-goroutine handle (one outstanding acquisition at a
@@ -94,6 +99,8 @@ type Proc struct {
 	// shared stats cells are touched only once per obs.FlushEvery
 	// events.
 	lc *obs.Local
+	// tr is the proc's flight-recorder ring (nil when untraced).
+	tr *trace.Local
 }
 
 // Option configures the lock.
@@ -109,6 +116,11 @@ func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 // internal/rind) for the per-node C-SNZIs; every ring-pool node gets
 // its own indicator of the chosen kind.
 func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
+
+// WithTrace attaches a flight-recorder handle (see internal/trace). The
+// lock emits queue/overtake/hint lifecycle events per proc and registers
+// itself as a live-state dumper for the stall watchdog.
+func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
 
 // New returns a ROLL lock sized for maxProcs participating goroutines.
 func New(maxProcs int, opts ...Option) *RWLock {
@@ -129,6 +141,7 @@ func New(maxProcs int, opts ...Option) *RWLock {
 		n.ind = rind.Instrument(l.factory(), l.stats)
 		n.ind.CloseIfEmpty() // not enqueued => closed
 	}
+	l.lt.AddDumper(l)
 	return l
 }
 
@@ -144,6 +157,7 @@ func (l *RWLock) NewProc() *Proc {
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
 		lc:    l.stats.NewLocal(id),
+		tr:    l.lt.NewLocal(id),
 	}
 }
 
@@ -169,7 +183,7 @@ func freeReaderNode(n *Node) {
 // succeeds only if n's group is still waiting (spin set) and its C-SNZI
 // is open (n is enqueued). On success the caller holds the lock once the
 // group's spin flag clears.
-func (p *Proc) tryJoinWaiting(n *Node) bool {
+func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 	if n.kind != kindReader || !n.spin.Load() {
 		return false
 	}
@@ -178,6 +192,7 @@ func (p *Proc) tryJoinWaiting(n *Node) bool {
 		return false
 	}
 	p.lc.Inc(obs.ROLLOvertake)
+	p.tr.Emit(trace.KindOvertake, 0, 0)
 	// Refresh the hint only when it actually changes: with one waiting
 	// group at a time, an unconditional store would make the hint word a
 	// globally contended line written by every joining reader.
@@ -186,7 +201,11 @@ func (p *Proc) tryJoinWaiting(n *Node) bool {
 	}
 	p.departFrom = n
 	p.ticket = t
+	if p.tr != nil && n.spin.Load() {
+		p.tr.Begin(trace.PhaseSpinWait)
+	}
 	atomicx.SpinUntil(func() bool { return !n.spin.Load() })
+	p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 	return true
 }
 
@@ -194,6 +213,7 @@ func (p *Proc) tryJoinWaiting(n *Node) bool {
 // waiting reader group over enqueuing behind writers.
 func (p *Proc) RLock() {
 	l := p.l
+	t0 := p.tr.Now()
 	var rNode *Node
 	defer func() {
 		if rNode != nil {
@@ -203,11 +223,13 @@ func (p *Proc) RLock() {
 	for {
 		// Fast path: the hint points at the last known waiting group.
 		if h := l.lastReader.Load(); h != nil {
-			if p.tryJoinWaiting(h) {
+			if p.tryJoinWaiting(h, t0) {
 				p.lc.Inc(obs.ROLLHintHit)
+				p.tr.Emit(trace.KindHintHit, 0, 0)
 				return
 			}
 			p.lc.Inc(obs.ROLLHintMiss)
+			p.tr.Emit(trace.KindHintMiss, 0, 0)
 			l.lastReader.CompareAndSwap(h, nil)
 		}
 		tail := l.tail.Load()
@@ -223,14 +245,17 @@ func (p *Proc) RLock() {
 				continue
 			}
 			p.lc.Inc(obs.ROLLReadEnqueue)
+			p.tr.Emit(trace.KindGroupEnqueue, 0, 0)
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.lc)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
 				rNode = nil
+				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 			rNode = nil // in queue; the closing writer recycles it
 
 		case tail.kind == kindReader:
@@ -243,10 +268,15 @@ func (p *Proc) RLock() {
 				if tail.spin.Load() && l.lastReader.Load() != tail {
 					l.lastReader.Store(tail)
 				}
+				if p.tr != nil && tail.spin.Load() {
+					p.tr.Begin(trace.PhaseSpinWait)
+				}
 				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 				return
 			}
 			// Closed: tail changed; retry.
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 
 		default:
 			// Tail is a writer: search backward for a waiting reader
@@ -254,7 +284,7 @@ func (p *Proc) RLock() {
 			cur := tail.qPrev.Load()
 			for steps := 0; cur != nil && steps < searchLimit; steps++ {
 				if cur.kind == kindReader {
-					if p.tryJoinWaiting(cur) {
+					if p.tryJoinWaiting(cur, t0) {
 						return
 					}
 					break // reader node found but not joinable
@@ -273,6 +303,7 @@ func (p *Proc) RLock() {
 				continue
 			}
 			p.lc.Inc(obs.ROLLReadEnqueue)
+			p.tr.Emit(trace.KindGroupEnqueue, 0, 1)
 			tail.qNext.Store(rNode)
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.lc)
@@ -282,9 +313,14 @@ func (p *Proc) RLock() {
 				l.lastReader.Store(rNode)
 				node := rNode
 				rNode = nil
+				if p.tr != nil && node.spin.Load() {
+					p.tr.Begin(trace.PhaseSpinWait)
+				}
 				atomicx.SpinUntil(func() bool { return !node.spin.Load() })
+				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
+			p.tr.Emit(trace.KindArriveFail, 0, 0)
 			rNode = nil
 		}
 	}
@@ -295,34 +331,44 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
+		p.tr.Released(trace.KindReadReleased)
 		return
 	}
+	p.tr.Emit(trace.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
 	succ.qPrev.Store(nil) // succ becomes head
 	succ.spin.Store(false)
 	n.qNext.Store(nil)
 	freeReaderNode(n)
 	p.lc.Inc(obs.ROLLNodeRecycle)
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
+	p.tr.Released(trace.KindReadReleased)
 }
 
 // Lock acquires the lock for writing.
 func (p *Proc) Lock() {
 	l := p.l
+	t0 := p.tr.Now()
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	w.qPrev.Store(oldTail)
 	if oldTail == nil {
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
 	w.spin.Store(true)
 	oldTail.qNext.Store(w)
+	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
+		p.tr.BeginAt(t0, trace.PhaseQueueWait)
 		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 		return
 	}
 	// Reader-node predecessor. First wait out the enqueue/Open window
 	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
+	p.tr.BeginAt(t0, trace.PhaseDrainWait)
 	atomicx.SpinUntil(func() bool {
 		_, open := oldTail.ind.Query()
 		return open
@@ -334,16 +380,20 @@ func (p *Proc) Lock() {
 	// reader targets it (the backward search joins only spin==true
 	// nodes).
 	atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
-	if oldTail.ind.Close() {
+	closedEmpty := oldTail.ind.Close()
+	p.tr.Emit(trace.KindIndClose, 0, 0)
+	if closedEmpty {
 		// Group already drained: no reader will signal us; the grant we
 		// just observed (spin false) is ours to take over.
 		w.qPrev.Store(nil) // we are the head now
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
 		l.stats.Inc(obs.ROLLNodeRecycle, p.id)
+		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
 	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
 // Unlock releases a write acquisition.
@@ -352,6 +402,7 @@ func (p *Proc) Unlock() {
 	w := p.wNode
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
+			p.tr.Released(trace.KindWriteReleased)
 			return
 		}
 		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
@@ -360,10 +411,45 @@ func (p *Proc) Unlock() {
 	succ.qPrev.Store(nil)
 	succ.spin.Store(false)
 	w.qNext.Store(nil)
+	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
+	p.tr.Released(trace.KindWriteReleased)
 }
 
 // MaxProcs returns the ring size (diagnostic).
 func (l *RWLock) MaxProcs() int { return len(l.ring) }
+
+// DumpLockState renders the live queue for the trace watchdog: the
+// lastReader hint, then the backward chain from the tail (bounded like
+// the overtaking search). All fields read are atomics, so the racy walk
+// is safe, merely advisory.
+func (l *RWLock) DumpLockState(w io.Writer) {
+	if h := l.lastReader.Load(); h != nil {
+		fmt.Fprintf(w, "roll: lastReader hint: %s\n", l.describeNode(h))
+	} else {
+		fmt.Fprintf(w, "roll: lastReader hint: unset\n")
+	}
+	tail := l.tail.Load()
+	if tail == nil {
+		fmt.Fprintf(w, "roll: queue empty (lock free)\n")
+		return
+	}
+	cur := tail
+	for steps := 0; cur != nil && steps < searchLimit; steps++ {
+		pos := "tail"
+		if steps > 0 {
+			pos = fmt.Sprintf("tail-%d", steps)
+		}
+		fmt.Fprintf(w, "roll: queue node %s: %s\n", pos, l.describeNode(cur))
+		cur = cur.qPrev.Load()
+	}
+}
+
+func (l *RWLock) describeNode(n *Node) string {
+	if n.kind == kindWriter {
+		return fmt.Sprintf("writer spin=%v", n.spin.Load())
+	}
+	return fmt.Sprintf("reader spin=%v ind=%s", n.spin.Load(), rind.Describe(n.ind))
+}
 
 // HintSet reports whether the lastReader hint is populated (diagnostic,
 // used by the hint ablation tests).

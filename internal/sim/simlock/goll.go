@@ -3,6 +3,7 @@ package simlock
 import (
 	"ollock/internal/obs"
 	"ollock/internal/sim"
+	"ollock/internal/trace"
 )
 
 // GOLL is the simulated GOLL lock (mirrors internal/goll): a closable
@@ -14,6 +15,7 @@ type GOLL struct {
 	meta  simMutex
 	q     simWaitQueue
 	stats *obs.Stats
+	tr    *SimTracer
 }
 
 // NewGOLL allocates a GOLL lock on m over the default C-SNZI indicator
@@ -39,6 +41,11 @@ func NewGOLLInd(m *sim.Machine, maxProcs int, name string, f IndicatorFactory) *
 // counter names of the real internal/goll lock under WithStats.
 func (l *GOLL) Stats() *obs.Stats { return l.stats }
 
+// SetTracer attaches a trace-event collector mirroring the emission
+// points of the real lock under ollock.WithTrace. Host-side setup;
+// call before Machine.Run.
+func (l *GOLL) SetTracer(tr *SimTracer) { l.tr = tr }
+
 type gollProc struct {
 	l      *GOLL
 	id     int
@@ -56,8 +63,10 @@ func (p *gollProc) RLock(c *sim.Ctx) {
 	for {
 		p.ticket = l.cs.Arrive(c, p.id)
 		if p.ticket.Arrived() {
+			l.tr.emit(c, p.id, trace.KindReadAcquired, trace.PhaseNone, routeOf(p.ticket))
 			return
 		}
+		l.tr.emit(c, p.id, trace.KindArriveFail, trace.PhaseNone, trace.RouteNone)
 		l.meta.lock(c)
 		if _, open := l.cs.Query(c); open {
 			l.meta.unlock(c)
@@ -66,8 +75,11 @@ func (p *gollProc) RLock(c *sim.Ctx) {
 		c.Store(p.flag, 0)
 		l.q.enqueue(c, false, p.flag)
 		l.meta.unlock(c)
+		l.tr.emit(c, p.id, trace.KindQueueEnqueue, trace.PhaseNone, trace.RouteNone)
+		l.tr.emit(c, p.id, trace.KindPhaseBegin, trace.PhaseQueueWait, trace.RouteNone)
 		p.ticket = TicketDirect // releaser pre-arrives at the root for us
 		c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+		l.tr.emit(c, p.id, trace.KindReadAcquired, trace.PhaseNone, trace.RouteDirect)
 		return
 	}
 }
@@ -75,32 +87,43 @@ func (p *gollProc) RLock(c *sim.Ctx) {
 func (p *gollProc) RUnlock(c *sim.Ctx) {
 	l := p.l
 	if l.cs.Depart(c, p.ticket) {
+		l.tr.emit(c, p.id, trace.KindReadReleased, trace.PhaseNone, trace.RouteNone)
 		return
 	}
+	l.tr.emit(c, p.id, trace.KindIndDrain, trace.PhaseNone, trace.RouteNone)
 	l.meta.lock(c)
 	batch, writerBatch := l.q.dequeueHandoff(c, false)
 	if !writerBatch {
 		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
+		l.tr.emit(c, p.id, trace.KindIndOpen, trace.PhaseNone, trace.RouteNone)
 	}
 	l.meta.unlock(c)
 	l.stats.Inc(obs.GOLLHandoff, p.id)
+	l.tr.emit(c, p.id, trace.KindHandoff, trace.PhaseNone, trace.RouteNone)
 	signalBatch(c, batch)
+	l.tr.emit(c, p.id, trace.KindReadReleased, trace.PhaseNone, trace.RouteNone)
 }
 
 func (p *gollProc) Lock(c *sim.Ctx) {
 	l := p.l
 	if l.cs.CloseIfEmpty(c) {
+		l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteRoot)
 		return
 	}
 	l.meta.lock(c)
 	if l.cs.Close(c) {
 		l.meta.unlock(c)
+		l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteRoot)
 		return
 	}
+	l.tr.emit(c, p.id, trace.KindIndClose, trace.PhaseNone, trace.RouteNone)
 	c.Store(p.flag, 0)
 	l.q.enqueue(c, true, p.flag)
 	l.meta.unlock(c)
+	l.tr.emit(c, p.id, trace.KindQueueEnqueue, trace.PhaseNone, trace.RouteNone)
+	l.tr.emit(c, p.id, trace.KindPhaseBegin, trace.PhaseQueueWait, trace.RouteNone)
 	c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+	l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteDirect)
 }
 
 func (p *gollProc) Unlock(c *sim.Ctx) {
@@ -110,12 +133,17 @@ func (p *gollProc) Unlock(c *sim.Ctx) {
 	if batch == nil {
 		l.cs.Open(c)
 		l.meta.unlock(c)
+		l.tr.emit(c, p.id, trace.KindIndOpen, trace.PhaseNone, trace.RouteNone)
+		l.tr.emit(c, p.id, trace.KindWriteReleased, trace.PhaseNone, trace.RouteNone)
 		return
 	}
 	if !writerBatch {
 		l.cs.OpenWithArrivals(c, len(batch), l.q.numWriters > 0)
+		l.tr.emit(c, p.id, trace.KindIndOpen, trace.PhaseNone, trace.RouteNone)
 	}
 	l.meta.unlock(c)
 	l.stats.Inc(obs.GOLLHandoff, p.id)
+	l.tr.emit(c, p.id, trace.KindHandoff, trace.PhaseNone, trace.RouteNone)
 	signalBatch(c, batch)
+	l.tr.emit(c, p.id, trace.KindWriteReleased, trace.PhaseNone, trace.RouteNone)
 }

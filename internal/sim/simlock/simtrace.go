@@ -1,0 +1,86 @@
+package simlock
+
+import (
+	"fmt"
+
+	"ollock/internal/sim"
+	"ollock/internal/trace"
+)
+
+// SimEvent is one trace event emitted by a simulated lock: the same
+// kind/phase/route vocabulary as internal/trace, timestamped in
+// simulated cycles. Because the simulator's scheduling is a pure
+// function of its inputs, a scripted run produces an exact, repeatable
+// event sequence — the property the scripted trace tests pin.
+type SimEvent struct {
+	Time  int64 // emitting thread's clock, in cycles
+	Proc  int
+	Kind  trace.Kind
+	Phase trace.Phase
+	Route trace.Route
+}
+
+// String renders "proc=P kind[/phase][/route]" (time omitted: exact
+// cycle counts shift whenever memory costs are retuned, while the
+// sequence is the algorithmic invariant worth pinning).
+func (e SimEvent) String() string {
+	s := fmt.Sprintf("proc=%d %s", e.Proc, e.Kind)
+	if e.Phase != trace.PhaseNone {
+		s += "/" + e.Phase.String()
+	}
+	if e.Route != trace.RouteNone {
+		s += "/" + e.Route.String()
+	}
+	return s
+}
+
+// SimTracer collects SimEvents in emission order — the simulator
+// counterpart of trace.Tracer. The simulator interleaves thread steps
+// on one OS thread, so a plain slice suffices. A nil *SimTracer is a
+// valid no-op sink, mirroring the real locks' nil-guarded discipline.
+type SimTracer struct {
+	events []SimEvent
+}
+
+// NewSimTracer returns an empty collector.
+func NewSimTracer() *SimTracer { return &SimTracer{} }
+
+// Events returns the collected events in emission order.
+func (t *SimTracer) Events() []SimEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Strings renders every event via SimEvent.String, the form scripted
+// tests compare against.
+func (t *SimTracer) Strings() []string {
+	evs := t.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}
+
+func (t *SimTracer) emit(c *sim.Ctx, proc int, k trace.Kind, ph trace.Phase, r trace.Route) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, SimEvent{Time: c.Now(), Proc: proc, Kind: k, Phase: ph, Route: r})
+}
+
+// routeOf classifies a simulated arrival ticket the way
+// rind.Ticket.TraceRoute classifies a real one: a direct ticket arrived
+// at the central word, a leaf index at a distributed arrival point.
+func routeOf(t Ticket) trace.Route {
+	switch {
+	case t == TicketDirect:
+		return trace.RouteRoot
+	case t >= 0:
+		return trace.RouteTree
+	default:
+		return trace.RouteNone
+	}
+}

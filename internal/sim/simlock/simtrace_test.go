@@ -1,0 +1,74 @@
+package simlock_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ollock/internal/sim"
+	"ollock/internal/sim/simlock"
+)
+
+// scriptedTrace runs the scripted 2-readers + 1-writer hand-off on a
+// simulated GOLL and returns the collected trace event strings. The
+// staggering (writer starts once both readers hold the lock, a third
+// of the work apart) forces the interesting path: the writer's close
+// fails against the populated indicator, it queues, and the last
+// departing reader performs the hand-off.
+func scriptedTrace(t *testing.T) []string {
+	t.Helper()
+	m := sim.New(sim.T5440())
+	l := simlock.NewGOLL(m, 3)
+	tr := simlock.NewSimTracer()
+	l.SetTracer(tr)
+	for i := 0; i < 3; i++ {
+		p := l.NewProc(i)
+		write := i == 2
+		m.Spawn(func(c *sim.Ctx) {
+			if write {
+				c.Work(300)
+				p.Lock(c)
+				c.Work(20)
+				p.Unlock(c)
+			} else {
+				p.RLock(c)
+				c.Work(2000)
+				p.RUnlock(c)
+			}
+		})
+	}
+	m.Run()
+	return tr.Strings()
+}
+
+// TestScriptedTraceExact pins the exact trace event sequence of the
+// scripted GOLL hand-off, mirroring the emission points of the real
+// lock under ollock.WithTrace. The simulator's scheduling is a pure
+// function of its inputs, so the sequence is reproducible; a change
+// here means an emission site moved or the hand-off protocol changed,
+// and must be understood rather than re-goldened blindly.
+func TestScriptedTraceExact(t *testing.T) {
+	got := scriptedTrace(t)
+	want := []string{
+		// Both readers arrive at the central (root) word while open.
+		"proc=0 read.acquired/root",
+		"proc=1 read.acquired/root",
+		// The writer's close fails against the populated indicator, so
+		// it enqueues and waits.
+		"proc=2 ind.close",
+		"proc=2 queue.enqueue",
+		"proc=2 phase.begin/queue.wait",
+		// Reader 0 departs without draining the indicator; reader 1 is
+		// the last out, so it performs the hand-off to the writer.
+		"proc=0 read.released",
+		"proc=1 ind.drain",
+		"proc=1 handoff",
+		"proc=1 read.released",
+		// The writer wakes via direct hand-off, then reopens on release.
+		"proc=2 write.acquired/direct",
+		"proc=2 ind.open",
+		"proc=2 write.released",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("trace = %#v, want %#v", got, want)
+	}
+}

@@ -237,3 +237,20 @@ func (q *Queue) takeAllReaders() *Batch {
 	}
 	return &Batch{Kind: Reader, entries: entries}
 }
+
+// EntryInfo describes one waiting thread for diagnostics.
+type EntryInfo struct {
+	Kind     Kind
+	Priority int
+}
+
+// Entries returns the waiting threads in queue order. Like every Queue
+// method it requires the owning lock's mutex; the trace watchdog takes
+// it before dumping the queue chain.
+func (q *Queue) Entries() []EntryInfo {
+	var out []EntryInfo
+	for e := q.head; e != nil; e = e.next {
+		out = append(out, EntryInfo{Kind: e.kind, Priority: e.priority})
+	}
+	return out
+}

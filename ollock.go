@@ -49,6 +49,7 @@ import (
 	"ollock/internal/obs"
 	"ollock/internal/rind"
 	"ollock/internal/roll"
+	"ollock/internal/trace"
 )
 
 // Proc is a per-goroutine handle on a reader-writer lock. RLock/RUnlock
@@ -151,6 +152,7 @@ type newConfig struct {
 	withStats bool
 	statsName string
 	indicator IndicatorKind
+	lt        *trace.LockTrace
 }
 
 // WithBias wraps the created lock with the BRAVO biased reader fast path
@@ -269,7 +271,12 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		}
 		st = obs.New(obs.WithName(name), obs.WithScopes(statScopes(kind, bias)...))
 	}
-	factory, err := indicatorFactory(cfg.indicator)
+	var sealFn func(uint64)
+	if cfg.lt != nil && cfg.indicator == IndicatorSharded {
+		se := &sealEmitter{tr: cfg.lt.NewLocal(-1)}
+		sealFn = se.emit
+	}
+	factory, err := indicatorFactory(cfg.indicator, sealFn)
 	if err != nil {
 		return nil, err
 	}
@@ -283,19 +290,19 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	var base Lock
 	switch kind {
 	case GOLL, KindBravoGOLL:
-		gopts := []goll.Option{goll.WithStats(st)}
+		gopts := []goll.Option{goll.WithStats(st), goll.WithTrace(cfg.lt)}
 		if factory != nil {
 			gopts = append(gopts, goll.WithIndicator(factory()))
 		}
 		base = &GOLLLock{l: goll.New(gopts...), stats: st}
 	case FOLL:
-		fopts := []foll.Option{foll.WithStats(st)}
+		fopts := []foll.Option{foll.WithStats(st), foll.WithTrace(cfg.lt)}
 		if factory != nil {
 			fopts = append(fopts, foll.WithIndicator(factory))
 		}
 		base = &FOLLLock{l: foll.New(maxProcs, fopts...), stats: st}
 	case ROLL, KindBravoROLL:
-		ropts := []roll.Option{roll.WithStats(st)}
+		ropts := []roll.Option{roll.WithStats(st), roll.WithTrace(cfg.lt)}
 		if factory != nil {
 			ropts = append(ropts, roll.WithIndicator(factory))
 		}
@@ -317,7 +324,7 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		st.PublishExpvar()
 	}
 	if bias {
-		return wrapBiasStats(base, cfg.biasMult, st), nil
+		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt), nil
 	}
 	return base, nil
 }
@@ -325,14 +332,26 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 // indicatorFactory maps an IndicatorKind to a rind.Factory, or nil for
 // the default (the locks build their own C-SNZI when given no
 // indicator, preserving the pre-option construction path exactly).
-func indicatorFactory(k IndicatorKind) (rind.Factory, error) {
+// sealFn, when non-nil, is installed as the seal hook on every sharded
+// indicator the factory produces (trace ind.seal events).
+func indicatorFactory(k IndicatorKind, sealFn func(uint64)) (rind.Factory, error) {
 	switch k {
 	case "", IndicatorCSNZI:
 		return nil, nil
 	case IndicatorCentral:
 		return rind.CentralFactory(), nil
 	case IndicatorSharded:
-		return rind.ShardedFactory(0), nil
+		f := rind.ShardedFactory(0)
+		if sealFn == nil {
+			return f, nil
+		}
+		return func() rind.Indicator {
+			ind := f()
+			if s, ok := ind.(*rind.Sharded); ok {
+				s.SetSealHook(sealFn)
+			}
+			return ind
+		}, nil
 	default:
 		return nil, fmt.Errorf("ollock: unknown indicator kind %q", k)
 	}

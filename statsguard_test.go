@@ -57,6 +57,34 @@ func TestBravoFastPathZeroAllocsWithStats(t *testing.T) {
 	}
 }
 
+// TestReadPathZeroAllocsWithTrace pins the trace-on side of the
+// flight recorder's zero-overhead-off contract: events land in
+// preallocated per-proc rings, so even with WithTrace attached the
+// read path must not allocate.
+func TestReadPathZeroAllocsWithTrace(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			tracer := ollock.NewTracer(1024)
+			l := ollock.MustNew(kind, 4, ollock.WithTrace(tracer.Register(string(kind))))
+			p := l.NewProc()
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("traced RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			evs, _, err := tracer.Record().Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(evs) == 0 {
+				t.Fatal("flight recorder captured no events")
+			}
+		})
+	}
+}
+
 // readThroughput measures single-proc read acquisitions per
 // nanosecond-ish unit: ops over a monotonic-clock interval is noisy in
 // CI, so the guard below compares best-of trials with slack instead of
@@ -80,6 +108,24 @@ func BenchmarkReadPathStats(b *testing.B) {
 		kind := kind
 		b.Run(string(kind)+"/stats=off", func(b *testing.B) { readThroughput(b, kind) })
 		b.Run(string(kind)+"/stats=on", func(b *testing.B) { readThroughput(b, kind, ollock.WithStats("")) })
+	}
+}
+
+// BenchmarkReadPathTrace is the flight-recorder counterpart: trace=off
+// is the nil-guarded branch (acceptance: ≤2% delta vs. a bare lock),
+// trace=on pays two ring puts (4 sequentially-consistent stores each,
+// the price of tear-free live snapshots) plus three clock reads per
+// acquisition — roughly 200ns on a ~30ns bare fast path. Real
+// workloads with non-empty critical sections amortize that; this
+// benchmark shows the worst case.
+func BenchmarkReadPathTrace(b *testing.B) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		kind := kind
+		b.Run(string(kind)+"/trace=off", func(b *testing.B) { readThroughput(b, kind) })
+		b.Run(string(kind)+"/trace=on", func(b *testing.B) {
+			tracer := ollock.NewTracer(4096)
+			readThroughput(b, kind, ollock.WithTrace(tracer.Register(string(kind))))
+		})
 	}
 }
 
@@ -118,6 +164,49 @@ func TestStatsReadOverheadBounded(t *testing.T) {
 		}
 		if attempt == 2 {
 			t.Fatalf("instrumented read path at %.0f%% of uninstrumented throughput, want >= 85%%", 100*on/off)
+		}
+	}
+}
+
+// TestTraceReadOverheadBounded is the flight-recorder analogue of
+// TestStatsReadOverheadBounded, same best-of-trials shape. The traced
+// fast path costs ~200ns/op on top of a ~30ns bare path (two ring
+// puts of 4 seq-cst stores each + three clock reads), which lands the
+// ratio around 14-16% of untraced throughput on an empty critical
+// section. The 8% floor is a tripwire with 2x margin: doubling the
+// emit cost (an accidental allocation, a shared mutex, a syscall on
+// the path) drops the ratio below it, while CI scheduler noise does
+// not.
+func TestTraceReadOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard, skipped with -short")
+	}
+	const ops = 200_000
+	const trials = 5
+	measure := func(opts ...ollock.Option) float64 {
+		best := 0.0
+		for trial := 0; trial < trials; trial++ {
+			p := ollock.MustNew(ollock.GOLL, 4, opts...).NewProc()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				p.RLock()
+				p.RUnlock()
+			}
+			if rate := float64(ops) / float64(time.Since(start)); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	for attempt := 0; ; attempt++ {
+		off := measure()
+		tracer := ollock.NewTracer(4096)
+		on := measure(ollock.WithTrace(tracer.Register("goll")))
+		if on >= 0.08*off {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("traced read path at %.0f%% of untraced throughput, want >= 8%%", 100*on/off)
 		}
 	}
 }

@@ -1,0 +1,93 @@
+package ollock
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"ollock/internal/trace"
+)
+
+// This file exposes the flight-recorder tracing layer (internal/trace)
+// through the facade. A Tracer owns per-proc ring buffers of fixed-width
+// binary events; locks created with WithTrace record their full
+// acquisition lifecycle into it (arrive decisions, queue waits, reader
+// group joins, indicator close/drain epochs, BRAVO bias transitions,
+// hand-offs) at a cost of roughly one clock read and one ring write per
+// event. A lock created without WithTrace pays exactly one predictable
+// nil-check branch per event site — the same zero-overhead-off
+// discipline as WithStats.
+
+// Tracer is a flight recorder shared by any number of traced locks. See
+// internal/trace for the event model.
+type Tracer = trace.Tracer
+
+// LockTrace is one lock's registration with a Tracer; pass it to
+// WithTrace.
+type LockTrace = trace.LockTrace
+
+// TraceEvent is one decoded flight-recorder event.
+type TraceEvent = trace.Event
+
+// TraceRecording is a portable JSON-serializable dump of a Tracer.
+type TraceRecording = trace.Recording
+
+// TraceProfile is a wait-time-by-phase-by-lock contention profile
+// folded from a recording.
+type TraceProfile = trace.Profile
+
+// TraceWatchdog is the stall watchdog: it polls a Tracer's per-proc
+// wait words and dumps live lock state when a proc has been stuck in
+// one wait phase past a threshold.
+type TraceWatchdog = trace.Watchdog
+
+// NewTracer returns a flight recorder whose per-proc rings hold
+// eventsPerProc events each (rounded up to a power of two; <=0 selects
+// the default of 8192). Register each lock to be traced with
+// Tracer.Register, then create the lock with WithTrace.
+func NewTracer(eventsPerProc int) *Tracer { return trace.New(eventsPerProc) }
+
+// NewTraceWatchdog returns a stall watchdog over t reporting to out any
+// proc stuck waiting longer than threshold. Call Start to begin
+// polling, Stop to halt it.
+func NewTraceWatchdog(t *Tracer, threshold time.Duration, out io.Writer) *TraceWatchdog {
+	return trace.NewWatchdog(t, threshold, out)
+}
+
+// WithTrace attaches the created lock to a flight recorder (see
+// NewTracer). Composes with WithStats, WithBias and WithIndicator: a
+// biased lock shares the handle between wrapper and base so their
+// events interleave on one timeline, and a sharded indicator
+// additionally reports its seal epochs.
+func WithTrace(lt *LockTrace) Option {
+	return func(c *newConfig) { c.lt = lt }
+}
+
+// FoldTrace folds a snapshot of the tracer's events into a contention
+// profile: wait time by phase by lock, with acquisition counts.
+func FoldTrace(t *Tracer) *TraceProfile {
+	return trace.Fold(t.Snapshot(), t.LockName)
+}
+
+// WriteChromeTrace writes a snapshot of the tracer's events as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: one process track per lock, one thread track per
+// proc, phase spans and instant events.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return trace.WriteChromeTrace(w, t.Snapshot(), t.LockName)
+}
+
+// sealEmitter funnels sharded-indicator seal notifications (which fire
+// on whichever goroutine commits the close) into one trace ring. The
+// mutex keeps the ring single-writer; seals are rare (one per close
+// epoch), so the serialization is off every hot path.
+type sealEmitter struct {
+	mu sync.Mutex
+	tr *trace.Local
+}
+
+func (e *sealEmitter) emit(epoch uint64) {
+	e.mu.Lock()
+	e.tr.Emit(trace.KindIndSeal, 0, epoch)
+	e.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package ollock_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"ollock"
+	"ollock/internal/jsonschema"
+	"ollock/internal/trace"
+)
+
+// TestRecordingConformsToSchema runs a small traced workload across
+// every instrumented kind and validates the recording JSON against the
+// checked-in schema — the in-repo version of the CI trace smoke job.
+// It fails when an event kind, phase, or route is added to the code
+// but not to TRACE_events.schema.json (or vice versa: the enum sync
+// test below catches stale schema entries).
+func TestRecordingConformsToSchema(t *testing.T) {
+	raw, err := os.ReadFile("TRACE_events.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema jsonschema.Schema
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := ollock.NewTracer(2048)
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL} {
+		l := ollock.MustNew(kind, 4,
+			ollock.WithTrace(tracer.Register(string(kind))),
+			ollock.WithIndicator(ollock.IndicatorSharded))
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				p := l.NewProc()
+				for i := 0; i < 200; i++ {
+					if id == 3 && i%10 == 0 {
+						p.Lock()
+						p.Unlock()
+					} else {
+						p.RLock()
+						p.RUnlock()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	rec := tracer.Record()
+	if len(rec.Events) == 0 {
+		t.Fatal("workload recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonschema.ValidateBytes(&schema, buf.Bytes()); err != nil {
+		t.Fatalf("recording does not conform to TRACE_events.schema.json: %v", err)
+	}
+}
+
+// TestSchemaKindEnumMatchesCode pins the schema's kind enum to the
+// code's kind-name table exactly, both directions.
+func TestSchemaKindEnumMatchesCode(t *testing.T) {
+	raw, err := os.ReadFile("TRACE_events.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Properties struct {
+			Events struct {
+				Items struct {
+					Properties struct {
+						Kind struct {
+							Enum []string `json:"enum"`
+						} `json:"kind"`
+					} `json:"properties"`
+				} `json:"items"`
+			} `json:"events"`
+		} `json:"properties"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	schemaKinds := map[string]bool{}
+	for _, k := range doc.Properties.Events.Items.Properties.Kind.Enum {
+		schemaKinds[k] = true
+	}
+	if len(schemaKinds) == 0 {
+		t.Fatal("schema kind enum is empty (schema layout changed?)")
+	}
+	codeKinds := map[string]bool{}
+	for k := trace.Kind(1); k < trace.NumKinds; k++ {
+		codeKinds[k.String()] = true
+	}
+	for k := range codeKinds {
+		if !schemaKinds[k] {
+			t.Errorf("kind %q missing from schema enum", k)
+		}
+	}
+	for k := range schemaKinds {
+		if !codeKinds[k] {
+			t.Errorf("schema enum kind %q does not exist in code", k)
+		}
+	}
+}
