@@ -8,12 +8,24 @@
 // paper's methodology). The sweep also carries a read-indicator
 // dimension (ollock.WithIndicator): the default C-SNZI keeps the full
 // grid, and the central and sharded indicators are measured at the
-// 100/99/0 read percentages. Runs are deterministic for a given seed,
-// so the JSON is reproducible bit-for-bit on any host.
+// 100/99/0 read percentages. These sim rows (env "sim") are
+// deterministic for a given seed, so they are reproducible bit-for-bit
+// on any host.
+//
+// A second section (env "host", rows with oversub > 0) measures the
+// wait-policy dimension (ollock.WithWait) on real goroutines: for each
+// OLL lock (goll, roll), wait policy (spin, adaptive, array) and
+// oversubscription multiplier (goroutines = N x GOMAXPROCS), it runs
+// the harness workload at two read mixes and reports throughput,
+// speedup over the pure-spin policy at the same point, and p99
+// acquisition latencies. These rows are host-dependent; their purpose
+// is the relative ordering (parking policies must win when goroutines
+// outnumber GOMAXPROCS), not absolute numbers.
 //
 // Usage:
 //
-//	benchbravo [-threads 64,256] [-ops N] [-runs N] [-seed N] [-out FILE]
+//	benchbravo [-threads 64,256] [-ops N] [-runs N] [-seed N]
+//	           [-oversub 1,4,16] [-oversubops N] [-out FILE]
 package main
 
 import (
@@ -21,22 +33,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"ollock"
+	"ollock/internal/harness"
+	"ollock/internal/locksuite"
 	"ollock/internal/sim"
 	"ollock/internal/sim/simlock"
 )
 
-// Series is one measured (lock, indicator, threads, read-ratio) point,
-// with its unwrapped base alongside so the wrapper's effect is
-// self-contained.
+// Series is one measured point. In the sim section it is a (lock,
+// indicator, threads, read-ratio) point with its unwrapped base
+// alongside so the wrapper's effect is self-contained; in the host
+// section it is a (lock, wait-policy, oversubscription, read-ratio)
+// point whose base is the pure-spin policy at the same coordinates.
 type Series struct {
+	// Env is "sim" for deterministic simulated rows and "host" for
+	// real-goroutine oversubscription rows.
+	Env  string `json:"env"`
 	Lock string `json:"lock"`
 	Base string `json:"base"`
 	// Indicator is the read indicator backing both the wrapped and the
 	// base lock (csnzi, central, sharded; see ollock.WithIndicator).
-	Indicator        string  `json:"indicator"`
+	Indicator string `json:"indicator"`
+	// WaitPolicy is the wait mode of ollock.WithWait (spin, adaptive,
+	// array). Sim rows always use spin (the paper's behavior).
+	WaitPolicy string `json:"wait_policy"`
+	// Oversub is the oversubscription multiplier of a host row
+	// (goroutines = Oversub x GOMAXPROCS); 0 marks a sim row, where
+	// simulated threads never outnumber the simulated cores.
+	Oversub          int     `json:"oversub"`
 	Threads          int     `json:"threads"`
 	ReadFraction     float64 `json:"read_fraction"`
 	Runs             int     `json:"runs"`
@@ -45,6 +73,10 @@ type Series struct {
 	Speedup          float64 `json:"speedup"`
 	FastReadFraction float64 `json:"fast_read_fraction"`
 	Revocations      int64   `json:"revocations"`
+	// P99ReadNs / P99WriteNs are host-row p99 acquisition latencies in
+	// nanoseconds (harness.RunLatency); zero on sim rows.
+	P99ReadNs  int64 `json:"p99_read_ns"`
+	P99WriteNs int64 `json:"p99_write_ns"`
 	// BiasArms counts slow-path bias re-arms (bravo.bias.arm), summed
 	// over runs.
 	BiasArms int64 `json:"bias_arms"`
@@ -76,6 +108,12 @@ var indicatorFractions = []float64{1.00, 0.99, 0.00}
 // indicators lists the read-indicator dimension of the sweep; csnzi is
 // the default and keeps the full read-fraction grid.
 var indicators = []string{"csnzi", "central", "sharded"}
+
+// oversubFractions are the host-section read mixes: the read-dominated
+// regime where BRAVO-style fast reads matter, the balanced mix where
+// writer handoff dominates, and the all-writer floor — the pure
+// lock-convoy regime where parking pays off hardest.
+var oversubFractions = []float64{0.95, 0.50, 0.00}
 
 // factories returns the (base, bravo-wrapped) factory pair for a base
 // lock over the named indicator. The default csnzi uses the registered
@@ -114,6 +152,8 @@ func main() {
 	ops := flag.Int("ops", 120, "acquisitions per simulated thread")
 	runs := flag.Int("runs", 3, "seeded runs to average (paper uses 3)")
 	seed := flag.Uint64("seed", 42, "base PRNG seed")
+	oversub := flag.String("oversub", "1,4,16", "comma-separated host oversubscription multipliers (goroutines = mult x GOMAXPROCS); empty disables the host section")
+	oversubOps := flag.Int("oversubops", 500000, "acquisitions per goroutine in the host oversubscription section (large enough that each goroutine outlives a scheduler slice, so real lock convoys form)")
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	flag.Parse()
 
@@ -138,7 +178,8 @@ func main() {
 			for _, n := range threads {
 				for _, frac := range fracs {
 					s := Series{
-						Lock: wrapped.Name, Base: baseName, Indicator: indicator,
+						Env: "sim", Lock: wrapped.Name, Base: baseName,
+						Indicator: indicator, WaitPolicy: "spin",
 						Threads: n, ReadFraction: frac, Runs: *runs,
 					}
 					var fast, slow, revs int64
@@ -180,6 +221,15 @@ func main() {
 		}
 	}
 
+	if *oversub != "" {
+		mults, err := parseInts(*oversub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchbravo:", err)
+			os.Exit(2)
+		}
+		doc.Series = append(doc.Series, oversubSweep(mults, *oversubOps, *runs, *seed)...)
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchbravo:", err)
@@ -194,6 +244,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchbravo:", err)
 		os.Exit(1)
 	}
+}
+
+// hostImpl adapts an ollock facade lock to the harness: one shared lock
+// instance per measurement, each goroutine getting its own proc.
+func hostImpl(kind ollock.Kind, mode ollock.WaitMode) locksuite.Impl {
+	return locksuite.Impl{
+		Name: string(kind) + "+" + string(mode),
+		New: func(maxProcs int) locksuite.ProcMaker {
+			l := ollock.MustNew(kind, maxProcs, ollock.WithWait(mode))
+			return func() locksuite.Proc { return l.NewProc() }
+		},
+	}
+}
+
+// oversubSweep runs the host (real goroutine) wait-policy section: for
+// each OLL lock, oversubscription multiplier and read mix, measure the
+// three wait policies and report each parking policy's speedup over
+// pure spin at the same point. Throughput is harness.Run's mean over
+// runs — no per-acquisition clock reads, so the measured op is the
+// lock and nothing else; the p99 fields come from one additional
+// harness.RunLatency pass, whose per-op timestamps would otherwise pad
+// every mode's op by two clock reads and compress the ratio.
+func oversubSweep(mults []int, ops, runs int, seed uint64) []Series {
+	procs := runtime.GOMAXPROCS(0)
+	var out []Series
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.ROLL} {
+		for _, mult := range mults {
+			threads := mult * procs
+			for _, frac := range oversubFractions {
+				var spinTP float64
+				for _, mode := range ollock.WaitModes() {
+					s := Series{
+						Env: "host", Lock: string(kind), Base: string(kind),
+						Indicator: "csnzi", WaitPolicy: string(mode),
+						Oversub: mult, Threads: threads,
+						ReadFraction: frac, Runs: runs,
+						Counters: map[string]uint64{},
+					}
+					cfg := harness.Config{
+						Impl:         hostImpl(kind, mode),
+						Threads:      threads,
+						ReadFraction: frac,
+						OpsPerThread: ops,
+						Runs:         runs,
+						Seed:         seed,
+					}
+					s.Throughput = harness.Run(cfg).Throughput
+					lat := harness.RunLatency(cfg)
+					s.P99ReadNs = lat.Read.P99.Nanoseconds()
+					s.P99WriteNs = lat.Write.P99.Nanoseconds()
+					if mode == ollock.WaitSpin {
+						spinTP = s.Throughput
+					}
+					s.BaseThroughput = spinTP
+					if spinTP > 0 {
+						s.Speedup = s.Throughput / spinTP
+					}
+					out = append(out, s)
+					fmt.Fprintf(os.Stderr, "%-11s wait=%-8s over=%-3dx t=%-4d read%%=%-5.1f %.3e acq/s (%.2fx vs spin, p99 r=%dus w=%dus)\n",
+						s.Lock, s.WaitPolicy, mult, threads, frac*100, s.Throughput, s.Speedup,
+						s.P99ReadNs/1000, s.P99WriteNs/1000)
+				}
+			}
+		}
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {

@@ -46,9 +46,16 @@ func TestSeriesMarshalMatchesSchema(t *testing.T) {
 	doc := Output{
 		Tool: "benchbravo", Machine: "sim-T5440", Ops: 1, Seed: 1,
 		Series: []Series{{
-			Lock: "bravo-goll", Base: "goll", Indicator: "csnzi",
+			Env: "sim", Lock: "bravo-goll", Base: "goll",
+			Indicator: "csnzi", WaitPolicy: "spin",
 			Threads: 1, ReadFraction: 1, Runs: 1,
 			Counters: map[string]uint64{"csnzi.arrive.root": 1},
+		}, {
+			Env: "host", Lock: "goll", Base: "goll",
+			Indicator: "csnzi", WaitPolicy: "adaptive", Oversub: 16,
+			Threads: 16, ReadFraction: 0.5, Runs: 3,
+			P99ReadNs: 1, P99WriteNs: 1,
+			Counters: map[string]uint64{},
 		}},
 	}
 	raw, err := json.Marshal(doc)

@@ -136,6 +136,18 @@ const (
 	defaultBackoffMax = 1024
 )
 
+// MaxBackoffSpins is the hard ceiling on spin iterations per Pause,
+// regardless of how large a Max the caller configures: 2^16 spin-hint
+// iterations is tens of microseconds on any current part, past which
+// more spinning only delays the yield that actually makes progress.
+// The cap bounds the pause exponent to MaxBackoffExponent doublings
+// from a Min of 1.
+const MaxBackoffSpins = 1 << MaxBackoffExponent
+
+// MaxBackoffExponent is log2(MaxBackoffSpins), the pinned maximum
+// number of doublings a Backoff can perform.
+const MaxBackoffExponent = 16
+
 // Pause spins for the current backoff duration and doubles it, up to Max.
 // Once the duration saturates, Pause also yields the processor so that
 // oversubscribed goroutines cannot livelock each other.
@@ -149,6 +161,9 @@ func (b *Backoff) Pause() {
 	limit := b.Max
 	if limit <= 0 {
 		limit = defaultBackoffMax
+	}
+	if limit > MaxBackoffSpins {
+		limit = MaxBackoffSpins
 	}
 	for i := 0; i < b.cur; i++ {
 		procYieldHint()
@@ -169,6 +184,10 @@ func (b *Backoff) Pause() {
 // successful CAS if the same Backoff value will be reused.
 func (b *Backoff) Reset() { b.cur = 0 }
 
+// Spins returns the spin count the next Pause will use (0 before the
+// first Pause). Exposed so tests can pin the growth cap.
+func (b *Backoff) Spins() int { return b.cur }
+
 // procYieldHint is a CPU-friendly busy-wait body. Without access to the
 // PAUSE instruction from pure Go we use a small guaranteed-not-optimized
 // atomic operation on a private word; its latency is a few cycles, which
@@ -176,6 +195,11 @@ func (b *Backoff) Reset() { b.cur = 0 }
 func procYieldHint() {
 	spinSink.Add(0)
 }
+
+// ProcYield is the exported spin-loop body for busy-wait loops built
+// outside this package (internal/park's wait ladders): one cheap,
+// guaranteed-not-optimized step of a polite hot spin.
+func ProcYield() { procYieldHint() }
 
 var spinSink atomic.Uint64
 

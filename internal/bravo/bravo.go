@@ -45,6 +45,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/trace"
 )
 
@@ -126,6 +127,9 @@ type Lock struct {
 	// failures, revocations), the base lock emits the slow-path ones, and
 	// together they form one coherent per-proc timeline.
 	lt *trace.LockTrace
+	// pol selects how revocation waits for published readers to drain
+	// (nil = the legacy pure spin); see WithWaitPolicy.
+	pol *park.Policy
 }
 
 // Option configures the wrapper.
@@ -153,6 +157,14 @@ func WithStats(s *obs.Stats) Option { return func(l *Lock) { l.stats = s } }
 // Pass the same handle to the underlying lock so wrapper and base
 // events interleave on one timeline.
 func WithTrace(lt *trace.LockTrace) Option { return func(l *Lock) { l.lt = lt } }
+
+// WithWaitPolicy routes the revoking writer's per-slot drain wait
+// through a wait policy (see internal/park): instead of spinning
+// unboundedly on a published reader's slot, the writer descends the
+// policy's spin-yield-sleep ladder. The published reader itself never
+// parks (its critical section is running), so drain waits use the
+// condition form of the ladder rather than a parked hand-off.
+func WithWaitPolicy(pol *park.Policy) Option { return func(l *Lock) { l.pol = pol } }
 
 // New wraps the lock whose Procs newProc creates. The lock starts
 // read-biased.
@@ -318,7 +330,7 @@ func (p *Proc) Lock() {
 	p.base.Lock()
 	if p.l.bias.Load() != 0 {
 		p.tr.Begin(trace.PhaseRevoke)
-		drained := p.l.revoke(p.id)
+		drained := p.l.revoke(p.id, p.tr)
 		p.tr.End(trace.PhaseRevoke)
 		p.tr.Emit(trace.KindBravoRevoke, 0, uint64(drained))
 	}
@@ -335,7 +347,7 @@ func (p *Proc) Unlock() {
 // holds the underlying write lock, so no new fast-path reader can
 // succeed (the re-check fails) and nobody can re-arm the bias (that
 // requires the read lock).
-func (l *Lock) revoke(id int) int {
+func (l *Lock) revoke(id int, tr *trace.Local) int {
 	l.stats.Inc(obs.BravoRevoke, id)
 	// Sample the drain wait only when instrumented: the clock reads are
 	// off the reader fast path, but revocation frequency is part of the
@@ -350,7 +362,7 @@ func (l *Lock) revoke(id int) int {
 		s := &readers[i]
 		if s.Load() == l {
 			drained++
-			atomicx.SpinUntil(func() bool { return s.Load() != l })
+			park.WaitCond(l.pol, id, tr, func() bool { return s.Load() != l })
 		}
 	}
 	if l.stats.Enabled() {

@@ -14,7 +14,7 @@
 package central
 
 import (
-	"ollock/internal/atomicx"
+	"ollock/internal/park"
 )
 
 // RWLock is a centralized reader-writer lock. The zero value is an
@@ -22,16 +22,24 @@ import (
 // is guaranteed (matching the classic "counter + flag" lock).
 type RWLock struct {
 	word Lockword
+	// pol selects how contended acquisitions pause between lockword
+	// retries (nil = the legacy backoff spin).
+	pol *park.Policy
 }
 
 // New returns an unlocked centralized RW lock.
 func New() *RWLock { return &RWLock{} }
 
+// SetWaitPolicy routes the lock's retry pauses through a wait policy
+// (see internal/park). Call before sharing the lock; a nil policy (the
+// default) keeps the legacy exponential-backoff spin.
+func (l *RWLock) SetWaitPolicy(pol *park.Policy) { l.pol = pol }
+
 // RLock acquires the lock for reading, spinning while a writer holds it.
 func (l *RWLock) RLock() {
-	var b atomicx.Backoff
+	ld := l.pol.Ladder()
 	for !l.word.Arrive() {
-		b.Pause()
+		ld.Pause()
 	}
 }
 
@@ -48,9 +56,9 @@ func (l *RWLock) RUnlock() {
 
 // Lock acquires the lock for writing, spinning until it is free.
 func (l *RWLock) Lock() {
-	var b atomicx.Backoff
+	ld := l.pol.Ladder()
 	for !l.word.CloseIfEmpty() {
-		b.Pause()
+		ld.Pause()
 	}
 }
 

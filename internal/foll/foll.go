@@ -29,6 +29,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/rind"
 	"ollock/internal/trace"
 )
@@ -51,7 +52,10 @@ const (
 type Node struct {
 	kind  uint32 // immutable
 	qNext atomicx.PaddedPointer[Node]
-	spin  atomicx.PaddedBool
+	// flag is the node's grant flag (the "spin" boolean of Figure 4),
+	// policy-aware so blocked threads can yield or park instead of
+	// burning CPU; see internal/park.
+	flag park.Flag
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -70,6 +74,9 @@ type RWLock struct {
 	stats *obs.Stats
 	// lt is the optional flight-recorder handle (nil = off).
 	lt *trace.LockTrace
+	// pol is the wait policy every blocking site routes through (nil =
+	// pure spinning, the paper's behavior).
+	pol *park.Policy
 }
 
 // Proc is a per-goroutine handle. It carries the thread-local state of
@@ -110,6 +117,12 @@ func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory =
 // lock emits queue/group/hand-off lifecycle events per proc and
 // registers itself as a live-state dumper for the stall watchdog.
 func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
+
+// WithWaitPolicy selects how blocked threads wait (see internal/park):
+// node grant flags become parking-capable, and the untimed waits
+// (indicator opening, successor linking) descend the policy's ladder. A
+// nil policy (the default) spins exactly as the paper does.
+func WithWaitPolicy(pol *park.Policy) Option { return func(l *RWLock) { l.pol = pol } }
 
 // New returns a FOLL lock sized for maxProcs participating goroutines
 // (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
@@ -197,7 +210,7 @@ func (p *Proc) RLock() {
 			if rNode == nil {
 				rNode = p.allocReaderNode()
 			}
-			rNode.spin.Store(false)
+			rNode.flag.Set(false)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				continue // tail changed; retry (keep rNode)
@@ -224,7 +237,7 @@ func (p *Proc) RLock() {
 			if rNode == nil {
 				rNode = p.allocReaderNode()
 			}
-			rNode.spin.Store(true)
+			rNode.flag.Set(true)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				continue
@@ -237,10 +250,10 @@ func (p *Proc) RLock() {
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
-				if p.tr != nil && rNode.spin.Load() {
+				if p.tr != nil && rNode.flag.Blocked() {
 					p.tr.Begin(trace.PhaseSpinWait)
 				}
-				atomicx.SpinUntil(func() bool { return !rNode.spin.Load() })
+				rNode.flag.Wait(l.pol, p.id, p.tr)
 				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
@@ -257,10 +270,10 @@ func (p *Proc) RLock() {
 				}
 				p.departFrom = tail
 				p.ticket = t
-				if p.tr != nil && tail.spin.Load() {
+				if p.tr != nil && tail.flag.Blocked() {
 					p.tr.Begin(trace.PhaseSpinWait)
 				}
-				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				tail.flag.Wait(l.pol, p.id, p.tr)
 				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 				return
 			}
@@ -284,7 +297,7 @@ func (p *Proc) RUnlock() {
 	// qNext is set.
 	p.tr.Emit(trace.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
-	succ.spin.Store(false)
+	succ.flag.Clear(p.l.pol)
 	n.qNext.Store(nil) // clean up before recycling
 	freeReaderNode(n)
 	p.lc.Inc(obs.FOLLNodeRecycle)
@@ -304,12 +317,12 @@ func (p *Proc) Lock() {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return // free lock acquired
 	}
-	w.spin.Store(true)
+	w.flag.Set(true)
 	oldTail.qNext.Store(w)
 	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
 		p.tr.BeginAt(t0, trace.PhaseQueueWait)
-		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		w.flag.Wait(l.pol, p.id, p.tr)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 		return
 	}
@@ -317,7 +330,7 @@ func (p *Proc) Lock() {
 	// opens it just after the enqueue; see also node recycling): wait
 	// until it is, then close it to stop further readers joining.
 	p.tr.BeginAt(t0, trace.PhaseDrainWait)
-	atomicx.SpinUntil(func() bool {
+	park.WaitCond(l.pol, p.id, p.tr, func() bool {
 		_, open := oldTail.ind.Query()
 		return open
 	})
@@ -326,7 +339,7 @@ func (p *Proc) Lock() {
 	if closedEmpty {
 		// Closed empty: no readers will signal us. Wait for the
 		// predecessor node's own grant and recycle it ourselves.
-		atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
+		oldTail.flag.Wait(l.pol, p.id, p.tr)
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
 		l.stats.Inc(obs.FOLLNodeRecycle, p.id)
@@ -334,7 +347,7 @@ func (p *Proc) Lock() {
 		return
 	}
 	// Readers exist: the last departer will signal us.
-	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+	w.flag.Wait(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
@@ -347,10 +360,10 @@ func (p *Proc) Unlock() {
 			p.tr.Released(trace.KindWriteReleased)
 			return
 		}
-		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
+		park.WaitCond(l.pol, p.id, p.tr, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
-	succ.spin.Store(false)
+	succ.flag.Clear(l.pol)
 	w.qNext.Store(nil) // clean up
 	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
 	p.tr.Released(trace.KindWriteReleased)
@@ -379,7 +392,7 @@ func (l *RWLock) DumpLockState(w io.Writer) {
 
 func (l *RWLock) describeNode(n *Node) string {
 	if n.kind == kindWriter {
-		return fmt.Sprintf("writer spin=%v", n.spin.Load())
+		return fmt.Sprintf("writer spin=%v", n.flag.Blocked())
 	}
-	return fmt.Sprintf("reader spin=%v ind=%s", n.spin.Load(), rind.Describe(n.ind))
+	return fmt.Sprintf("reader spin=%v ind=%s", n.flag.Blocked(), rind.Describe(n.ind))
 }

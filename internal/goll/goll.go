@@ -27,6 +27,7 @@ import (
 
 	"ollock/internal/csnzi"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/rind"
 	"ollock/internal/spin"
 	"ollock/internal/trace"
@@ -47,6 +48,9 @@ type RWLock struct {
 	// lt is the optional flight-recorder handle (nil = off); every Proc
 	// mints its per-proc trace ring from it.
 	lt *trace.LockTrace
+	// pol is the wait policy every blocking site routes through (nil =
+	// pure spinning, the paper's behavior).
+	pol *park.Policy
 }
 
 // Proc is a per-goroutine handle carrying the Local record of the
@@ -95,6 +99,14 @@ func WithIndicator(ind rind.Indicator) Option {
 // and shares the block with its C-SNZI (csnzi.* counters), so one
 // Snapshot covers the whole acquisition path.
 func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
+
+// WithWaitPolicy selects how blocked threads wait (see internal/park):
+// queue waiters descend the policy's spin→yield→park ladder or move
+// onto its waiting array, and the queue mutex itself pauses through the
+// policy. A nil policy (the default) spins exactly as the paper does.
+func WithWaitPolicy(pol *park.Policy) Option {
+	return func(l *RWLock) { l.pol = pol }
+}
 
 // WithTrace attaches a flight-recorder handle (see internal/trace).
 // The lock emits lifecycle events — arrive decisions, queue waits,
@@ -148,7 +160,7 @@ func (p *Proc) RLock() {
 			p.tr.BeginAt(t0, trace.PhaseArrive)
 		}
 		p.tr.Emit(trace.KindArriveFail, 0, 0)
-		l.meta.Lock()
+		l.meta.LockWith(l.pol)
 		if _, open := l.cs.Query(); open {
 			// The closer released before we got the mutex; retry the
 			// fast path.
@@ -162,7 +174,7 @@ func (p *Proc) RLock() {
 		// (OpenWithArrivals), so we will depart directly.
 		p.ticket = l.cs.DirectTicket()
 		p.tr.Begin(trace.PhaseQueueWait)
-		e.Wait()
+		e.WaitWith(l.pol, p.id, p.tr)
 		p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteDirect)
 		return
 	}
@@ -181,7 +193,7 @@ func (p *Proc) RUnlock() {
 	// only queue behind a closer), but the queue may also hand to
 	// readers if a policy lets them overtake (§3.2, footnote 1).
 	p.tr.Emit(trace.KindIndDrain, 0, 0)
-	l.meta.Lock()
+	l.meta.LockWith(l.pol)
 	batch := l.q.DequeueHandoff(waitq.Reader)
 	if batch.Kind == waitq.Reader {
 		// Readers overtook the waiting writer: move the lock straight to
@@ -192,7 +204,7 @@ func (p *Proc) RUnlock() {
 	l.meta.Unlock()
 	l.stats.Inc(obs.GOLLHandoff, p.id)
 	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
-	batch.Signal()
+	batch.SignalWith(l.pol)
 	p.tr.Released(trace.KindReadReleased)
 }
 
@@ -206,7 +218,7 @@ func (p *Proc) Lock() {
 		return
 	}
 	p.tr.BeginAt(t0, trace.PhaseArrive)
-	l.meta.Lock()
+	l.meta.LockWith(l.pol)
 	if l.cs.Close() {
 		// The lock drained between our fast path and here; Close
 		// acquired it.
@@ -221,7 +233,7 @@ func (p *Proc) Lock() {
 	l.meta.Unlock()
 	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
 	p.tr.Begin(trace.PhaseQueueWait)
-	e.Wait()
+	e.WaitWith(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
@@ -229,7 +241,7 @@ func (p *Proc) Lock() {
 // batch of waiters if any.
 func (p *Proc) Unlock() {
 	l := p.l
-	l.meta.Lock()
+	l.meta.LockWith(l.pol)
 	batch := l.q.DequeueHandoff(waitq.Writer)
 	if batch == nil {
 		l.cs.Open()
@@ -249,7 +261,7 @@ func (p *Proc) Unlock() {
 	l.meta.Unlock()
 	l.stats.Inc(obs.GOLLHandoff, p.id)
 	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
-	batch.Signal()
+	batch.SignalWith(l.pol)
 	p.tr.Released(trace.KindWriteReleased)
 }
 
@@ -298,21 +310,21 @@ func (p *Proc) TryUpgrade() bool {
 func (p *Proc) Downgrade() {
 	l := p.l
 	l.stats.Inc(obs.GOLLDowngrade, p.id)
-	l.meta.Lock()
+	l.meta.LockWith(l.pol)
 	readers := l.q.TakeReaders()
 	// Surplus = us + admitted waiting readers; stays closed if writers
 	// still wait so late readers keep queuing behind them.
 	l.cs.OpenWithArrivals(1+readers.Count(), l.q.NumWriters() != 0)
 	l.meta.Unlock()
 	p.ticket = l.cs.DirectTicket()
-	readers.Signal()
+	readers.SignalWith(l.pol)
 }
 
 // DumpLockState implements trace.StateDumper: a human-readable
 // description of the live indicator word and wait-queue chain, taken
 // under the queue mutex (safe — the dumper holds no acquisition).
 func (l *RWLock) DumpLockState(w io.Writer) {
-	l.meta.Lock()
+	l.meta.LockWith(l.pol)
 	defer l.meta.Unlock()
 	fmt.Fprintf(w, "goll: indicator %s\n", rind.Describe(l.cs))
 	fmt.Fprintf(w, "goll: wait queue: %d waiters (%d writers, %d readers)\n",

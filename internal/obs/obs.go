@@ -128,6 +128,19 @@ const (
 	// was occupied, forcing a probe (table pressure signal).
 	BravoSlotCollision
 
+	// ParkYield counts waits that exhausted their hot-spin budget and
+	// escalated to the Gosched ladder (one per wait episode).
+	ParkYield
+	// ParkPark counts waiters that parked outright — a channel park
+	// under the adaptive policy, or a timed-sleep ladder at a
+	// condition-wait site.
+	ParkPark
+	// ParkUnpark counts parked waiters woken by a grant.
+	ParkUnpark
+	// ParkArrayWait counts waits that moved onto a private waiting-
+	// array slot (TWA long-term waiting; one per wait episode).
+	ParkArrayWait
+
 	// NumEvents is the number of declared events (not itself an
 	// event).
 	NumEvents
@@ -158,6 +171,10 @@ var eventNames = [NumEvents]string{
 	BravoBiasArm:       "bravo.bias.arm",
 	BravoRevoke:        "bravo.revoke",
 	BravoSlotCollision: "bravo.slot.collision",
+	ParkYield:          "park.yield",
+	ParkPark:           "park.park",
+	ParkUnpark:         "park.unpark",
+	ParkArrayWait:      "park.array.wait",
 }
 
 // String returns the event's stable dotted name.

@@ -1,0 +1,86 @@
+// The TWA waiting array (Dice & Kogan, "Transparent Wait Array",
+// 2018): a fixed array of cache-line-padded generation counters that
+// long-term waiters spin on instead of the shared grant word. Each
+// waiter hashes its key to one slot; a releaser bumps exactly that
+// slot, so the grant's coherence traffic touches one private line
+// instead of invalidating every spinner's copy of the lock word.
+//
+// Collisions are correctness-neutral by design: two waiters sharing a
+// slot both wake on either's grant, re-probe their *own* flags, and the
+// one whose grant hasn't landed goes back to the slot. The array can
+// therefore be small and fixed — no registration, no reclamation.
+package park
+
+import (
+	"runtime"
+
+	"ollock/internal/atomicx"
+)
+
+// defaultArraySize is the default slot count. TWA uses a few dozen to
+// a few hundred slots; 128 padded uint32s is 8 KiB and keeps the
+// collision rate negligible below a few hundred concurrent long-term
+// waiters.
+const defaultArraySize = 128
+
+// WaitingArray is the fixed hashed slot table. Create with
+// NewWaitingArray (or implicitly via park.New(ModeArray)).
+type WaitingArray struct {
+	slots []atomicx.PaddedUint32
+	mask  uint32
+}
+
+// NewWaitingArray returns an array of n slots, rounded up to a power of
+// two; n <= 0 selects the default.
+func NewWaitingArray(n int) *WaitingArray {
+	if n <= 0 {
+		n = defaultArraySize
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &WaitingArray{slots: make([]atomicx.PaddedUint32, size), mask: uint32(size - 1)}
+}
+
+// Len returns the slot count.
+func (a *WaitingArray) Len() int { return len(a.slots) }
+
+// slot maps a key to its slot index. Keys are sequential counter
+// values, so a Fibonacci multiply spreads neighbours across the table.
+func (a *WaitingArray) slot(key uint32) uint32 {
+	return (key * 2654435761) & a.mask
+}
+
+// load reads the key's slot generation.
+func (a *WaitingArray) load(key uint32) uint32 {
+	return a.slots[a.slot(key)].Load()
+}
+
+// bump advances the key's slot generation, waking every waiter spinning
+// on that slot.
+func (a *WaitingArray) bump(key uint32) {
+	a.slots[a.slot(key)].Add(1)
+}
+
+// waitChange spins until the key's slot moves past old or done reports
+// true. The hot phase matches the direct-spin budget; after it the
+// waiter yields between probes, and every yieldBudget yields it
+// re-checks done directly — a safety net that bounds the cost of a
+// missed bump (impossible under the Dekker protocol, but cheap to
+// guard) to a bounded stretch of polite polling.
+func (a *WaitingArray) waitChange(key, old uint32, done func() bool) {
+	s := &a.slots[a.slot(key)]
+	if hotSpin(func() bool { return s.Load() != old }) {
+		return
+	}
+	for i := 0; ; i++ {
+		if s.Load() != old {
+			return
+		}
+		if i%yieldBudget == yieldBudget-1 && done() {
+			return
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,396 @@
+// Package park is the pluggable waiting layer of the lock stack: one
+// policy object decides *how* every wait site in the module waits —
+// pure spinning (the paper's user-space discipline, §5.1), an adaptive
+// spin→yield→park ladder, or TWA-style waiting-array spinning — without
+// changing *what* the sites wait for.
+//
+// The paper's evaluation substitutes spin-based condition variables for
+// kernel sleep/wakeup because its thread counts never exceed the
+// hardware's (§5.1). That assumption breaks under oversubscription:
+// when goroutines vastly outnumber GOMAXPROCS, a spinning waiter burns
+// the very CPU the lock holder needs to make progress. This package
+// supplies the two standard escapes:
+//
+//   - Adaptive (Fissile-style composition): a bounded hot spin keeps
+//     the short-wait fast path identical to pure spinning, a
+//     runtime.Gosched ladder keeps the scheduler moving, and a
+//     per-waiter semaphore-style channel parks the goroutine outright
+//     when the wait turns long. Releasers consult a wake hint (the
+//     waiter's state word / the flag's parked-list head) so they only
+//     pay a channel send for waiters that actually parked.
+//
+//   - Array (TWA, Dice & Kogan 2018): long-term waiters spin on a
+//     private padded slot of a fixed hashed array instead of the shared
+//     grant word, so a grant invalidates one waiter's line instead of
+//     broadcasting to every spinner. Waiters re-probe the real flag
+//     (promotion to direct spinning) whenever their slot changes.
+//
+// The discipline mirrors internal/obs and internal/trace: a nil
+// *Policy means "spin", every method nil-checks its receiver, and the
+// spin path of every primitive is byte-for-byte the pre-park behavior,
+// so locks built without WithWait pay one predictable branch and zero
+// allocations.
+package park
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ollock/internal/atomicx"
+	"ollock/internal/obs"
+	"ollock/internal/trace"
+)
+
+// Mode selects a waiting strategy.
+type Mode uint8
+
+const (
+	// ModeSpin is the paper's behavior: burn CPU until granted. The
+	// zero value and the nil *Policy both select it.
+	ModeSpin Mode = iota
+	// ModeAdaptive escalates spin → yield → park on a per-waiter
+	// channel, with wake-hint tracking on the releaser side.
+	ModeAdaptive
+	// ModeArray moves long-term waiting onto a private slot of a fixed
+	// hashed waiting array (TWA); condition waits without a cooperating
+	// signaler degrade to the adaptive ladder.
+	ModeArray
+
+	numModes
+)
+
+var modeNames = [numModes]string{"spin", "adaptive", "array"}
+
+// String returns the mode's stable name ("spin", "adaptive", "array"),
+// used by the facade, benchmarks, and BENCH_bravo.json.
+func (m Mode) String() string {
+	if m < numModes {
+		return modeNames[m]
+	}
+	return "mode?"
+}
+
+// Ladder tuning. The hot-spin budget matches atomicx.SpinUntil's phase
+// 1, so a short wait costs the same under every mode; the yield budget
+// bounds how long an adaptive waiter politely polls before parking; the
+// sleep bounds cap the condition-wait ladder where no signaler exists.
+//
+// The yield budget is the oversubscription knob. When goroutines are
+// scarce, yielding is nearly free and parking costs a wake, so the
+// waiter polls patiently. When runnable goroutines outnumber
+// processors, every yield re-enters a runqueue full of other pollers
+// — each handoff then pays O(waiters) futile wake-probe-yield passes —
+// so the waiter parks almost immediately and leaves the runqueue to
+// the goroutines that can make progress.
+const (
+	hotSpinBudget      = 64
+	yieldBudget        = 32
+	yieldBudgetOversub = 0
+	sleepMin           = time.Microsecond
+	sleepMax           = 100 * time.Microsecond
+)
+
+// hotSpin runs the bounded hot-probe phase of a wait ladder, returning
+// true if probe succeeded. On a single processor the phase is skipped
+// outright: no other thread runs — and so none can signal — while this
+// one burns the only P, so the caller's entry probe already saw the
+// freshest state and the wait should go straight to the scheduler.
+func hotSpin(probe func() bool) bool {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return false
+	}
+	for i := 0; i < hotSpinBudget; i++ {
+		if probe() {
+			return true
+		}
+		atomicx.ProcYield()
+	}
+	return false
+}
+
+// yieldsFor picks the ladder's yield budget. NumGoroutine counts
+// blocked goroutines too, so the 2x margin keeps programs with a
+// normal complement of idle background goroutines on the patient
+// budget; the call is two runtime reads and happens once per wait that
+// has already outlived the hot spin, never on the grant fast path.
+func yieldsFor() int {
+	if runtime.NumGoroutine() > 2*runtime.GOMAXPROCS(0) {
+		return yieldBudgetOversub
+	}
+	return yieldBudget
+}
+
+// Policy is one lock's waiting strategy plus its instrumentation. A nil
+// *Policy is valid and means ModeSpin with no counters — the exact
+// pre-park behavior of every wait site. Create with New.
+type Policy struct {
+	mode Mode
+	st   *obs.Stats
+	arr  *WaitingArray
+}
+
+// Option configures New.
+type Option func(*Policy)
+
+// WithStats attaches an obs block; the park.* counters land there.
+func WithStats(st *obs.Stats) Option { return func(p *Policy) { p.st = st } }
+
+// WithArraySize sets the waiting array's slot count (rounded up to a
+// power of two; only meaningful for ModeArray). Default 128.
+func WithArraySize(n int) Option { return func(p *Policy) { p.arr = NewWaitingArray(n) } }
+
+// New returns a policy for the given mode. ModeArray allocates the
+// waiting array up front so the wait path never does.
+func New(m Mode, opts ...Option) *Policy {
+	p := &Policy{mode: m}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.mode == ModeArray && p.arr == nil {
+		p.arr = NewWaitingArray(0)
+	}
+	return p
+}
+
+// Mode returns the policy's strategy; a nil policy reads as ModeSpin.
+func (p *Policy) Mode() Mode {
+	if p == nil {
+		return ModeSpin
+	}
+	return p.mode
+}
+
+// Array returns the policy's waiting array (nil unless ModeArray).
+func (p *Policy) Array() *WaitingArray {
+	if p == nil {
+		return nil
+	}
+	return p.arr
+}
+
+// stats returns the policy's obs block, nil-safe.
+func (p *Policy) stats() *obs.Stats {
+	if p == nil {
+		return nil
+	}
+	return p.st
+}
+
+// Waiter state machine. idle -> signaled (fast grant) or
+// idle -> parked -> signaled (the releaser saw the park and owes a
+// channel send).
+const (
+	wIdle uint32 = iota
+	wSignaled
+	wParked
+)
+
+// Waiter is a one-shot wait/signal cell, the policy-aware replacement
+// for the bare spin flag: exactly one goroutine Waits, exactly one
+// Signals, and Reset re-arms it for reuse. The state word lives alone
+// on its cache line (the MCS property: each waiter spins locally).
+type Waiter struct {
+	_     atomicx.Pad
+	state atomic.Uint32
+	key   atomic.Uint32 // waiting-array slot key; 0 = unassigned
+	sem   chan struct{} // allocated at first park only
+	_     [atomicx.CacheLineSize - 16]byte
+}
+
+// Wait blocks until Signal, waiting per pol. id is the caller's proc id
+// (counter striping); tr receives park/unpark events and may be nil.
+func (w *Waiter) Wait(pol *Policy, id int, tr *trace.Local) {
+	if w.state.Load() == wSignaled {
+		return
+	}
+	switch pol.Mode() {
+	case ModeAdaptive:
+		w.waitAdaptive(pol, id, tr)
+	case ModeArray:
+		w.waitArray(pol, id, tr)
+	default:
+		atomicx.SpinUntil(func() bool { return w.state.Load() == wSignaled })
+	}
+}
+
+func (w *Waiter) waitAdaptive(pol *Policy, id int, tr *trace.Local) {
+	if hotSpin(func() bool { return w.state.Load() == wSignaled }) {
+		return
+	}
+	pol.stats().Inc(obs.ParkYield, id)
+	for i, n := 0, yieldsFor(); i < n; i++ {
+		if w.state.Load() == wSignaled {
+			return
+		}
+		runtime.Gosched()
+	}
+	if w.sem == nil {
+		// Publication to the signaler rides the state CAS below: Signal
+		// reads sem only after its Swap observes wParked.
+		w.sem = make(chan struct{}, 1)
+	}
+	if !w.state.CompareAndSwap(wIdle, wParked) {
+		return // lost to Signal: already wSignaled
+	}
+	pol.stats().Inc(obs.ParkPark, id)
+	tr.Emit(trace.KindPark, trace.PhaseNone, parkArgChan)
+	<-w.sem
+	pol.stats().Inc(obs.ParkUnpark, id)
+	tr.Emit(trace.KindUnpark, trace.PhaseNone, parkArgChan)
+}
+
+func (w *Waiter) waitArray(pol *Policy, id int, tr *trace.Local) {
+	if hotSpin(func() bool { return w.state.Load() == wSignaled }) {
+		return
+	}
+	// Assign the slot key before the next state probe: the seq-cst
+	// Dekker pair with Signal (which swaps state, then reads the key)
+	// guarantees the signaler either sees the key and bumps the slot,
+	// or we see wSignaled on the probe below.
+	k := w.key.Load()
+	if k == 0 {
+		k = newKey()
+		w.key.Store(k)
+	}
+	arr := pol.Array()
+	pol.stats().Inc(obs.ParkArrayWait, id)
+	tr.Emit(trace.KindPark, trace.PhaseNone, parkArgArray)
+	for {
+		s0 := arr.load(k)
+		if w.state.Load() == wSignaled {
+			break
+		}
+		arr.waitChange(k, s0, func() bool { return w.state.Load() == wSignaled })
+	}
+	tr.Emit(trace.KindUnpark, trace.PhaseNone, parkArgArray)
+}
+
+// Signal grants the waiter. The wake hint is the state word itself:
+// only a waiter observed in the parked state costs a channel send, and
+// only an assigned slot key costs an array bump — a spinning waiter's
+// grant is one store, exactly as before.
+func (w *Waiter) Signal(pol *Policy) {
+	if w.state.Swap(wSignaled) == wParked {
+		w.sem <- struct{}{}
+		return
+	}
+	if arr := pol.Array(); arr != nil {
+		if k := w.key.Load(); k != 0 {
+			arr.bump(k)
+		}
+	}
+}
+
+// Signaled reports whether Signal has run since the last Reset.
+func (w *Waiter) Signaled() bool { return w.state.Load() == wSignaled }
+
+// Reset re-arms the waiter for another Wait/Signal round. Only the
+// owning goroutine may call it, and only while no Wait is in flight.
+func (w *Waiter) Reset() { w.state.Store(wIdle) }
+
+// Park event args: which waiting mechanism the park/unpark pair used.
+const (
+	parkArgChan  = 0 // channel park (true deschedule)
+	parkArgArray = 1 // waiting-array slot spin
+	parkArgSleep = 2 // timed-sleep ladder (condition wait)
+)
+
+// WaitCond waits for cond to become true at a site with no cooperating
+// signaler to bump a slot or send on a channel (lockword CAS loops,
+// BRAVO revocation drains). Spin mode is exactly atomicx.SpinUntil;
+// adaptive and array modes escalate spin → yield → bounded timed sleep
+// (array has no signaler here either, so it shares the ladder).
+func WaitCond(pol *Policy, id int, tr *trace.Local, cond func() bool) {
+	if pol.Mode() == ModeSpin {
+		atomicx.SpinUntil(cond)
+		return
+	}
+	if hotSpin(cond) {
+		return
+	}
+	pol.stats().Inc(obs.ParkYield, id)
+	for i, n := 0, yieldsFor(); i < n; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	pol.stats().Inc(obs.ParkPark, id)
+	tr.Emit(trace.KindPark, trace.PhaseNone, parkArgSleep)
+	d := sleepMin
+	for !cond() {
+		time.Sleep(d)
+		if d < sleepMax {
+			d *= 2
+		}
+	}
+	pol.stats().Inc(obs.ParkUnpark, id)
+	tr.Emit(trace.KindUnpark, trace.PhaseNone, parkArgSleep)
+}
+
+// Ladder is the policy-aware replacement for a stack-local
+// atomicx.Backoff in CAS retry loops: under a nil or spin policy Pause
+// is exactly Backoff.Pause; under adaptive/array it escalates to
+// yields and then bounded sleeps so retry storms cannot starve the
+// oversubscribed scheduler. A Ladder is a value, lives on the caller's
+// stack, and allocates nothing.
+type Ladder struct {
+	pol    *Policy
+	b      atomicx.Backoff
+	yields int
+	budget int // picked by yieldsFor at the first non-spin Pause
+	sleep  time.Duration
+}
+
+// Ladder returns a fresh ladder for one acquisition attempt.
+func (p *Policy) Ladder() Ladder { return Ladder{pol: p} }
+
+// Pause waits one escalating step.
+func (l *Ladder) Pause() {
+	if l.pol.Mode() == ModeSpin {
+		l.b.Pause()
+		return
+	}
+	if l.budget == 0 {
+		// CAS retry loops keep at least one backoff pause before the
+		// sleep phase: a retry is not a queue wait, and the next attempt
+		// usually succeeds within a pause.
+		l.budget = max(1, yieldsFor())
+	}
+	if l.yields < l.budget {
+		l.yields++
+		l.b.Pause() // bounded spin; saturation already yields
+		return
+	}
+	if l.sleep == 0 {
+		l.sleep = sleepMin
+	}
+	time.Sleep(l.sleep)
+	if l.sleep < sleepMax {
+		l.sleep *= 2
+	}
+}
+
+// Reset restores the ladder to its hot phase. Call after a successful
+// CAS when the same ladder value is reused.
+func (l *Ladder) Reset() {
+	l.b.Reset()
+	l.yields = 0
+	l.budget = 0
+	l.sleep = 0
+}
+
+// keyCounter mints waiting-array slot keys. Keys only need to be
+// nonzero and well-distributed after hashing; 31 bits of a global
+// counter is plenty (collisions are correctness-neutral: a shared slot
+// just wakes both waiters, who re-probe their own flags).
+var keyCounter atomic.Uint32
+
+func newKey() uint32 {
+	for {
+		if k := keyCounter.Add(1) & 0x7fffffff; k != 0 {
+			return k
+		}
+	}
+}

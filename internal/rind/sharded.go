@@ -7,6 +7,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 )
 
 // Sharded is a closable read indicator built from cache-line-padded
@@ -67,6 +68,9 @@ type Sharded struct {
 	// sealHook, when set, observes committed close transitions (see
 	// SetSealHook in describe.go). Nil when tracing is off.
 	sealHook func(epoch uint64)
+	// pol selects how gate waits and CAS retries pause (nil = the
+	// legacy backoff spin); see SetWaitPolicy.
+	pol *park.Policy
 }
 
 // shard is one ingress/egress pair, alone on its cache line (a proc's
@@ -113,6 +117,12 @@ func NewSharded(nshards int) *Sharded {
 	return &Sharded{slots: make([]shard, nshards)}
 }
 
+// SetWaitPolicy routes the indicator's pauses — gate-pending waits and
+// CAS retry backoff — through a wait policy (see internal/park). Call
+// during lock construction, before the indicator is shared; a nil
+// policy (the default) keeps the legacy exponential-backoff spin.
+func (s *Sharded) SetWaitPolicy(pol *park.Policy) { s.pol = pol }
+
 func (s *Sharded) slotIndex(id int) int32 {
 	// Unsigned reduction: -id would overflow for math.MinInt and leave
 	// the remainder negative.
@@ -125,7 +135,7 @@ func (s *Sharded) Arrive(id int) Ticket { return s.ArriveLocal(id, nil) }
 // ArriveLocal implements Indicator. The lc buffer is used only by the
 // Instrument wrapper; the raw indicator keeps no counters of its own.
 func (s *Sharded) ArriveLocal(id int, _ *obs.Local) Ticket {
-	var b atomicx.Backoff
+	ld := s.pol.Ladder()
 	for {
 		g := s.gate.Load()
 		if g&gateClosed != 0 {
@@ -135,7 +145,7 @@ func (s *Sharded) ArriveLocal(id int, _ *obs.Local) Ticket {
 			// A probe or open-transition is deciding; wait it out
 			// rather than failing (it either commits to closed, making
 			// us fail honestly, or finishes open, letting us in).
-			b.Pause()
+			ld.Pause()
 			continue
 		}
 		idx := s.slotIndex(id)
@@ -148,7 +158,7 @@ func (s *Sharded) ArriveLocal(id int, _ *obs.Local) Ticket {
 			if sl.ingress.CompareAndSwap(x, x+1) {
 				return Ticket{kind: ticketSlot, slot: idx}
 			}
-			b.Pause()
+			ld.Pause()
 		}
 	}
 }
@@ -172,7 +182,7 @@ func (s *Sharded) Depart(t Ticket) bool {
 }
 
 func (s *Sharded) departDirect() bool {
-	var b atomicx.Backoff
+	ld := s.pol.Ladder()
 	for {
 		g := s.gate.Load()
 		if g&gateDirectMask == 0 {
@@ -185,7 +195,7 @@ func (s *Sharded) departDirect() bool {
 			}
 			return !s.tryDrain(ng)
 		}
-		b.Pause()
+		ld.Pause()
 	}
 }
 
@@ -286,14 +296,14 @@ func (s *Sharded) Close() bool {
 // closeReport exposes the transition/acquisition split for the
 // Instrument wrapper.
 func (s *Sharded) closeReport() (transitioned, acquired bool) {
-	var b atomicx.Backoff
+	ld := s.pol.Ladder()
 	for {
 		g := s.gate.Load()
 		if g&gateClosed != 0 {
 			return false, false
 		}
 		if g&gatePending != 0 {
-			b.Pause() // wait out the probe / open-transition
+			ld.Pause() // wait out the probe / open-transition
 			continue
 		}
 		if s.gate.CompareAndSwap(g, g|gateClosed) {
@@ -303,7 +313,7 @@ func (s *Sharded) closeReport() (transitioned, acquired bool) {
 			// own sum claims it then.
 			return true, s.tryDrain(g | gateClosed)
 		}
-		b.Pause()
+		ld.Pause()
 	}
 }
 
@@ -402,7 +412,7 @@ func (s *Sharded) TradeToRoot(t Ticket) Ticket {
 	default:
 		panic("rind: TradeToRoot with failed ticket")
 	}
-	var b atomicx.Backoff
+	ld := s.pol.Ladder()
 	for {
 		g := s.gate.Load()
 		if g&gateDirectMask == gateDirectMask {
@@ -411,7 +421,7 @@ func (s *Sharded) TradeToRoot(t Ticket) Ticket {
 		if s.gate.CompareAndSwap(g, g+1) {
 			break
 		}
-		b.Pause()
+		ld.Pause()
 	}
 	s.slots[t.slot].egress.Add(1)
 	return directTicket
@@ -426,7 +436,7 @@ func (s *Sharded) SoleDirect() bool {
 // arrivals), seal and sum, and either commit — consuming the caller's
 // direct arrival — or roll back.
 func (s *Sharded) TryUpgrade() bool {
-	var b atomicx.Backoff
+	ld := s.pol.Ladder()
 	var g uint64
 	for {
 		g = s.gate.Load()
@@ -434,13 +444,13 @@ func (s *Sharded) TryUpgrade() bool {
 			return false
 		}
 		if g&gatePending != 0 {
-			b.Pause()
+			ld.Pause()
 			continue
 		}
 		if s.gate.CompareAndSwap(g, g|gatePending) {
 			break
 		}
-		b.Pause()
+		ld.Pause()
 	}
 	wasClosed := g&gateClosed != 0
 	if s.sumSealed() == 0 && s.gate.CompareAndSwap(g|gatePending, g&gateEpochMask|gateClosed|gateDrained) {

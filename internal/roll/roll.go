@@ -36,6 +36,7 @@ import (
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/rind"
 	"ollock/internal/trace"
 )
@@ -63,7 +64,10 @@ type Node struct {
 	kind  uint32 // immutable
 	qNext atomicx.PaddedPointer[Node]
 	qPrev atomicx.PaddedPointer[Node]
-	spin  atomicx.PaddedBool
+	// flag is the node's grant flag ("spin" in the paper), policy-aware
+	// so blocked threads can yield or park; see internal/park. Its
+	// Blocked bit doubles as the "group still waiting" join condition.
+	flag park.Flag
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -83,6 +87,9 @@ type RWLock struct {
 	stats *obs.Stats
 	// lt is the optional flight-recorder handle (nil = off).
 	lt *trace.LockTrace
+	// pol is the wait policy every blocking site routes through (nil =
+	// pure spinning, the paper's behavior).
+	pol *park.Policy
 }
 
 // Proc is a per-goroutine handle (one outstanding acquisition at a
@@ -121,6 +128,13 @@ func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory =
 // lock emits queue/overtake/hint lifecycle events per proc and registers
 // itself as a live-state dumper for the stall watchdog.
 func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
+
+// WithWaitPolicy selects how blocked threads wait (see internal/park):
+// node grant flags become parking-capable, and the untimed waits
+// (indicator opening, successor linking, deferred close) descend the
+// policy's ladder. A nil policy (the default) spins exactly as the
+// paper does.
+func WithWaitPolicy(pol *park.Policy) Option { return func(l *RWLock) { l.pol = pol } }
 
 // New returns a ROLL lock sized for maxProcs participating goroutines.
 func New(maxProcs int, opts ...Option) *RWLock {
@@ -184,7 +198,7 @@ func freeReaderNode(n *Node) {
 // is open (n is enqueued). On success the caller holds the lock once the
 // group's spin flag clears.
 func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
-	if n.kind != kindReader || !n.spin.Load() {
+	if n.kind != kindReader || !n.flag.Blocked() {
 		return false
 	}
 	t := n.ind.ArriveLocal(p.id, p.lc)
@@ -201,10 +215,10 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 	}
 	p.departFrom = n
 	p.ticket = t
-	if p.tr != nil && n.spin.Load() {
+	if p.tr != nil && n.flag.Blocked() {
 		p.tr.Begin(trace.PhaseSpinWait)
 	}
-	atomicx.SpinUntil(func() bool { return !n.spin.Load() })
+	n.flag.Wait(p.l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 	return true
 }
@@ -238,7 +252,7 @@ func (p *Proc) RLock() {
 			if rNode == nil {
 				rNode = p.allocReaderNode()
 			}
-			rNode.spin.Store(false)
+			rNode.flag.Set(false)
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
@@ -265,13 +279,13 @@ func (p *Proc) RLock() {
 				p.lc.Inc(obs.ROLLReadJoin)
 				p.departFrom = tail
 				p.ticket = t
-				if tail.spin.Load() && l.lastReader.Load() != tail {
+				if tail.flag.Blocked() && l.lastReader.Load() != tail {
 					l.lastReader.Store(tail)
 				}
-				if p.tr != nil && tail.spin.Load() {
+				if p.tr != nil && tail.flag.Blocked() {
 					p.tr.Begin(trace.PhaseSpinWait)
 				}
-				atomicx.SpinUntil(func() bool { return !tail.spin.Load() })
+				tail.flag.Wait(l.pol, p.id, p.tr)
 				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
 				return
 			}
@@ -296,7 +310,7 @@ func (p *Proc) RLock() {
 			if rNode == nil {
 				rNode = p.allocReaderNode()
 			}
-			rNode.spin.Store(true)
+			rNode.flag.Set(true)
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(tail)
 			if !l.tail.CompareAndSwap(tail, rNode) {
@@ -313,10 +327,10 @@ func (p *Proc) RLock() {
 				l.lastReader.Store(rNode)
 				node := rNode
 				rNode = nil
-				if p.tr != nil && node.spin.Load() {
+				if p.tr != nil && node.flag.Blocked() {
 					p.tr.Begin(trace.PhaseSpinWait)
 				}
-				atomicx.SpinUntil(func() bool { return !node.spin.Load() })
+				node.flag.Wait(l.pol, p.id, p.tr)
 				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
@@ -337,7 +351,7 @@ func (p *Proc) RUnlock() {
 	p.tr.Emit(trace.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
 	succ.qPrev.Store(nil) // succ becomes head
-	succ.spin.Store(false)
+	succ.flag.Clear(p.l.pol)
 	n.qNext.Store(nil)
 	freeReaderNode(n)
 	p.lc.Inc(obs.ROLLNodeRecycle)
@@ -357,19 +371,19 @@ func (p *Proc) Lock() {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
-	w.spin.Store(true)
+	w.flag.Set(true)
 	oldTail.qNext.Store(w)
 	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
 		p.tr.BeginAt(t0, trace.PhaseQueueWait)
-		atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+		w.flag.Wait(l.pol, p.id, p.tr)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 		return
 	}
 	// Reader-node predecessor. First wait out the enqueue/Open window
 	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
 	p.tr.BeginAt(t0, trace.PhaseDrainWait)
-	atomicx.SpinUntil(func() bool {
+	park.WaitCond(l.pol, p.id, p.tr, func() bool {
 		_, open := oldTail.ind.Query()
 		return open
 	})
@@ -379,7 +393,7 @@ func (p *Proc) Lock() {
 	// close only once the group is activated, after which no waiting
 	// reader targets it (the backward search joins only spin==true
 	// nodes).
-	atomicx.SpinUntil(func() bool { return !oldTail.spin.Load() })
+	oldTail.flag.Wait(l.pol, p.id, p.tr)
 	closedEmpty := oldTail.ind.Close()
 	p.tr.Emit(trace.KindIndClose, 0, 0)
 	if closedEmpty {
@@ -392,7 +406,7 @@ func (p *Proc) Lock() {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
 		return
 	}
-	atomicx.SpinUntil(func() bool { return !w.spin.Load() })
+	w.flag.Wait(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
 }
 
@@ -405,11 +419,11 @@ func (p *Proc) Unlock() {
 			p.tr.Released(trace.KindWriteReleased)
 			return
 		}
-		atomicx.SpinUntil(func() bool { return w.qNext.Load() != nil })
+		park.WaitCond(l.pol, p.id, p.tr, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
 	succ.qPrev.Store(nil)
-	succ.spin.Store(false)
+	succ.flag.Clear(l.pol)
 	w.qNext.Store(nil)
 	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
 	p.tr.Released(trace.KindWriteReleased)
@@ -446,9 +460,9 @@ func (l *RWLock) DumpLockState(w io.Writer) {
 
 func (l *RWLock) describeNode(n *Node) string {
 	if n.kind == kindWriter {
-		return fmt.Sprintf("writer spin=%v", n.spin.Load())
+		return fmt.Sprintf("writer spin=%v", n.flag.Blocked())
 	}
-	return fmt.Sprintf("reader spin=%v ind=%s", n.spin.Load(), rind.Describe(n.ind))
+	return fmt.Sprintf("reader spin=%v ind=%s", n.flag.Blocked(), rind.Describe(n.ind))
 }
 
 // HintSet reports whether the lastReader hint is populated (diagnostic,

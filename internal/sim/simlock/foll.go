@@ -16,6 +16,7 @@ type qNode struct {
 	isWriter bool
 	qNext    *sim.Word // node ref
 	spin     *sim.Word // 1 = waiting
+	slot     *sim.Word // waiting-array slot (array wait policy only)
 	// Reader-node fields.
 	cs         Indicator
 	allocState *sim.Word // 0 free, 1 in use
@@ -44,10 +45,23 @@ type FOLL struct {
 	// a plain FOLL emits foll.* — same contract as the real locks.
 	stats                        *obs.Stats
 	evJoin, evEnqueue, evRecycle obs.Event
+	pol                          *WaitPolicy
 }
 
 // Stats returns the lock's obs counter block.
 func (l *FOLL) Stats() *obs.Stats { return l.stats }
+
+// SetWaitPolicy attaches a wait policy mirroring ollock.WithWait:
+// queue-node waiters descend the policy's ladder (or poll
+// waiting-array slots keyed by node index) instead of spinning on the
+// node's flag word. Host-side setup; call before NewProc.
+func (l *FOLL) SetWaitPolicy(p *WaitPolicy) {
+	l.pol = p
+	p.attach(l.stats)
+	for i, n := range l.nodes {
+		n.slot = p.slotFor(uint32(i) + 1)
+	}
+}
 
 // NewFOLL allocates a FOLL lock on m with a ring of maxProcs reader
 // nodes over the default C-SNZI indicators.
@@ -112,6 +126,7 @@ func (l *FOLL) NewProc(id int) Proc {
 	if l.withPrev {
 		w.qPrev = l.m.NewWord(0)
 	}
+	w.slot = l.pol.slotFor(uint32(len(l.nodes)) + 1)
 	l.nodes = append(l.nodes, w)
 	p := &follProc{
 		l:           l,
@@ -194,7 +209,7 @@ func (p *follProc) RLock(c *sim.Ctx) {
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
-				c.SpinUntil(n.spin, func(v uint64) bool { return v == 0 })
+				l.pol.waitUntil(c, l.stats, p.id, n.slot, n.spin, func(v uint64) bool { return v == 0 })
 				return
 			}
 			rNode = -1
@@ -210,7 +225,7 @@ func (p *follProc) RLock(c *sim.Ctx) {
 				}
 				p.departFrom = deref(tailRef)
 				p.ticket = t
-				c.SpinUntil(tn.spin, func(v uint64) bool { return v == 0 })
+				l.pol.waitUntil(c, l.stats, p.id, tn.slot, tn.spin, func(v uint64) bool { return v == 0 })
 				return
 			}
 		}
@@ -229,6 +244,7 @@ func (p *follProc) RUnlock(c *sim.Ctx) {
 		c.Store(succ.qPrev, 0)
 	}
 	c.Store(succ.spin, 0)
+	signalSlot(c, succ.slot)
 	c.Store(n.qNext, 0)
 	freeNode(c, n)
 	l.stats.Inc(l.evRecycle, p.id)
@@ -249,14 +265,14 @@ func (p *follProc) Lock(c *sim.Ctx) {
 	c.Store(w.spin, 1)
 	c.Store(pred.qNext, ref(p.wNodeIdx))
 	if pred.isWriter {
-		c.SpinUntil(w.spin, func(v uint64) bool { return v == 0 })
+		l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
 		return
 	}
 	pred.cs.QueryOpenSpin(c)
 	if l.withPrev {
 		// ROLL: defer closing until the group is activated, so arriving
 		// readers can keep joining it (reader preference).
-		c.SpinUntil(pred.spin, func(v uint64) bool { return v == 0 })
+		l.pol.waitUntil(c, l.stats, p.id, pred.slot, pred.spin, func(v uint64) bool { return v == 0 })
 		if pred.cs.Close(c) {
 			c.Store(w.qPrev, 0)
 			c.Store(pred.qNext, 0)
@@ -264,18 +280,18 @@ func (p *follProc) Lock(c *sim.Ctx) {
 			l.stats.Inc(l.evRecycle, p.id)
 			return
 		}
-		c.SpinUntil(w.spin, func(v uint64) bool { return v == 0 })
+		l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
 		return
 	}
 	// FOLL: close immediately to stop further readers joining.
 	if pred.cs.Close(c) {
-		c.SpinUntil(pred.spin, func(v uint64) bool { return v == 0 })
+		l.pol.waitUntil(c, l.stats, p.id, pred.slot, pred.spin, func(v uint64) bool { return v == 0 })
 		c.Store(pred.qNext, 0)
 		freeNode(c, pred)
 		l.stats.Inc(l.evRecycle, p.id)
 		return
 	}
-	c.SpinUntil(w.spin, func(v uint64) bool { return v == 0 })
+	l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
 }
 
 func (p *follProc) Unlock(c *sim.Ctx) {
@@ -286,12 +302,13 @@ func (p *follProc) Unlock(c *sim.Ctx) {
 		if c.CAS(l.tail, ref(p.wNodeIdx), 0) {
 			return
 		}
-		succRef = c.SpinUntil(w.qNext, func(v uint64) bool { return v != 0 })
+		succRef = l.pol.waitCond(c, l.stats, p.id, w.qNext, func(v uint64) bool { return v != 0 })
 	}
 	succ := l.nodes[deref(succRef)]
 	if l.withPrev {
 		c.Store(succ.qPrev, 0)
 	}
 	c.Store(succ.spin, 0)
+	signalSlot(c, succ.slot)
 	c.Store(w.qNext, 0)
 }

@@ -16,6 +16,7 @@ type GOLL struct {
 	q     simWaitQueue
 	stats *obs.Stats
 	tr    *SimTracer
+	pol   *WaitPolicy
 }
 
 // NewGOLL allocates a GOLL lock on m over the default C-SNZI indicator
@@ -46,16 +47,26 @@ func (l *GOLL) Stats() *obs.Stats { return l.stats }
 // call before Machine.Run.
 func (l *GOLL) SetTracer(tr *SimTracer) { l.tr = tr }
 
+// SetWaitPolicy attaches a wait policy mirroring ollock.WithWait: queue
+// waiters descend the policy's ladder (or poll waiting-array slots)
+// instead of spinning on their flag word, and the park counter scope is
+// added to the stats block. Host-side setup; call before NewProc.
+func (l *GOLL) SetWaitPolicy(p *WaitPolicy) {
+	l.pol = p
+	p.attach(l.stats)
+}
+
 type gollProc struct {
 	l      *GOLL
 	id     int
 	flag   *sim.Word
+	slot   *sim.Word
 	ticket Ticket
 }
 
 // NewProc returns the per-thread handle. Call during setup.
 func (l *GOLL) NewProc(id int) Proc {
-	return &gollProc{l: l, id: id, flag: l.m.NewWord(0)}
+	return &gollProc{l: l, id: id, flag: l.m.NewWord(0), slot: l.pol.slotFor(uint32(id) + 1)}
 }
 
 func (p *gollProc) RLock(c *sim.Ctx) {
@@ -73,12 +84,12 @@ func (p *gollProc) RLock(c *sim.Ctx) {
 			continue
 		}
 		c.Store(p.flag, 0)
-		l.q.enqueue(c, false, p.flag)
+		l.q.enqueue(c, false, p.flag, p.slot)
 		l.meta.unlock(c)
 		l.tr.emit(c, p.id, trace.KindQueueEnqueue, trace.PhaseNone, trace.RouteNone)
 		l.tr.emit(c, p.id, trace.KindPhaseBegin, trace.PhaseQueueWait, trace.RouteNone)
 		p.ticket = TicketDirect // releaser pre-arrives at the root for us
-		c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+		l.pol.waitUntil(c, l.stats, p.id, p.slot, p.flag, func(v uint64) bool { return v == 1 })
 		l.tr.emit(c, p.id, trace.KindReadAcquired, trace.PhaseNone, trace.RouteDirect)
 		return
 	}
@@ -118,11 +129,11 @@ func (p *gollProc) Lock(c *sim.Ctx) {
 	}
 	l.tr.emit(c, p.id, trace.KindIndClose, trace.PhaseNone, trace.RouteNone)
 	c.Store(p.flag, 0)
-	l.q.enqueue(c, true, p.flag)
+	l.q.enqueue(c, true, p.flag, p.slot)
 	l.meta.unlock(c)
 	l.tr.emit(c, p.id, trace.KindQueueEnqueue, trace.PhaseNone, trace.RouteNone)
 	l.tr.emit(c, p.id, trace.KindPhaseBegin, trace.PhaseQueueWait, trace.RouteNone)
-	c.SpinUntil(p.flag, func(v uint64) bool { return v == 1 })
+	l.pol.waitUntil(c, l.stats, p.id, p.slot, p.flag, func(v uint64) bool { return v == 1 })
 	l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteDirect)
 }
 

@@ -39,6 +39,11 @@ func NewROLLInd(m *sim.Machine, maxProcs int, name string, f IndicatorFactory) *
 // embedded FOLL machinery, which emits roll.* names under withPrev).
 func (l *ROLL) Stats() *obs.Stats { return l.f.stats }
 
+// SetWaitPolicy attaches a wait policy mirroring ollock.WithWait
+// (delegates to the embedded FOLL machinery). Host-side setup; call
+// before NewProc.
+func (l *ROLL) SetWaitPolicy(p *WaitPolicy) { l.f.SetWaitPolicy(p) }
+
 // NewROLLNoHint allocates a ROLL lock with the lastReader hint disabled
 // — the ablation of §4.3's optimization ("reduces the number of
 // searches"): every overtaking reader must walk the queue backward.
@@ -77,7 +82,7 @@ func (p *rollProc) tryJoinWaiting(c *sim.Ctx, idx int) bool {
 	}
 	p.fp.departFrom = idx
 	p.fp.ticket = t
-	c.SpinUntil(n.spin, func(v uint64) bool { return v == 0 })
+	p.l.f.pol.waitUntil(c, p.l.f.stats, p.fp.id, n.slot, n.spin, func(v uint64) bool { return v == 0 })
 	return true
 }
 
@@ -140,7 +145,7 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 				if p.l.useHint && c.Load(tn.spin) == 1 && c.Load(p.l.lastReader) != tailRef {
 					c.Store(p.l.lastReader, tailRef)
 				}
-				c.SpinUntil(tn.spin, func(v uint64) bool { return v == 0 })
+				f.pol.waitUntil(c, f.stats, p.fp.id, tn.slot, tn.spin, func(v uint64) bool { return v == 0 })
 				return
 			}
 
@@ -186,7 +191,7 @@ func (p *rollProc) RLock(c *sim.Ctx) {
 				if p.l.useHint {
 					c.Store(p.l.lastReader, ref(rNode))
 				}
-				c.SpinUntil(n.spin, func(v uint64) bool { return v == 0 })
+				f.pol.waitUntil(c, f.stats, p.fp.id, n.slot, n.spin, func(v uint64) bool { return v == 0 })
 				return
 			}
 			rNode = -1

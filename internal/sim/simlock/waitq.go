@@ -25,11 +25,13 @@ func (mx simMutex) unlock(c *sim.Ctx) {
 	c.Store(mx.w, 0)
 }
 
-// waitEntry is one queued thread: its intention and the flag word it
-// parks on.
+// waitEntry is one queued thread: its intention, the flag word it
+// parks on, and (array wait policy only) the waiting-array slot the
+// granter bumps alongside the flag store.
 type waitEntry struct {
 	writer bool
 	flag   *sim.Word
+	slot   *sim.Word
 }
 
 // simWaitQueue is the mutex-protected wait queue. The queue's link
@@ -44,9 +46,9 @@ type simWaitQueue struct {
 // queueOpCost approximates touching the queue's list structure.
 const queueOpCost = 5
 
-func (q *simWaitQueue) enqueue(c *sim.Ctx, writer bool, flag *sim.Word) {
+func (q *simWaitQueue) enqueue(c *sim.Ctx, writer bool, flag, slot *sim.Word) {
 	c.Work(queueOpCost)
-	q.entries = append(q.entries, waitEntry{writer: writer, flag: flag})
+	q.entries = append(q.entries, waitEntry{writer: writer, flag: flag, slot: slot})
 	if writer {
 		q.numWriters++
 	}
@@ -98,9 +100,11 @@ func (q *simWaitQueue) dequeueHandoff(c *sim.Ctx, releaserWriter bool) (batch []
 	return takeReaders(), false
 }
 
-// signal wakes every entry in the batch (one flag-word store each).
+// signal wakes every entry in the batch (one flag-word store each,
+// plus a slot bump for array-policy waiters).
 func signalBatch(c *sim.Ctx, batch []waitEntry) {
 	for _, e := range batch {
 		c.Store(e.flag, 1)
+		signalSlot(c, e.slot)
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 
 	"ollock/internal/atomicx"
+	"ollock/internal/park"
+	"ollock/internal/trace"
 )
 
 // Mutex is a test-and-test-and-set spin lock with exponential backoff.
@@ -51,6 +53,26 @@ func (m *Mutex) TryLock() bool {
 	return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1)
 }
 
+// LockWith acquires the mutex waiting per pol: a TryLock fast path,
+// then the policy's escalation ladder between probes. A nil policy
+// pauses exactly like Lock; an adaptive/array policy escalates to
+// yields and bounded sleeps, so an oversubscribed queue mutex cannot
+// starve the holder of CPU.
+func (m *Mutex) LockWith(pol *park.Policy) {
+	if m.TryLock() {
+		return
+	}
+	ld := pol.Ladder()
+	for {
+		for m.state.Load() != 0 {
+			ld.Pause()
+		}
+		if m.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
 // Unlock releases the mutex. It must be called by the holder.
 func (m *Mutex) Unlock() {
 	m.state.Store(0)
@@ -65,23 +87,41 @@ func (m *Mutex) Unlock() {
 // mutex).
 //
 // A Waiter must be Reset before reuse.
+//
+// The cell is backed by park.Waiter: the plain Wait/Signal methods keep
+// the paper's pure-spin behavior, and WaitWith/SignalWith route the
+// same hand-off through a wait policy (spin, adaptive park, or waiting
+// array) without changing the protocol.
 type Waiter struct {
-	signaled atomicx.PaddedBool
+	w park.Waiter
 }
 
 // Wait blocks (by spinning, then yielding) until Signal has been called.
 func (w *Waiter) Wait() {
-	atomicx.SpinUntil(w.signaled.Load)
+	w.w.Wait(nil, 0, nil)
+}
+
+// WaitWith blocks until Signal(With), waiting per pol; id is the
+// caller's proc id for counter striping and tr (nil ok) receives the
+// park/unpark events.
+func (w *Waiter) WaitWith(pol *park.Policy, id int, tr *trace.Local) {
+	w.w.Wait(pol, id, tr)
 }
 
 // Signal releases the thread blocked in Wait (or lets a future Wait
 // return immediately).
 func (w *Waiter) Signal() {
-	w.signaled.Store(true)
+	w.w.Signal(nil)
+}
+
+// SignalWith is Signal under a wait policy: it additionally wakes a
+// parked waiter or bumps its waiting-array slot.
+func (w *Waiter) SignalWith(pol *park.Policy) {
+	w.w.Signal(pol)
 }
 
 // Reset re-arms the Waiter for another Wait/Signal round. The caller
 // must guarantee no thread is currently blocked on it.
 func (w *Waiter) Reset() {
-	w.signaled.Store(false)
+	w.w.Reset()
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ollock/internal/park"
 )
 
 func TestMutexExclusion(t *testing.T) {
@@ -41,6 +43,36 @@ func TestMutexTryLock(t *testing.T) {
 		t.Fatal("TryLock after Unlock must succeed")
 	}
 	m.Unlock()
+}
+
+// TestMutexLockWith drives the policy-aware slow path under each wait
+// mode: exclusion must hold whether contenders pause by spinning,
+// yielding, or sleeping.
+func TestMutexLockWith(t *testing.T) {
+	for _, pol := range []*park.Policy{nil, park.New(park.ModeAdaptive), park.New(park.ModeArray)} {
+		pol := pol
+		t.Run(pol.Mode().String(), func(t *testing.T) {
+			var m Mutex
+			counter := 0
+			const goroutines, iters = 8, 1000
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						m.LockWith(pol)
+						counter++
+						m.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*iters {
+				t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+			}
+		})
+	}
 }
 
 func TestWaiterSignalBeforeWait(t *testing.T) {

@@ -62,6 +62,9 @@ const (
 
 	KindStall // watchdog: waiter stuck past threshold; Arg = waited ns
 
+	KindPark   // waiter left the direct-spin path; Arg: 0 channel park, 1 array slot, 2 sleep ladder
+	KindUnpark // parked waiter woken by a grant; Arg mirrors the KindPark mechanism
+
 	NumKinds
 )
 
@@ -83,6 +86,8 @@ var kindNames = [NumKinds]string{
 	KindBravoRecheckFail: "bravo.recheck.fail",
 	KindBravoRevoke:      "bravo.revoke",
 	KindStall:            "stall",
+	KindPark:             "park",
+	KindUnpark:           "unpark",
 }
 
 func (k Kind) String() string {

@@ -13,7 +13,9 @@
 package waitq
 
 import (
+	"ollock/internal/park"
 	"ollock/internal/spin"
+	"ollock/internal/trace"
 )
 
 // Kind is a waiting thread's intention.
@@ -46,6 +48,14 @@ type Entry struct {
 // Wait blocks the calling thread until the entry is signaled by a
 // hand-off.
 func (e *Entry) Wait() { e.w.Wait() }
+
+// WaitWith is Wait under a wait policy: the blocked thread descends the
+// policy's spin→yield→park ladder (or moves onto its waiting-array
+// slot) instead of spinning unconditionally. id is the caller's proc id
+// and tr (nil ok) receives park/unpark trace events.
+func (e *Entry) WaitWith(pol *park.Policy, id int, tr *trace.Local) {
+	e.w.WaitWith(pol, id, tr)
+}
 
 // Kind returns the entry's intention.
 func (e *Entry) Kind() Kind { return e.kind }
@@ -128,6 +138,16 @@ func (b *Batch) Count() int { return len(b.entries) }
 func (b *Batch) Signal() {
 	for _, e := range b.entries {
 		e.w.Signal()
+	}
+}
+
+// SignalWith is Signal under a wait policy: each grant additionally
+// wakes a parked waiter or bumps its waiting-array slot. The wake hint
+// lives in the waiter itself, so entries that never left the spin phase
+// still cost one store each.
+func (b *Batch) SignalWith(pol *park.Policy) {
+	for _, e := range b.entries {
+		e.w.SignalWith(pol)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"ollock/internal/ksuh"
 	"ollock/internal/mcs"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/roll"
 	"ollock/internal/snzi"
 	"ollock/internal/solaris"
@@ -317,21 +318,23 @@ func (l *BravoLock) lockStats() *obs.Stats { return l.stats }
 // WrapBias wraps base with the BRAVO biased reader fast path.
 func WrapBias(base Lock) *BravoLock { return wrapBias(base, 0) }
 
-func wrapBias(base Lock, mult int) *BravoLock { return wrapBiasStats(base, mult, nil, nil) }
+func wrapBias(base Lock, mult int) *BravoLock { return wrapBiasStats(base, mult, nil, nil, nil) }
 
 // wrapBiasStats wraps base, sharing the instrumentation block between
 // the wrapper (bravo.* counters) and the underlying lock, so one
 // Snapshot covers the whole stack. If base carries a block and st is
 // nil the wrapper adopts base's block for SnapshotOf pass-through. lt,
 // when non-nil, is the flight-recorder handle shared with the base
-// lock (wrapper and base events interleave on one timeline).
-func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace) *BravoLock {
+// lock (wrapper and base events interleave on one timeline). pol, when
+// non-nil, is the lock's shared wait policy; revocation drain waits
+// descend its ladder instead of spinning unboundedly.
+func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol *park.Policy) *BravoLock {
 	if st == nil {
 		if c, ok := base.(statsCarrier); ok {
 			st = c.lockStats()
 		}
 	}
-	opts := []bravo.Option{bravo.WithStats(st), bravo.WithTrace(lt)}
+	opts := []bravo.Option{bravo.WithStats(st), bravo.WithTrace(lt), bravo.WithWaitPolicy(pol)}
 	if mult > 0 {
 		opts = append(opts, bravo.WithInhibitMultiplier(mult))
 	}

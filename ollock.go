@@ -47,6 +47,7 @@ import (
 	"ollock/internal/foll"
 	"ollock/internal/goll"
 	"ollock/internal/obs"
+	"ollock/internal/park"
 	"ollock/internal/rind"
 	"ollock/internal/roll"
 	"ollock/internal/trace"
@@ -143,6 +144,49 @@ func IndicatorKinds() []IndicatorKind {
 	return []IndicatorKind{IndicatorCSNZI, IndicatorCentral, IndicatorSharded}
 }
 
+// WaitMode names a waiting policy (see internal/park): what a blocked
+// goroutine does with its CPU between the moment it starts waiting and
+// the moment it is granted the lock.
+type WaitMode string
+
+// Available wait modes for WithWait.
+const (
+	// WaitSpin is the paper's §5.1 behavior and the default: waiters
+	// spin (with bounded exponential backoff) until granted. Lowest
+	// hand-off latency, but every waiter burns a CPU, so throughput
+	// collapses when runnable goroutines exceed GOMAXPROCS.
+	WaitSpin WaitMode = "spin"
+	// WaitAdaptive escalates each wait through a spin → yield → park
+	// ladder: a bounded hot spin, a round of runtime.Gosched yields,
+	// then parking on a per-waiter channel. Releasers only pay a wake-up
+	// when the waiter actually parked (a wake hint in the waiter).
+	WaitAdaptive WaitMode = "adaptive"
+	// WaitArray moves long-term waiters onto private padded slots of a
+	// fixed hashed waiting array (TWA-style, Dice & Kogan 2018):
+	// instead of every waiter polling the shared grant word, each polls
+	// its own slot — gently — and the releaser bumps exactly the slots
+	// it grants. Waits without a cooperating signaler degrade to the
+	// adaptive ladder.
+	WaitArray WaitMode = "array"
+)
+
+// WaitModes lists every available wait mode.
+func WaitModes() []WaitMode { return []WaitMode{WaitSpin, WaitAdaptive, WaitArray} }
+
+// parkMode maps a WaitMode to its internal/park mode.
+func parkMode(m WaitMode) (park.Mode, error) {
+	switch m {
+	case "", WaitSpin:
+		return park.ModeSpin, nil
+	case WaitAdaptive:
+		return park.ModeAdaptive, nil
+	case WaitArray:
+		return park.ModeArray, nil
+	default:
+		return park.ModeSpin, fmt.Errorf("ollock: unknown wait mode %q", m)
+	}
+}
+
 // Option configures New.
 type Option func(*newConfig)
 
@@ -152,6 +196,7 @@ type newConfig struct {
 	withStats bool
 	statsName string
 	indicator IndicatorKind
+	wait      WaitMode
 	lt        *trace.LockTrace
 }
 
@@ -185,6 +230,22 @@ func WithBiasMultiplier(n int) Option {
 // WithBias.
 func WithIndicator(k IndicatorKind) Option {
 	return func(c *newConfig) { c.indicator = k }
+}
+
+// WithWait selects the wait policy for the created lock: what a blocked
+// goroutine does between starting to wait and being granted the lock.
+// The default, WaitSpin, is the paper's pure spinning (§5.1 eliminates
+// context switches by design); WaitAdaptive and WaitArray trade a
+// little hand-off latency for robustness when goroutines outnumber
+// GOMAXPROCS — see README.md for the measured crossover. Applies to the
+// OLL locks (GOLL, FOLL, ROLL, their BRAVO-wrapped variants) and
+// Central; the other baseline kinds keep their fixed waiting behavior
+// and New returns an error if a non-default mode is requested for one.
+// Composes with WithStats (park.* counters), WithBias (revocation drain
+// waits descend the ladder), WithIndicator (sharded gate waits ride the
+// policy), and WithTrace (park/unpark events).
+func WithWait(m WaitMode) Option {
+	return func(c *newConfig) { c.wait = m }
 }
 
 // WithStats attaches a striped instrumentation block to the created
@@ -233,10 +294,12 @@ func SnapshotOf(l Lock) (Snapshot, bool) {
 }
 
 // statScopes returns the obs counter scopes a lock kind reports:
-// every OLL lock carries its own scope plus the C-SNZI substrate, and
-// a biased wrapper adds the bravo scope on top. Baseline kinds have no
-// instrumentation.
-func statScopes(kind Kind, bias bool) []string {
+// every OLL lock carries its own scope plus the C-SNZI substrate, a
+// biased wrapper adds the bravo scope on top, and a non-spin wait
+// policy adds the park scope (pure spinning emits no park events, so
+// the default keeps the historical name set exactly). Baseline kinds
+// have no instrumentation.
+func statScopes(kind Kind, bias, parked bool) []string {
 	var s []string
 	switch kind {
 	case GOLL, KindBravoGOLL:
@@ -248,6 +311,9 @@ func statScopes(kind Kind, bias bool) []string {
 	}
 	if bias {
 		s = append(s, "bravo")
+	}
+	if parked {
+		s = append(s, "park")
 	}
 	return s
 }
@@ -263,20 +329,41 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		o(&cfg)
 	}
 	bias := cfg.bias || kind == KindBravoGOLL || kind == KindBravoROLL
+	wmode, err := parkMode(cfg.wait)
+	if err != nil {
+		return nil, err
+	}
+	parked := wmode != park.ModeSpin
+	if parked {
+		switch kind {
+		case GOLL, FOLL, ROLL, KindBravoGOLL, KindBravoROLL, Central:
+		default:
+			return nil, fmt.Errorf("ollock: lock kind %q does not take a wait policy (%q)", kind, cfg.wait)
+		}
+	}
 	var st *obs.Stats
 	if cfg.withStats {
 		name := cfg.statsName
 		if name == "" {
 			name = string(kind)
 		}
-		st = obs.New(obs.WithName(name), obs.WithScopes(statScopes(kind, bias)...))
+		st = obs.New(obs.WithName(name), obs.WithScopes(statScopes(kind, bias, parked)...))
+	}
+	// One policy is shared by every wait site in the stack — queue
+	// waiters, queue-mutex contenders, indicator gates, and (under
+	// WithBias) revocation drains — so park.* counters and the waiting
+	// array aggregate across layers the way one lock's waiters actually
+	// interleave.
+	var pol *park.Policy
+	if parked {
+		pol = park.New(wmode, park.WithStats(st))
 	}
 	var sealFn func(uint64)
 	if cfg.lt != nil && cfg.indicator == IndicatorSharded {
 		se := &sealEmitter{tr: cfg.lt.NewLocal(-1)}
 		sealFn = se.emit
 	}
-	factory, err := indicatorFactory(cfg.indicator, sealFn)
+	factory, err := indicatorFactory(cfg.indicator, sealFn, pol)
 	if err != nil {
 		return nil, err
 	}
@@ -290,19 +377,19 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	var base Lock
 	switch kind {
 	case GOLL, KindBravoGOLL:
-		gopts := []goll.Option{goll.WithStats(st), goll.WithTrace(cfg.lt)}
+		gopts := []goll.Option{goll.WithStats(st), goll.WithTrace(cfg.lt), goll.WithWaitPolicy(pol)}
 		if factory != nil {
 			gopts = append(gopts, goll.WithIndicator(factory()))
 		}
 		base = &GOLLLock{l: goll.New(gopts...), stats: st}
 	case FOLL:
-		fopts := []foll.Option{foll.WithStats(st), foll.WithTrace(cfg.lt)}
+		fopts := []foll.Option{foll.WithStats(st), foll.WithTrace(cfg.lt), foll.WithWaitPolicy(pol)}
 		if factory != nil {
 			fopts = append(fopts, foll.WithIndicator(factory))
 		}
 		base = &FOLLLock{l: foll.New(maxProcs, fopts...), stats: st}
 	case ROLL, KindBravoROLL:
-		ropts := []roll.Option{roll.WithStats(st), roll.WithTrace(cfg.lt)}
+		ropts := []roll.Option{roll.WithStats(st), roll.WithTrace(cfg.lt), roll.WithWaitPolicy(pol)}
 		if factory != nil {
 			ropts = append(ropts, roll.WithIndicator(factory))
 		}
@@ -316,7 +403,9 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	case Hsieh:
 		base = NewHsieh(maxProcs)
 	case Central:
-		base = NewCentral()
+		cl := NewCentral()
+		cl.l.SetWaitPolicy(pol)
+		base = cl
 	default:
 		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
 	}
@@ -324,7 +413,7 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		st.PublishExpvar()
 	}
 	if bias {
-		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt), nil
+		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol), nil
 	}
 	return base, nil
 }
@@ -333,8 +422,10 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 // the default (the locks build their own C-SNZI when given no
 // indicator, preserving the pre-option construction path exactly).
 // sealFn, when non-nil, is installed as the seal hook on every sharded
-// indicator the factory produces (trace ind.seal events).
-func indicatorFactory(k IndicatorKind, sealFn func(uint64)) (rind.Factory, error) {
+// indicator the factory produces (trace ind.seal events); pol, when
+// non-nil, routes the sharded indicator's gate waits and CAS retries
+// through the lock's wait policy.
+func indicatorFactory(k IndicatorKind, sealFn func(uint64), pol *park.Policy) (rind.Factory, error) {
 	switch k {
 	case "", IndicatorCSNZI:
 		return nil, nil
@@ -342,13 +433,16 @@ func indicatorFactory(k IndicatorKind, sealFn func(uint64)) (rind.Factory, error
 		return rind.CentralFactory(), nil
 	case IndicatorSharded:
 		f := rind.ShardedFactory(0)
-		if sealFn == nil {
+		if sealFn == nil && pol == nil {
 			return f, nil
 		}
 		return func() rind.Indicator {
 			ind := f()
 			if s, ok := ind.(*rind.Sharded); ok {
-				s.SetSealHook(sealFn)
+				if sealFn != nil {
+					s.SetSealHook(sealFn)
+				}
+				s.SetWaitPolicy(pol)
 			}
 			return ind
 		}, nil

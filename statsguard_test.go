@@ -210,3 +210,73 @@ func TestTraceReadOverheadBounded(t *testing.T) {
 		}
 	}
 }
+
+// TestWaitPathZeroAllocs pins the wait-policy side of the
+// zero-overhead-off contract: the spin policy is the legacy code path
+// and must stay allocation-free, and the adaptive/array policies only
+// pay their allocations (the park channel, the array slot key) when a
+// wait actually escalates — an uncontended acquisition never gets
+// there, so it too must be 0 allocs/op in every mode.
+func TestWaitPathZeroAllocs(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL} {
+		for _, mode := range ollock.WaitModes() {
+			kind, mode := kind, mode
+			t.Run(string(kind)+"/"+string(mode), func(t *testing.T) {
+				l := ollock.MustNew(kind, 4, ollock.WithWait(mode), ollock.WithStats(""))
+				p := l.NewProc()
+				if n := testing.AllocsPerRun(200, func() {
+					p.RLock()
+					p.RUnlock()
+				}); n != 0 {
+					t.Fatalf("uncontended RLock/RUnlock under %s allocates %.1f times per op, want 0", mode, n)
+				}
+				if n := testing.AllocsPerRun(200, func() {
+					p.Lock()
+					p.Unlock()
+				}); n != 0 {
+					t.Fatalf("uncontended Lock/Unlock under %s allocates %.1f times per op, want 0", mode, n)
+				}
+			})
+		}
+	}
+}
+
+// TestWaitOverheadBounded is the wait-policy throughput tripwire, same
+// best-of-trials shape as TestStatsReadOverheadBounded: on an
+// uncontended 100%-read loop the adaptive policy must reach at least
+// 85% of the spin policy's throughput — the non-parking fast path is
+// one mode check away from the legacy spin, and anything that puts
+// parking machinery (a channel probe, a time read, an extra atomic) on
+// the un-waited path fails by far more than 15%.
+func TestWaitOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard, skipped with -short")
+	}
+	const ops = 200_000
+	const trials = 5
+	measure := func(mode ollock.WaitMode) float64 {
+		best := 0.0
+		for trial := 0; trial < trials; trial++ {
+			p := ollock.MustNew(ollock.ROLL, 4, ollock.WithWait(mode)).NewProc()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				p.RLock()
+				p.RUnlock()
+			}
+			if rate := float64(ops) / float64(time.Since(start)); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	for attempt := 0; ; attempt++ {
+		spin := measure(ollock.WaitSpin)
+		adaptive := measure(ollock.WaitAdaptive)
+		if adaptive >= 0.85*spin {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("adaptive read path at %.0f%% of spin throughput, want >= 85%%", 100*adaptive/spin)
+		}
+	}
+}
