@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ollock"
 	"ollock/internal/harness"
@@ -87,6 +88,38 @@ type Series struct {
 	// Counters is the lock stack's full obs counter set (csnzi.*,
 	// goll.*/roll.*, bravo.*), summed over runs.
 	Counters map[string]uint64 `json:"counters"`
+	// Metrics is the sampled-metrics view of the row: the derived rates
+	// the pathology doctor evaluates (see ALGORITHMS.md §14), so
+	// trajectory dashboards can track revocation and park churn without
+	// reprocessing the raw counters.
+	Metrics MetricsSummary `json:"metrics"`
+}
+
+// MetricsSummary carries per-acquisition rates derived the same way
+// internal/doctor derives its signals: reads are bravo fast reads plus
+// C-SNZI arrivals, writes are the write-wait histogram counts (exactly
+// one observation per write acquisition).
+type MetricsSummary struct {
+	// RevocationsPerRead is bravo.revoke per read acquisition — the
+	// bias-thrash signal (0 for unwrapped rows and all-write mixes).
+	RevocationsPerRead float64 `json:"revocations_per_read"`
+	// ParksPerAcquire is park.park per acquisition — the park-storm
+	// signal (0 under the spin policy, which never parks).
+	ParksPerAcquire float64 `json:"parks_per_acquire"`
+}
+
+// summarize derives the MetricsSummary from summed counters and the
+// summed write-acquisition count.
+func summarize(counters map[string]uint64, writes uint64) MetricsSummary {
+	var s MetricsSummary
+	reads := counters["bravo.read.fast"] + counters["csnzi.arrive.root"] + counters["csnzi.arrive.tree"]
+	if reads > 0 {
+		s.RevocationsPerRead = float64(counters["bravo.revoke"]) / float64(reads)
+	}
+	if acq := reads + writes; acq > 0 {
+		s.ParksPerAcquire = float64(counters["park.park"]) / float64(acq)
+	}
+	return s
 }
 
 // Output is the BENCH_bravo.json document.
@@ -183,6 +216,7 @@ func main() {
 						Threads: n, ReadFraction: frac, Runs: *runs,
 					}
 					var fast, slow, revs int64
+					var writes uint64
 					counters := map[string]uint64{}
 					for r := 0; r < *runs; r++ {
 						runSeed := *seed + uint64(r)
@@ -196,10 +230,16 @@ func main() {
 						for k, v := range m.Snapshot.Counters {
 							counters[k] += v
 						}
+						for name, h := range m.Snapshot.Hists {
+							if strings.HasSuffix(name, ".write.wait") {
+								writes += h.Count
+							}
+						}
 						b := simlock.RunExperiment(base, sim.T5440(), n, frac, *ops, runSeed)
 						s.BaseThroughput += b.Throughput
 					}
 					s.Counters = counters
+					s.Metrics = summarize(counters, writes)
 					s.BiasArms = int64(counters["bravo.bias.arm"])
 					if tot := counters["csnzi.arrive.tree"] + counters["csnzi.arrive.root"]; tot > 0 {
 						s.TreeArriveFraction = float64(counters["csnzi.arrive.tree"]) / float64(tot)
@@ -247,15 +287,57 @@ func main() {
 }
 
 // hostImpl adapts an ollock facade lock to the harness: one shared lock
-// instance per measurement, each goroutine getting its own proc.
-func hostImpl(kind ollock.Kind, mode ollock.WaitMode) locksuite.Impl {
+// instance per measurement pass, each goroutine getting its own proc.
+// Every created lock is instrumented and collected through sink so the
+// sweep can sum its counters afterwards (the stats overhead — one
+// striped increment per internal event — is paid identically by every
+// wait mode, so the spin-relative speedups stay comparable).
+func hostImpl(kind ollock.Kind, mode ollock.WaitMode, sink *hostLocks) locksuite.Impl {
 	return locksuite.Impl{
 		Name: string(kind) + "+" + string(mode),
 		New: func(maxProcs int) locksuite.ProcMaker {
-			l := ollock.MustNew(kind, maxProcs, ollock.WithWait(mode))
+			l := ollock.MustNew(kind, maxProcs, ollock.WithWait(mode), ollock.WithStats(""))
+			sink.add(l)
 			return func() locksuite.Proc { return l.NewProc() }
 		},
 	}
+}
+
+// hostLocks collects the lock instances a measurement created (the
+// harness re-creates the lock per pass), for post-run counter sums.
+type hostLocks struct {
+	mu    sync.Mutex
+	locks []ollock.Lock
+}
+
+func (h *hostLocks) add(l ollock.Lock) {
+	h.mu.Lock()
+	h.locks = append(h.locks, l)
+	h.mu.Unlock()
+}
+
+// sum folds every collected lock's counters (and write-wait histogram
+// counts) into one map + write total.
+func (h *hostLocks) sum() (map[string]uint64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counters := map[string]uint64{}
+	var writes uint64
+	for _, l := range h.locks {
+		sn, ok := ollock.SnapshotOf(l)
+		if !ok {
+			continue
+		}
+		for _, name := range sn.Names() {
+			counters[name] += sn.Counters[name]
+		}
+		for name, hist := range sn.Hists {
+			if strings.HasSuffix(name, ".write.wait") {
+				writes += hist.Count
+			}
+		}
+	}
+	return counters, writes
 }
 
 // oversubSweep runs the host (real goroutine) wait-policy section: for
@@ -280,10 +362,10 @@ func oversubSweep(mults []int, ops, runs int, seed uint64) []Series {
 						Indicator: "csnzi", WaitPolicy: string(mode),
 						Oversub: mult, Threads: threads,
 						ReadFraction: frac, Runs: runs,
-						Counters: map[string]uint64{},
 					}
+					var sink hostLocks
 					cfg := harness.Config{
-						Impl:         hostImpl(kind, mode),
+						Impl:         hostImpl(kind, mode, &sink),
 						Threads:      threads,
 						ReadFraction: frac,
 						OpsPerThread: ops,
@@ -294,6 +376,9 @@ func oversubSweep(mults []int, ops, runs int, seed uint64) []Series {
 					lat := harness.RunLatency(cfg)
 					s.P99ReadNs = lat.Read.P99.Nanoseconds()
 					s.P99WriteNs = lat.Write.P99.Nanoseconds()
+					var writes uint64
+					s.Counters, writes = sink.sum()
+					s.Metrics = summarize(s.Counters, writes)
 					if mode == ollock.WaitSpin {
 						spinTP = s.Throughput
 					}

@@ -1,0 +1,363 @@
+// Command lockmon is the live monitoring companion to the lock stack:
+// it runs a configurable workload against an instrumented lock while
+// the metrics pipeline samples it, and exposes, dumps, or diagnoses the
+// resulting time series.
+//
+// Usage:
+//
+//	lockmon serve   [workload flags] [-addr :9090] [-period 1s] [-duration 0]
+//	lockmon sample  [workload flags] [-period 100ms] [-duration 2s]
+//	                [-format prom|json|text] [-o FILE]
+//	lockmon doctor  [workload flags] [-period 100ms] [-duration 2s]
+//	                | -scenario NAME
+//	lockmon checkfmt FILE
+//
+// Workload flags (serve, sample, doctor):
+//
+//	-lock goll -indicator csnzi -bias=false -wait spin
+//	-threads 8 -readpct 95 -work 0 -seed 42
+//
+// serve runs the workload (forever with -duration 0) and serves the
+// scrape endpoints: /metrics (Prometheus/OpenMetrics text, or the JSON
+// time series on Accept: application/json), and /doctor (the current
+// diagnosis as text; nonzero findings also set X-Lockmon-Findings).
+//
+// sample runs the workload for -duration while sampling at -period and
+// writes the series in the chosen format: prom (exposition text), json
+// (the full ring time series), or text (a human summary plus the
+// doctor's report).
+//
+// doctor runs the workload (or replays a scripted -scenario; see
+// "lockmon doctor -scenario list") and exits 0 when the diagnosis is
+// clean, 1 when findings fire, 2 on usage errors — scriptable as a CI
+// gate. Scenario replay needs no workload at all: the scripted counter
+// windows are evaluated directly, deterministically.
+//
+// checkfmt validates a Prometheus text exposition file (as scraped from
+// /metrics) against the format rules the exporter promises, exiting
+// nonzero with a line-numbered complaint on the first violation.
+//
+// Every exported metric name is documented in METRICS.md; the doctor's
+// rules are specified in ALGORITHMS.md §14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ollock"
+	"ollock/internal/doctor"
+	"ollock/internal/metrics"
+	"ollock/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "sample":
+		cmdSample(os.Args[2:])
+	case "doctor":
+		cmdDoctor(os.Args[2:])
+	case "checkfmt":
+		cmdCheckfmt(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lockmon serve|sample|doctor [flags]
+       lockmon checkfmt FILE
+run "lockmon <subcommand> -h" for the subcommand's flags`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "lockmon:", err)
+	os.Exit(2)
+}
+
+// workloadFlags holds the shared workload shape shared by serve,
+// sample and doctor.
+type workloadFlags struct {
+	lock      *string
+	indicator *string
+	bias      *bool
+	wait      *string
+	threads   *int
+	readPct   *float64
+	work      *int
+	seed      *uint64
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
+	return &workloadFlags{
+		lock:      fs.String("lock", "goll", "lock kind under test"),
+		indicator: fs.String("indicator", "csnzi", "read indicator: csnzi, central or sharded"),
+		bias:      fs.Bool("bias", false, "wrap with the BRAVO biased reader fast path"),
+		wait:      fs.String("wait", "spin", "wait policy: spin, adaptive or array"),
+		threads:   fs.Int("threads", 8, "concurrent goroutines"),
+		readPct:   fs.Float64("readpct", 95, "percentage of read acquisitions"),
+		work:      fs.Int("work", 0, "critical-section spin iterations"),
+		seed:      fs.Uint64("seed", 42, "PRNG seed"),
+	}
+}
+
+// build creates the instrumented lock on m per the flags.
+func (w *workloadFlags) build(m *ollock.Metrics) ollock.Lock {
+	opts := []ollock.Option{
+		ollock.WithMetrics(m),
+		ollock.WithStats(*w.lock),
+		ollock.WithIndicator(ollock.IndicatorKind(*w.indicator)),
+		ollock.WithWait(ollock.WaitMode(*w.wait)),
+	}
+	if *w.bias {
+		opts = append(opts, ollock.WithBias())
+	}
+	l, err := ollock.New(ollock.Kind(*w.lock), *w.threads, opts...)
+	if err != nil {
+		die(err)
+	}
+	return l
+}
+
+// run drives the workload until stop is closed; returns after every
+// goroutine exits.
+func (w *workloadFlags) run(l ollock.Lock, stop <-chan struct{}) {
+	var wg sync.WaitGroup
+	var sink atomic.Uint64
+	readFrac := *w.readPct / 100
+	for t := 0; t < *w.threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := l.NewProc()
+			rng := xrand.New(*w.seed + uint64(id)*0x9E3779B9 + 1)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					sink.Add(local)
+					return
+				default:
+				}
+				if rng.Bool(readFrac) {
+					p.RLock()
+					for i := 0; i < *w.work; i++ {
+						local++
+					}
+					p.RUnlock()
+				} else {
+					p.Lock()
+					for i := 0; i < *w.work; i++ {
+						local++
+					}
+					p.Unlock()
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("lockmon serve", flag.ExitOnError)
+	w := addWorkloadFlags(fs)
+	addr := fs.String("addr", ":9090", "listen address")
+	period := fs.Duration("period", time.Second, "sampling period")
+	duration := fs.Duration("duration", 0, "stop the workload after this long (0 = run until killed)")
+	fs.Parse(args)
+
+	m := ollock.NewMetrics(ollock.MetricsPeriod(*period))
+	l := w.build(m)
+	m.Start()
+	stop := make(chan struct{})
+	go w.run(l, stop)
+	if *duration > 0 {
+		go func() {
+			time.Sleep(*duration)
+			close(stop)
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.Handle("/metrics.json", m.Handler()) // ".json" path steers the negotiation
+	mux.HandleFunc("/doctor", func(rw http.ResponseWriter, _ *http.Request) {
+		findings := m.Diagnose(0)
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rw.Header().Set("X-Lockmon-Findings", fmt.Sprint(len(findings)))
+		fmt.Fprintln(rw, ollock.DoctorReport(findings))
+	})
+	fmt.Fprintf(os.Stderr, "lockmon: serving /metrics, /metrics.json, /doctor on %s (lock=%s threads=%d readpct=%g)\n",
+		*addr, *w.lock, *w.threads, *w.readPct)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		die(err)
+	}
+}
+
+func cmdSample(args []string) {
+	fs := flag.NewFlagSet("lockmon sample", flag.ExitOnError)
+	w := addWorkloadFlags(fs)
+	period := fs.Duration("period", 100*time.Millisecond, "sampling period")
+	duration := fs.Duration("duration", 2*time.Second, "workload duration")
+	format := fs.String("format", "text", "output format: prom, json or text")
+	out := fs.String("o", "", "write to this file instead of stdout")
+	fs.Parse(args)
+
+	m := ollock.NewMetrics(ollock.MetricsPeriod(*period))
+	l := w.build(m)
+	m.Start()
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(*duration)
+		close(stop)
+	}()
+	w.run(l, stop)
+	m.Stop()
+	m.Sample() // final point so the last partial period is covered
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "prom":
+		if err := m.WritePrometheus(dst); err != nil {
+			die(err)
+		}
+	case "json":
+		rec := httpDump{m: m}
+		if err := rec.writeJSON(dst); err != nil {
+			die(err)
+		}
+	case "text":
+		printSummary(dst, l, m)
+	default:
+		die(fmt.Errorf("unknown -format %q", *format))
+	}
+}
+
+// httpDump adapts the handler's JSON view for file output without
+// spinning up a server.
+type httpDump struct{ m *ollock.Metrics }
+
+func (h httpDump) writeJSON(dst *os.File) error {
+	req, _ := http.NewRequest("GET", "/metrics.json", nil)
+	req.Header.Set("Accept", "application/json")
+	rw := &fileResponse{f: dst, hdr: http.Header{}}
+	h.m.Handler().ServeHTTP(rw, req)
+	return rw.err
+}
+
+type fileResponse struct {
+	f   *os.File
+	hdr http.Header
+	err error
+}
+
+func (r *fileResponse) Header() http.Header { return r.hdr }
+func (r *fileResponse) WriteHeader(int)     {}
+func (r *fileResponse) Write(p []byte) (int, error) {
+	n, err := r.f.Write(p)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return n, err
+}
+
+// printSummary renders the human view: final counters, wait histograms,
+// and the doctor's opinion.
+func printSummary(dst *os.File, l ollock.Lock, m *ollock.Metrics) {
+	sn, ok := ollock.SnapshotOf(l)
+	if !ok {
+		die(fmt.Errorf("lock has no instrumentation"))
+	}
+	fmt.Fprintf(dst, "samples: %d\n\ncounters:\n", m.Samples())
+	for _, name := range sn.Names() {
+		if sn.Counters[name] != 0 {
+			fmt.Fprintf(dst, "  %-24s %12d\n", name, sn.Counters[name])
+		}
+	}
+	hists := make([]string, 0, len(sn.Hists))
+	for name := range sn.Hists {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	fmt.Fprintln(dst, "\nhistograms:")
+	for _, name := range hists {
+		h := sn.Hists[name]
+		fmt.Fprintf(dst, "  %-24s count=%d p50=%dns p99=%dns max=%dns\n",
+			name, h.Count, h.P50, h.P99, h.Max)
+	}
+	fmt.Fprintf(dst, "\n%s\n", ollock.DoctorReport(m.Diagnose(0)))
+}
+
+func cmdDoctor(args []string) {
+	fs := flag.NewFlagSet("lockmon doctor", flag.ExitOnError)
+	w := addWorkloadFlags(fs)
+	period := fs.Duration("period", 100*time.Millisecond, "sampling period")
+	duration := fs.Duration("duration", 2*time.Second, "workload duration")
+	scenario := fs.String("scenario", "", `evaluate a scripted scenario instead of running a workload ("list" to enumerate)`)
+	fs.Parse(args)
+
+	var findings []ollock.Finding
+	if *scenario != "" {
+		if *scenario == "list" {
+			fmt.Println(strings.Join(doctor.ScenarioNames(), "\n"))
+			return
+		}
+		windows, err := doctor.Scenario(*scenario)
+		if err != nil {
+			die(err)
+		}
+		findings = doctor.Diagnose(doctor.DefaultConfig(), windows)
+	} else {
+		m := ollock.NewMetrics(ollock.MetricsPeriod(*period))
+		l := w.build(m)
+		m.Start()
+		stop := make(chan struct{})
+		go func() {
+			time.Sleep(*duration)
+			close(stop)
+		}()
+		w.run(l, stop)
+		m.Stop()
+		findings = m.Diagnose(0)
+	}
+	fmt.Println(ollock.DoctorReport(findings))
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func cmdCheckfmt(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		die(err)
+	}
+	if err := metrics.ValidateExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "lockmon: %s: %v\n", args[0], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Prometheus exposition\n", args[0])
+}

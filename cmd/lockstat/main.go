@@ -22,6 +22,11 @@
 // and the recording is written to the named file in the same JSON shape
 // cmd/locktrace records — convert it with "locktrace export" or fold it
 // with "locktrace top".
+//
+// With -prom the final counters of every kind are also written to the
+// named file in Prometheus text exposition format (one labeled series
+// per kind, the same shape cmd/lockmon serves live) — validate it with
+// "lockmon checkfmt".
 package main
 
 import (
@@ -52,11 +57,16 @@ func main() {
 	seed := flag.Uint64("seed", 42, "PRNG seed")
 	asJSON := flag.Bool("json", false, "emit snapshots as JSON instead of tables")
 	traceOut := flag.String("trace", "", "also flight-record the run and write the recording (JSON) to this file")
+	promOut := flag.String("prom", "", "also write the final counters to this file in Prometheus exposition format")
 	flag.Parse()
 
 	var tracer *ollock.Tracer
 	if *traceOut != "" {
 		tracer = ollock.NewTracer(0)
+	}
+	var mtr *ollock.Metrics
+	if *promOut != "" {
+		mtr = ollock.NewMetrics()
 	}
 
 	var kinds []ollock.Kind
@@ -76,6 +86,9 @@ func main() {
 		}
 		if tracer != nil {
 			opts = append(opts, ollock.WithTrace(tracer.Register(string(kind))))
+		}
+		if mtr != nil {
+			opts = append(opts, ollock.WithMetrics(mtr))
 		}
 		l, err := ollock.New(kind, *threads, opts...)
 		if err != nil {
@@ -100,6 +113,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
 			os.Exit(1)
 		}
+	}
+	if mtr != nil {
+		mtr.Sample()
+		f, err := os.Create(*promOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		if err := mtr.WritePrometheus(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockstat: wrote Prometheus exposition to %s\n", *promOut)
 	}
 	if tracer != nil {
 		f, err := os.Create(*traceOut)

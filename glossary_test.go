@@ -1,0 +1,69 @@
+package ollock_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ollock/internal/obs"
+)
+
+// dottedName matches the counter/histogram naming convention: all
+// lowercase dotted segments ("csnzi.arrive.root"). Other backticked
+// tokens in the glossary — Go identifiers, file names, paths — contain
+// uppercase letters, underscores, or slashes and fall outside it.
+var dottedName = regexp.MustCompile("`([a-z][a-z0-9]*(?:\\.[a-z][a-z0-9]*)+)`")
+
+// glossarySection returns the body of the ALGORITHMS.md section whose
+// heading starts with the given prefix, up to the next "## " heading.
+func glossarySection(t *testing.T, headingPrefix string) string {
+	t.Helper()
+	raw, err := os.ReadFile("ALGORITHMS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	start := strings.Index(text, headingPrefix)
+	if start < 0 {
+		t.Fatalf("heading %q not found in ALGORITHMS.md", headingPrefix)
+	}
+	body := text[start:]
+	if end := strings.Index(body[1:], "\n## "); end >= 0 {
+		body = body[:end+1]
+	}
+	return body
+}
+
+// TestGlossaryMatchesObsNames pins the ALGORITHMS.md §11 counter and
+// histogram glossary to the obs name tables exactly, both directions —
+// the same drift guard the trace schema gets from its kind-enum sync
+// test. Adding an Event or HistID without documenting it (or
+// documenting a name that no longer exists) fails here.
+func TestGlossaryMatchesObsNames(t *testing.T) {
+	body := glossarySection(t, "## 11.")
+	documented := map[string]bool{}
+	for _, m := range dottedName.FindAllStringSubmatch(body, -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no dotted names found in §11 (glossary layout changed?)")
+	}
+	declared := map[string]bool{}
+	for _, n := range obs.AllEventNames() {
+		declared[n] = true
+	}
+	for _, n := range obs.AllHistNames() {
+		declared[n] = true
+	}
+	for n := range declared {
+		if !documented[n] {
+			t.Errorf("obs name %q is not documented in ALGORITHMS.md §11", n)
+		}
+	}
+	for n := range documented {
+		if !declared[n] {
+			t.Errorf("ALGORITHMS.md §11 documents %q, which does not exist in obs", n)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package doctor
+
+import (
+	"time"
+
+	"ollock/internal/metrics"
+	"ollock/internal/obs"
+	"ollock/internal/trace"
+)
+
+// FromMetrics reduces a sampler window to the doctor's plain-data
+// shape. Only names the lock's scopes own appear in the maps (the
+// array slots of out-of-scope events are zero anyway, but the maps
+// are also what the report prints, and absent beats zero there). The
+// registry supplies the scope information; a missing block falls back
+// to including every nonzero slot.
+func FromMetrics(w metrics.Window, reg *obs.Registry) Window {
+	out := Window{
+		Lock:    w.Key,
+		Seconds: w.Seconds,
+		Deltas:  map[string]uint64{},
+		Hists:   map[string]HistWindow{},
+	}
+	includeEvent := func(e obs.Event) bool { return w.Deltas[e] != 0 }
+	includeHist := func(h obs.HistID) bool { return w.Hists[h].Count() != 0 }
+	if st := reg.Get(w.Key); st != nil {
+		inE := map[obs.Event]bool{}
+		inH := map[obs.HistID]bool{}
+		st.EachCounter(func(e obs.Event, _ uint64) { inE[e] = true })
+		st.EachHist(func(h obs.HistID, _ obs.Histogram) { inH[h] = true })
+		includeEvent = func(e obs.Event) bool { return inE[e] }
+		includeHist = func(h obs.HistID) bool { return inH[h] }
+	}
+	for e := obs.Event(0); e < obs.NumEvents; e++ {
+		if includeEvent(e) {
+			out.Deltas[e.String()] = w.Deltas[e]
+		}
+	}
+	for h := obs.HistID(0); h < obs.NumHists; h++ {
+		if !includeHist(h) {
+			continue
+		}
+		hist := w.Hists[h]
+		out.Hists[h.String()] = HistWindow{
+			Count: hist.Count(),
+			Sum:   hist.Sum(),
+			P50:   hist.Quantile(0.5),
+			P99:   hist.Quantile(0.99),
+			Max:   hist.Max(),
+		}
+	}
+	return out
+}
+
+// AttachStalls folds watchdog stalls into the window whose lock name
+// matches (watchdog stalls carry the trace registration name, which
+// the facade keeps equal to the stats name).
+func AttachStalls(windows []Window, stalls []trace.Stall) []Window {
+	for i := range windows {
+		for _, st := range stalls {
+			if st.Lock == windows[i].Lock {
+				windows[i].Stalls = append(windows[i].Stalls, StallInfo{
+					Phase:  st.Phase.String(),
+					Waited: st.Waited,
+				})
+			}
+		}
+	}
+	return windows
+}
+
+// WindowsFrom samples nothing itself: it reduces the sampler's
+// retained rings to doctor windows spanning roughly the last d.
+func WindowsFrom(s *metrics.Sampler, reg *obs.Registry, d time.Duration) []Window {
+	mws := s.Windows(d)
+	out := make([]Window, 0, len(mws))
+	for _, mw := range mws {
+		out = append(out, FromMetrics(mw, reg))
+	}
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
@@ -310,11 +311,18 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.tr.Now()
+	var w0 time.Time
+	if l.stats.Enabled() {
+		w0 = time.Now()
+	}
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	if oldTail == nil {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return // free lock acquired
 	}
 	w.flag.Set(true)
@@ -324,6 +332,9 @@ func (p *Proc) Lock() {
 		p.tr.BeginAt(t0, trace.PhaseQueueWait)
 		w.flag.Wait(l.pol, p.id, p.tr)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	// Reader predecessor. Its C-SNZI may not be open yet (the enqueuer
@@ -344,11 +355,17 @@ func (p *Proc) Lock() {
 		freeReaderNode(oldTail)
 		l.stats.Inc(obs.FOLLNodeRecycle, p.id)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	// Readers exist: the last departer will signal us.
 	w.flag.Wait(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
+	if l.stats.Enabled() {
+		l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+	}
 }
 
 // Unlock releases a write acquisition.

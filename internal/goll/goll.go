@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"ollock/internal/csnzi"
 	"ollock/internal/obs"
@@ -213,8 +214,15 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.tr.Now()
+	var w0 time.Time
+	if l.stats.Enabled() {
+		w0 = time.Now()
+	}
 	if l.cs.CloseIfEmpty() {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	p.tr.BeginAt(t0, trace.PhaseArrive)
@@ -224,6 +232,9 @@ func (p *Proc) Lock() {
 		// acquired it.
 		l.meta.Unlock()
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	// The indicator is now closed over the readers holding it (by our
@@ -235,6 +246,9 @@ func (p *Proc) Lock() {
 	p.tr.Begin(trace.PhaseQueueWait)
 	e.WaitWith(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
+	if l.stats.Enabled() {
+		l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+	}
 }
 
 // Unlock releases a write acquisition, handing ownership to the next

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ollock/internal/obs"
+)
+
+// selfMetrics are the unlabeled pipeline-level families WritePrometheus
+// appends after the per-lock families.
+var selfMetrics = []string{
+	"ollock_sampler_samples_total",
+	"ollock_sampler_period_seconds",
+}
+
+// TestMetricsDocCoversExportedNames pins METRICS.md to the exporter,
+// both directions: every family the exporter can emit appears in the
+// document, and every `ollock_`-prefixed family the document mentions
+// is one the exporter can emit. Adding an obs counter, renaming a
+// histogram, or editing the doc alone fails here.
+func TestMetricsDocCoversExportedNames(t *testing.T) {
+	raw, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	exported := map[string]bool{}
+	for _, n := range obs.AllEventNames() {
+		exported[PromName(n)+"_total"] = true
+	}
+	for _, n := range obs.AllHistNames() {
+		exported[PromName(n)+"_ns"] = true
+		exported[PromName(n)+"_ns_max"] = true
+	}
+	for _, n := range selfMetrics {
+		exported[n] = true
+	}
+
+	for name := range exported {
+		if !strings.Contains(doc, "`"+name+"`") && !strings.Contains(doc, "`"+strings.TrimSuffix(name, "_max")+"`") {
+			t.Errorf("exported family %s is not documented in METRICS.md", name)
+		}
+	}
+
+	// Reverse: every documented ollock_* token must be exportable. The
+	// summary families document their _max gauge via the prose rule, so
+	// both the base and the _max forms are accepted.
+	tokens := regexp.MustCompile("`(ollock_[a-z0-9_]+)`").FindAllStringSubmatch(doc, -1)
+	seen := map[string]bool{}
+	for _, m := range tokens {
+		name := m[1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		// The convention section shows a family stem without its
+		// suffix; accept a token when any exportable form of it exists.
+		if !exported[name] && !exported[name+"_total"] && !exported[name+"_max"] &&
+			!exported[strings.TrimSuffix(name, "_max")] {
+			t.Errorf("METRICS.md documents %s, which the exporter never emits", name)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no ollock_* families found in METRICS.md — doc format changed?")
+	}
+}

@@ -1,0 +1,314 @@
+// Package metrics is the live observability pipeline over the obs
+// layer: a periodic sampler that snapshots every Stats block in an
+// obs.Registry into a fixed-size time-series ring, plus exporters —
+// Prometheus/OpenMetrics text and JSON — served by an embeddable
+// http.Handler.
+//
+// The counters and histograms in obs are cumulative; monitoring wants
+// windows ("revocations per second over the last 10s"), and the
+// doctor (internal/doctor) wants the same windows as plain data it
+// can apply thresholds to. The sampler bridges the two: every period
+// it walks the registry with the alloc-free EachCounter/EachHist
+// iterators, stamps a monotonic-clock point, and appends it to a
+// per-block ring. Collect returns deep copies under a mutex, so reads
+// are tear-free: a reader never observes a half-written point, and a
+// returned snapshot never mutates under the caller.
+//
+// The overhead discipline mirrors the rest of the module: the sampled
+// locks pay nothing beyond their ordinary stats cost (the sampler
+// only ever reads); a lock built without metrics pays nothing at all.
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"ollock/internal/obs"
+)
+
+// Point is one sample of one Stats block: every in-scope counter and
+// histogram at a single instant. Fixed-size arrays indexed by
+// obs.Event / obs.HistID keep sampling alloc-light and make delta
+// math trivial; out-of-scope slots stay zero.
+type Point struct {
+	// Wall is the wall-clock stamp (for export and display).
+	Wall time.Time
+	// Mono is the monotonic reading used for all rate math, as a
+	// duration since the sampler started.
+	Mono time.Duration
+	// Counters holds cumulative totals, indexed by obs.Event.
+	Counters [obs.NumEvents]uint64
+	// Hists holds cumulative histogram copies, indexed by obs.HistID.
+	Hists [obs.NumHists]obs.Histogram
+}
+
+// series is one block's ring of points.
+type series struct {
+	key    string
+	st     *obs.Stats
+	ring   []Point
+	head   int // next write slot
+	filled int // number of valid points, <= len(ring)
+}
+
+func (s *series) append(p Point) {
+	s.ring[s.head] = p
+	s.head = (s.head + 1) % len(s.ring)
+	if s.filled < len(s.ring) {
+		s.filled++
+	}
+}
+
+// ordered returns the valid points oldest-first (copies).
+func (s *series) ordered() []Point {
+	out := make([]Point, s.filled)
+	start := s.head - s.filled
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.filled; i++ {
+		out[i] = s.ring[(start+i)%len(s.ring)]
+	}
+	return out
+}
+
+// Sampler periodically snapshots every block of a registry. Create
+// with New; Start/Stop run the background loop, SampleNow pushes one
+// sample synchronously (the push-free path tests and cmd tools use).
+type Sampler struct {
+	reg    *obs.Registry
+	period time.Duration
+	size   int
+	now    func() time.Time // injectable clock (tests)
+
+	mu      sync.Mutex
+	started time.Time // first sample's wall time, anchors Mono
+	series  map[string]*series
+	order   []string
+	samples uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Option configures New.
+type Option func(*Sampler)
+
+// WithPeriod sets the background sampling period (default 1s; floor
+// 1ms).
+func WithPeriod(d time.Duration) Option {
+	return func(s *Sampler) {
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		s.period = d
+	}
+}
+
+// WithRing sets how many points each block's ring retains (default
+// 128, floor 2 — a window needs two points).
+func WithRing(n int) Option {
+	return func(s *Sampler) {
+		if n < 2 {
+			n = 2
+		}
+		s.size = n
+	}
+}
+
+// WithClock injects the time source (tests script wraparound and rate
+// math with it).
+func WithClock(now func() time.Time) Option {
+	return func(s *Sampler) { s.now = now }
+}
+
+// New returns a sampler over reg. The registry may keep growing after
+// New: blocks registered later get a ring at their first sample.
+func New(reg *obs.Registry, opts ...Option) *Sampler {
+	s := &Sampler{
+		reg:    reg,
+		period: time.Second,
+		size:   128,
+		now:    time.Now,
+		series: map[string]*series{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Period returns the configured sampling period.
+func (s *Sampler) Period() time.Duration { return s.period }
+
+// SampleNow takes one sample of every registered block immediately.
+func (s *Sampler) SampleNow() {
+	wall := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started.IsZero() {
+		s.started = wall
+	}
+	mono := wall.Sub(s.started)
+	s.reg.Each(func(key string, st *obs.Stats) {
+		sr := s.series[key]
+		if sr == nil {
+			sr = &series{key: key, st: st, ring: make([]Point, s.size)}
+			s.series[key] = sr
+			s.order = append(s.order, key)
+		}
+		var p Point
+		p.Wall = wall
+		p.Mono = mono
+		st.EachCounter(func(e obs.Event, total uint64) { p.Counters[e] = total })
+		st.EachHist(func(h obs.HistID, hist obs.Histogram) { p.Hists[h] = hist })
+		sr.append(p)
+	})
+	s.samples++
+}
+
+// Start launches the background sampling loop. Stop ends it; Start
+// after Stop restarts it. Calling Start twice without Stop is a no-op
+// the second time.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleNow()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to
+// call when not started.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Samples returns how many sampling sweeps have run.
+func (s *Sampler) Samples() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// SeriesSnapshot is a tear-free copy of one block's ring,
+// oldest-first.
+type SeriesSnapshot struct {
+	Key    string
+	Points []Point
+}
+
+// Collect returns a snapshot of every series in registration order.
+// The copies are deep: later sampling never mutates a returned
+// snapshot.
+func (s *Sampler) Collect() []SeriesSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, SeriesSnapshot{Key: key, Points: s.series[key].ordered()})
+	}
+	return out
+}
+
+// Latest returns the newest point of the series, false when the ring
+// is empty.
+func (ss SeriesSnapshot) Latest() (Point, bool) {
+	if len(ss.Points) == 0 {
+		return Point{}, false
+	}
+	return ss.Points[len(ss.Points)-1], true
+}
+
+// Window is the delta view between two points of one series: what
+// happened over Seconds of monotonic time. This is the doctor's input
+// shape.
+type Window struct {
+	Key     string
+	Seconds float64
+	// Deltas holds per-counter increments over the window.
+	Deltas [obs.NumEvents]uint64
+	// Rates holds per-counter increments divided by Seconds.
+	Rates [obs.NumEvents]float64
+	// Hists holds windowed histograms (bucketwise deltas; Max is the
+	// cumulative max, see obs.Histogram.DeltaFrom).
+	Hists [obs.NumHists]obs.Histogram
+}
+
+// Window computes the delta view spanning roughly the last d of the
+// series: from the oldest retained point within d of the newest, to
+// the newest. It reports false when the series has fewer than two
+// points or the span is empty.
+func (ss SeriesSnapshot) Window(d time.Duration) (Window, bool) {
+	n := len(ss.Points)
+	if n < 2 {
+		return Window{}, false
+	}
+	newest := ss.Points[n-1]
+	base := 0
+	for i := n - 2; i >= 0; i-- {
+		if newest.Mono-ss.Points[i].Mono >= d {
+			base = i
+			break
+		}
+	}
+	return windowBetween(ss.Key, ss.Points[base], newest)
+}
+
+// windowBetween builds the delta view between two points.
+func windowBetween(key string, from, to Point) (Window, bool) {
+	span := to.Mono - from.Mono
+	if span <= 0 {
+		return Window{}, false
+	}
+	w := Window{Key: key, Seconds: span.Seconds()}
+	for e := obs.Event(0); e < obs.NumEvents; e++ {
+		if to.Counters[e] > from.Counters[e] {
+			w.Deltas[e] = to.Counters[e] - from.Counters[e]
+		}
+		w.Rates[e] = float64(w.Deltas[e]) / w.Seconds
+	}
+	for h := obs.HistID(0); h < obs.NumHists; h++ {
+		w.Hists[h] = to.Hists[h].DeltaFrom(&from.Hists[h])
+	}
+	return w, true
+}
+
+// Windows computes the last-d window of every collected series,
+// skipping series too short to span one.
+func (s *Sampler) Windows(d time.Duration) []Window {
+	snaps := s.Collect()
+	out := make([]Window, 0, len(snaps))
+	for _, ss := range snaps {
+		if w, ok := ss.Window(d); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ollock/internal/obs"
+)
+
+// fakeClock scripts the sampler's time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testRegistry() (*obs.Registry, *obs.Stats) {
+	reg := obs.NewRegistry()
+	st := obs.New(obs.WithName("t"), obs.WithScopes("csnzi", "goll", "park"))
+	reg.Register(st)
+	return reg, st
+}
+
+func TestSamplerDeltasAndRates(t *testing.T) {
+	reg, st := testRegistry()
+	clk := newFakeClock()
+	s := New(reg, WithClock(clk.now), WithRing(8))
+
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	s.SampleNow()
+	for i := 0; i < 10; i++ {
+		st.Inc(obs.CSNZIArriveRoot, 0)
+	}
+	st.Observe(obs.GOLLWriteWait, 0, 1000)
+	clk.advance(2 * time.Second)
+	s.SampleNow()
+
+	snaps := s.Collect()
+	if len(snaps) != 1 || snaps[0].Key != "t" {
+		t.Fatalf("Collect = %+v", snaps)
+	}
+	w, ok := snaps[0].Window(time.Hour) // spans the whole ring
+	if !ok {
+		t.Fatal("no window from 2 points")
+	}
+	if w.Seconds != 2 {
+		t.Fatalf("window seconds = %v", w.Seconds)
+	}
+	if d := w.Deltas[obs.CSNZIArriveRoot]; d != 10 {
+		t.Fatalf("delta = %d, want 10", d)
+	}
+	if r := w.Rates[obs.CSNZIArriveRoot]; r != 5 {
+		t.Fatalf("rate = %v, want 5", r)
+	}
+	if c := w.Hists[obs.GOLLWriteWait].Count(); c != 1 {
+		t.Fatalf("windowed hist count = %d, want 1", c)
+	}
+	// Out-of-scope counters stay zero.
+	if w.Deltas[obs.BravoRevoke] != 0 {
+		t.Fatal("out-of-scope counter nonzero")
+	}
+}
+
+// TestRingWraparound drives more samples than the ring holds and
+// checks retention, ordering, and window math across the wrap.
+func TestRingWraparound(t *testing.T) {
+	reg, st := testRegistry()
+	clk := newFakeClock()
+	s := New(reg, WithClock(clk.now), WithRing(4))
+
+	for i := 0; i < 10; i++ {
+		st.Inc(obs.CSNZIArriveRoot, 0)
+		s.SampleNow()
+		clk.advance(time.Second)
+	}
+	snaps := s.Collect()
+	pts := snaps[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want ring size 4", len(pts))
+	}
+	// Oldest-first: counters are cumulative 7,8,9,10.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got := pts[i].Counters[obs.CSNZIArriveRoot]; got != want {
+			t.Fatalf("point %d counter = %d, want %d", i, got, want)
+		}
+		if i > 0 && pts[i].Mono <= pts[i-1].Mono {
+			t.Fatalf("points not monotonic: %v then %v", pts[i-1].Mono, pts[i].Mono)
+		}
+	}
+	w, ok := snaps[0].Window(2 * time.Second)
+	if !ok {
+		t.Fatal("no 2s window")
+	}
+	if w.Deltas[obs.CSNZIArriveRoot] != 2 || w.Seconds != 2 {
+		t.Fatalf("wrap window delta/secs = %d/%v, want 2/2", w.Deltas[obs.CSNZIArriveRoot], w.Seconds)
+	}
+	if s.Samples() != 10 {
+		t.Fatalf("Samples = %d", s.Samples())
+	}
+}
+
+// TestCollectDeepCopies pins tear-freedom: a snapshot taken before
+// further sampling never changes.
+func TestCollectDeepCopies(t *testing.T) {
+	reg, st := testRegistry()
+	clk := newFakeClock()
+	s := New(reg, WithClock(clk.now), WithRing(4))
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	s.SampleNow()
+	before := s.Collect()
+	val := before[0].Points[0].Counters[obs.CSNZIArriveRoot]
+
+	for i := 0; i < 20; i++ {
+		st.Inc(obs.CSNZIArriveRoot, 0)
+		clk.advance(time.Second)
+		s.SampleNow()
+	}
+	if got := before[0].Points[0].Counters[obs.CSNZIArriveRoot]; got != val {
+		t.Fatalf("snapshot mutated: %d -> %d", val, got)
+	}
+}
+
+// TestSampleCollectHammer races SampleNow, Collect, and live counter
+// traffic; meaningful under -race.
+func TestSampleCollectHammer(t *testing.T) {
+	reg, st := testRegistry()
+	s := New(reg, WithRing(8))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Inc(obs.CSNZIArriveRoot, i&7)
+				st.Observe(obs.ParkWait, i&7, int64(i))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SampleNow()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var prev uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ss := range s.Collect() {
+					for i := 1; i < len(ss.Points); i++ {
+						if ss.Points[i].Counters[obs.CSNZIArriveRoot] < ss.Points[i-1].Counters[obs.CSNZIArriveRoot] {
+							t.Error("counter ran backwards within a ring")
+							return
+						}
+					}
+					if p, ok := ss.Latest(); ok {
+						if c := p.Counters[obs.CSNZIArriveRoot]; c < prev {
+							t.Error("latest counter ran backwards across collects")
+							return
+						} else {
+							prev = c
+						}
+					}
+				}
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestStartStopBackgroundLoop(t *testing.T) {
+	reg, st := testRegistry()
+	s := New(reg, WithPeriod(time.Millisecond))
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	s.Start()
+	s.Start() // double Start is a no-op
+	deadline := time.After(5 * time.Second)
+	for s.Samples() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("background sampler took no samples")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Stop()
+	s.Stop() // double Stop is safe
+	n := s.Samples()
+	time.Sleep(5 * time.Millisecond)
+	if s.Samples() != n {
+		t.Fatal("sampler still running after Stop")
+	}
+}
+
+func TestPrometheusOutputValidatesAndCovers(t *testing.T) {
+	reg, st := testRegistry()
+	st2 := obs.New(obs.WithName("t"), obs.WithScopes("bravo"))
+	reg.Register(st2) // dedupes to t#2
+	clk := newFakeClock()
+	s := New(reg, WithClock(clk.now))
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	st.Observe(obs.GOLLWriteWait, 0, 5000)
+	st2.Inc(obs.BravoRevoke, 0)
+	st2.Observe(obs.BravoDrainWait, 0, 777)
+	s.SampleNow()
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own output fails validator: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`ollock_csnzi_arrive_root_total{lock="t"} 1`,
+		`ollock_bravo_revoke_total{lock="t#2"} 1`,
+		`ollock_goll_write_wait_ns_count{lock="t"} 1`,
+		`ollock_goll_write_wait_ns_sum{lock="t"} 5000`,
+		`ollock_goll_write_wait_ns_max{lock="t"} 5000`,
+		`quantile="0.99"`,
+		"ollock_sampler_samples_total 1",
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Scope separation: the bravo-only block must not export goll
+	// counters, and vice versa.
+	if strings.Contains(out, `ollock_goll_handoff_total{lock="t#2"}`) {
+		t.Error("out-of-scope counter exported for t#2")
+	}
+	if strings.Contains(out, `ollock_bravo_read_fast_total{lock="t"}`) {
+		t.Error("out-of-scope counter exported for t")
+	}
+}
+
+func TestJSONExportShape(t *testing.T) {
+	reg, st := testRegistry()
+	clk := newFakeClock()
+	s := New(reg, WithClock(clk.now))
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	st.Observe(obs.ParkWait, 0, 123)
+	s.SampleNow()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"lock": "t"`, `"csnzi.arrive.root": 1`, `"park.wait"`, `"count": 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON export missing %q in\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg, st := testRegistry()
+	s := New(reg)
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	s.SampleNow()
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default content type %q", ct)
+	}
+	if err := ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler prom output invalid: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"series"`) {
+		t.Fatal("json body missing series")
+	}
+}
+
+func TestValidatorRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"interleaved families": "# HELP a a\n# TYPE a counter\na 1\n# HELP b b\n# TYPE b counter\nb 1\na 2\n",
+		"type after samples":   "# HELP a a\na 1\n# TYPE a counter\n",
+		"bad value":            "# HELP a a\n# TYPE a counter\na one\n",
+		"bad label":            "# HELP a a\n# TYPE a counter\na{0bad=\"x\"} 1\n",
+		"duplicate label":      "# HELP a a\n# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n",
+		"redeclared family":    "# HELP a a\n# TYPE a counter\na 1\n# HELP a a\n# TYPE a counter\na 2\n",
+		"no samples":           "# HELP a a\n# TYPE a counter\n",
+		"content after EOF":    "# HELP a a\n# TYPE a counter\na 1\n# EOF\na 2\n",
+		"summary no quantile":  "# HELP s s\n# TYPE s summary\ns 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: validator accepted malformed input", name)
+		}
+	}
+	good := "# HELP s s\n# TYPE s summary\ns{quantile=\"0.5\"} 1\ns_sum 2\ns_count 1\n# EOF\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("validator rejected good summary: %v", err)
+	}
+}

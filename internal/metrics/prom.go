@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ollock/internal/obs"
+)
+
+// Prometheus exposition (text format 0.0.4, OpenMetrics-compatible
+// layout). Naming convention, documented in METRICS.md:
+//
+//   - every metric is prefixed "ollock_";
+//   - obs dotted names map dot → underscore: csnzi.arrive.root →
+//     ollock_csnzi_arrive_root_total;
+//   - counters get the "_total" suffix and type "counter";
+//   - histograms export as summaries named ollock_<name>_ns
+//     (quantile labels 0.5/0.9/0.99 plus _sum, _count) with an
+//     ollock_<name>_ns_max gauge alongside (the exact maximum, which
+//     log-bucket quantiles are clamped by);
+//   - every sample carries a lock="<registry key>" label;
+//   - sampler self-metrics: ollock_sampler_samples_total,
+//     ollock_sampler_period_seconds.
+
+// PromName maps an obs dotted name to its Prometheus family name,
+// without suffixes: "csnzi.arrive.root" → "ollock_csnzi_arrive_root".
+func PromName(dotted string) string {
+	return "ollock_" + strings.ReplaceAll(dotted, ".", "_")
+}
+
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus writes the newest sample of every series in the
+// exposition text format. Families are emitted contiguously (one HELP
+// and TYPE line each), series sorted by lock label within a family.
+func (s *Sampler) WritePrometheus(w io.Writer) error {
+	snaps := s.Collect()
+	// The Point arrays alone cannot distinguish "out of scope" from
+	// "zero", so compute each lock's scope mask from the live block:
+	// only in-scope names become samples, and a family appears only
+	// when some lock carries it.
+	type labeled struct {
+		key      string
+		p        Point
+		hasEvent [obs.NumEvents]bool
+		hasHist  [obs.NumHists]bool
+	}
+	latest := make([]*labeled, 0, len(snaps))
+	for _, ss := range snaps {
+		p, ok := ss.Latest()
+		st := s.reg.Get(ss.Key)
+		if !ok || st == nil {
+			continue
+		}
+		l := &labeled{key: ss.Key, p: p}
+		st.EachCounter(func(e obs.Event, _ uint64) { l.hasEvent[e] = true })
+		st.EachHist(func(h obs.HistID, _ obs.Histogram) { l.hasHist[h] = true })
+		latest = append(latest, l)
+	}
+	sort.Slice(latest, func(i, j int) bool { return latest[i].key < latest[j].key })
+
+	bw := &errWriter{w: w}
+
+	for e := obs.Event(0); e < obs.NumEvents; e++ {
+		name := PromName(e.String()) + "_total"
+		wrote := false
+		for _, l := range latest {
+			if !l.hasEvent[e] {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(bw, "# HELP %s ollock counter %s\n", name, e.String())
+				fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+				wrote = true
+			}
+			fmt.Fprintf(bw, "%s{lock=%q} %d\n", name, l.key, l.p.Counters[e])
+		}
+	}
+
+	// Histogram families as summaries.
+	for h := obs.HistID(0); h < obs.NumHists; h++ {
+		base := PromName(h.String()) + "_ns"
+		wrote := false
+		for _, l := range latest {
+			if !l.hasHist[h] {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(bw, "# HELP %s ollock latency summary %s (nanoseconds)\n", base, h.String())
+				fmt.Fprintf(bw, "# TYPE %s summary\n", base)
+				wrote = true
+			}
+			hist := l.p.Hists[h]
+			for _, q := range summaryQuantiles {
+				fmt.Fprintf(bw, "%s{lock=%q,quantile=\"%g\"} %d\n", base, l.key, q, hist.Quantile(q))
+			}
+			fmt.Fprintf(bw, "%s_sum{lock=%q} %d\n", base, l.key, hist.Sum())
+			fmt.Fprintf(bw, "%s_count{lock=%q} %d\n", base, l.key, hist.Count())
+		}
+		// The exact max rides in its own gauge family (a summary has no
+		// max sample type).
+		wroteMax := false
+		for _, l := range latest {
+			if !l.hasHist[h] {
+				continue
+			}
+			if !wroteMax {
+				fmt.Fprintf(bw, "# HELP %s_max exact maximum of %s (nanoseconds)\n", base, h.String())
+				fmt.Fprintf(bw, "# TYPE %s_max gauge\n", base)
+				wroteMax = true
+			}
+			fmt.Fprintf(bw, "%s_max{lock=%q} %d\n", base, l.key, l.p.Hists[h].Max())
+		}
+	}
+
+	// Sampler self-metrics.
+	fmt.Fprintf(bw, "# HELP ollock_sampler_samples_total sampling sweeps completed\n")
+	fmt.Fprintf(bw, "# TYPE ollock_sampler_samples_total counter\n")
+	fmt.Fprintf(bw, "ollock_sampler_samples_total %d\n", s.Samples())
+	fmt.Fprintf(bw, "# HELP ollock_sampler_period_seconds configured sampling period\n")
+	fmt.Fprintf(bw, "# TYPE ollock_sampler_period_seconds gauge\n")
+	fmt.Fprintf(bw, "ollock_sampler_period_seconds %g\n", s.period.Seconds())
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// jsonHist is a histogram's JSON shape in the export.
+type jsonHist struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+}
+
+// jsonPoint is one sample in the JSON export.
+type jsonPoint struct {
+	Wall     time.Time           `json:"wall"`
+	MonoSecs float64             `json:"mono_secs"`
+	Counters map[string]uint64   `json:"counters"`
+	Hists    map[string]jsonHist `json:"hists"`
+}
+
+// jsonSeries is one lock's ring in the JSON export.
+type jsonSeries struct {
+	Lock   string      `json:"lock"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonDoc struct {
+	PeriodSecs float64      `json:"period_secs"`
+	Samples    uint64       `json:"samples"`
+	Series     []jsonSeries `json:"series"`
+}
+
+// WriteJSON writes the full retained time series (not just the newest
+// point) as JSON. Counter and histogram maps carry only in-scope
+// names, keyed by the obs dotted name.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	snaps := s.Collect()
+	doc := jsonDoc{PeriodSecs: s.period.Seconds(), Samples: s.Samples(), Series: []jsonSeries{}}
+	for _, ss := range snaps {
+		st := s.reg.Get(ss.Key)
+		js := jsonSeries{Lock: ss.Key, Points: make([]jsonPoint, 0, len(ss.Points))}
+		for _, p := range ss.Points {
+			jp := jsonPoint{
+				Wall:     p.Wall,
+				MonoSecs: p.Mono.Seconds(),
+				Counters: map[string]uint64{},
+				Hists:    map[string]jsonHist{},
+			}
+			st.EachCounter(func(e obs.Event, _ uint64) {
+				jp.Counters[e.String()] = p.Counters[e]
+			})
+			st.EachHist(func(h obs.HistID, _ obs.Histogram) {
+				hist := p.Hists[h]
+				jp.Hists[h.String()] = jsonHist{
+					Count: hist.Count(),
+					Sum:   hist.Sum(),
+					Max:   hist.Max(),
+					P50:   hist.Quantile(0.5),
+					P90:   hist.Quantile(0.9),
+					P99:   hist.Quantile(0.99),
+				}
+			})
+			js.Points = append(js.Points, jp)
+		}
+		doc.Series = append(doc.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler returns an http.Handler serving the exporters: Prometheus
+// text by default, JSON when the request has ?format=json, a path
+// ending in ".json", or an Accept header preferring application/json.
+// Mount it wherever the embedding server wants (conventionally
+// /metrics).
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wantJSON := r.URL.Query().Get("format") == "json" ||
+			strings.HasSuffix(r.URL.Path, ".json") ||
+			strings.Contains(r.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = s.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
+}

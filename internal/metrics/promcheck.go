@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is the format validator the CI smoke job pipes
+// scraped output through: it checks the subset of the Prometheus text
+// exposition format this module emits (and that a scraper parses) —
+// line grammar, metric/label name charsets, float-parsable values,
+// HELP/TYPE preceding their family's samples, families contiguous and
+// not redeclared, summary sample names confined to the declared
+// suffixes. An optional trailing "# EOF" marker (the OpenMetrics
+// terminator WritePrometheus emits) is accepted.
+func ValidateExposition(data []byte) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+		// name{labels} value [timestamp]
+		sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\d+)?$`)
+		labelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	)
+
+	type family struct {
+		name    string
+		typ     string
+		hasHelp bool
+		samples int
+		closed  bool // a later family started; more samples = interleave
+	}
+	families := map[string]*family{}
+	var current *family
+	sawEOF := false
+	lineNo := 0
+
+	// familyOf maps a sample name to its family, folding summary
+	// suffixes onto the declared base name.
+	familyOf := func(name string) *family {
+		if f := families[name]; f != nil {
+			return f
+		}
+		for _, suf := range []string{"_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok {
+				if f := families[base]; f != nil && f.typ == "summary" {
+					return f
+				}
+			}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "EOF":
+				sawEOF = true
+			case "HELP":
+				if len(fields) < 3 {
+					return fmt.Errorf("line %d: HELP without metric name", lineNo)
+				}
+				name := fields[2]
+				if !metricName.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+				}
+				if f := families[name]; f != nil {
+					return fmt.Errorf("line %d: family %q redeclared", lineNo, name)
+				}
+				if current != nil {
+					current.closed = true
+				}
+				current = &family{name: name, hasHelp: true}
+				families[name] = current
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE needs name and type", lineNo)
+				}
+				name, typ := fields[2], strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				f := families[name]
+				if f == nil {
+					if current != nil {
+						current.closed = true
+					}
+					f = &family{name: name}
+					families[name] = f
+					current = f
+				} else if f != current {
+					return fmt.Errorf("line %d: TYPE for %q outside its family block", lineNo, name)
+				}
+				if f.samples > 0 {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				f.typ = typ
+			}
+			continue
+		}
+
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparsable sample line %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			switch value {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				return fmt.Errorf("line %d: unparsable value %q", lineNo, value)
+			}
+		}
+		if labels != "" {
+			body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			if body != "" {
+				seen := map[string]bool{}
+				for _, pair := range splitLabels(body) {
+					lm := labelPair.FindStringSubmatch(pair)
+					if lm == nil {
+						return fmt.Errorf("line %d: bad label pair %q", lineNo, pair)
+					}
+					if !labelName.MatchString(lm[1]) {
+						return fmt.Errorf("line %d: bad label name %q", lineNo, lm[1])
+					}
+					if seen[lm[1]] {
+						return fmt.Errorf("line %d: duplicate label %q", lineNo, lm[1])
+					}
+					seen[lm[1]] = true
+				}
+			}
+		}
+		f := familyOf(name)
+		if f != nil {
+			if f.closed {
+				return fmt.Errorf("line %d: sample for %q outside its contiguous family block", lineNo, name)
+			}
+			if f != current {
+				return fmt.Errorf("line %d: sample for %q interleaved with family %q", lineNo, name, current.name)
+			}
+			if f.typ == "summary" && name == f.name {
+				// base samples of a summary must carry quantile
+				if !strings.Contains(labels, "quantile=") {
+					return fmt.Errorf("line %d: summary %q sample without quantile label", lineNo, name)
+				}
+			}
+			f.samples++
+		} else if current != nil && strings.HasPrefix(name, current.name) {
+			// suffixed sample of a typed family we don't model — fine
+		} else if !metricName.MatchString(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, f := range families {
+		if f.typ == "" {
+			return fmt.Errorf("family %q has HELP but no TYPE", f.name)
+		}
+		if !f.hasHelp {
+			return fmt.Errorf("family %q has TYPE but no HELP", f.name)
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %q declared but has no samples", f.name)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistDeltaMatchesInfix is the monotonic-delta property test: for
+// a cumulative histogram observed at two points, DeltaFrom must equal
+// the histogram of exactly the samples recorded in between.
+func TestHistDeltaMatchesInfix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var cum, infix Histogram
+		n1, n2 := rng.Intn(200), rng.Intn(200)
+		for i := 0; i < n1; i++ {
+			cum.Record(rng.Int63n(1 << 40))
+		}
+		prev := cum // copy at the window start
+		for i := 0; i < n2; i++ {
+			v := rng.Int63n(1 << 40)
+			cum.Record(v)
+			infix.Record(v)
+		}
+		d := cum.DeltaFrom(&prev)
+		if d.Count() != infix.Count() || d.Sum() != infix.Sum() {
+			t.Fatalf("trial %d: delta count/sum %d/%d, want %d/%d",
+				trial, d.Count(), d.Sum(), infix.Count(), infix.Sum())
+		}
+		if d.Buckets() != infix.Buckets() {
+			t.Fatalf("trial %d: delta buckets diverge from infix", trial)
+		}
+		// Delta max is the cumulative max by contract.
+		if d.Max() != cum.Max() {
+			t.Fatalf("trial %d: delta max %d, want cumulative %d", trial, d.Max(), cum.Max())
+		}
+		// Quantiles of the window must come from window buckets:
+		// p100 midpoint cannot exceed the clamped cumulative max.
+		if q := d.Quantile(1); q > cum.Max() {
+			t.Fatalf("trial %d: delta p100 %d > max %d", trial, q, cum.Max())
+		}
+	}
+}
+
+func TestHistDeltaClampsMismatch(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	b.Record(10)
+	b.Record(20)
+	d := a.DeltaFrom(&b) // "newer" has fewer samples: degenerate pair
+	if d.Count() != 0 || d.Sum() != 0 {
+		t.Fatalf("mismatched delta not clamped: count %d sum %d", d.Count(), d.Sum())
+	}
+	for i, c := range d.Buckets() {
+		if c != 0 {
+			t.Fatalf("bucket %d = %d after clamp", i, c)
+		}
+	}
+}
+
+// TestHistSnapshotWhileWriting hammers Stats.Hist (the sampler's read
+// path) against concurrent Observe calls and checks every snapshot is
+// internally consistent and monotonic: counts/sums never run
+// backwards between reads, bucket totals always equal the count, and
+// the sum is never ahead of what has been handed out.
+func TestHistSnapshotWhileWriting(t *testing.T) {
+	s := New(WithStripes(8))
+	const writers = 8
+	const perWriter = 20000
+	var issued atomic.Uint64 // samples fully recorded so far
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Observe(BravoDrainWait, id, 100)
+				issued.Add(1)
+			}
+		}(w)
+	}
+
+	var rdr sync.WaitGroup
+	rdr.Add(1)
+	go func() {
+		defer rdr.Done()
+		var prev Histogram
+		for {
+			lo := issued.Load()
+			h := s.Hist(BravoDrainWait)
+			hi := issued.Load()
+			var bucketTotal uint64
+			for _, c := range h.Buckets() {
+				bucketTotal += c
+			}
+			// Each sample's bucket/count/sum updates are separate
+			// atomics, so a mid-record read may see them staggered —
+			// but never outside [lo-writers, hi+writers] and never
+			// behind a previous read.
+			if bucketTotal > hi+writers || h.Count() > hi+writers {
+				t.Errorf("read ahead of issue: buckets %d count %d issued %d", bucketTotal, h.Count(), hi)
+				return
+			}
+			if h.Count()+writers < lo || bucketTotal+writers < lo {
+				t.Errorf("read behind issue floor: buckets %d count %d issued>=%d", bucketTotal, h.Count(), lo)
+				return
+			}
+			if h.Count() < prev.Count() || h.Sum() < prev.Sum() || h.Max() < prev.Max() {
+				t.Errorf("snapshot ran backwards: %d/%d/%d after %d/%d/%d",
+					h.Count(), h.Sum(), h.Max(), prev.Count(), prev.Sum(), prev.Max())
+				return
+			}
+			d := h.DeltaFrom(&prev)
+			if d.Count() > h.Count() {
+				t.Errorf("delta count %d exceeds cumulative %d", d.Count(), h.Count())
+				return
+			}
+			prev = h
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	rdr.Wait()
+
+	final := s.Hist(BravoDrainWait)
+	want := uint64(writers * perWriter)
+	if final.Count() != want || final.Sum() != int64(want)*100 {
+		t.Fatalf("final count/sum %d/%d, want %d/%d", final.Count(), final.Sum(), want, int64(want)*100)
+	}
+}

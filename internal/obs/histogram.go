@@ -86,6 +86,34 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Buckets returns a copy of the log2 bucket counts (bucket 0 holds
+// values <= 0, bucket b holds [2^(b-1), 2^b)).
+func (h *Histogram) Buckets() [NumBuckets]uint64 { return h.buckets }
+
+// DeltaFrom returns the histogram of samples recorded between prev and
+// h, where prev is an earlier copy of the same cumulative histogram:
+// bucketwise count difference, count and sum differences. Differences
+// are clamped at zero so a torn or mismatched pair degrades to an
+// empty window instead of underflowing. Max carries the cumulative
+// maximum (the window-local max is not recoverable from two
+// snapshots); quantiles of the delta are still bucket-exact.
+func (h *Histogram) DeltaFrom(prev *Histogram) Histogram {
+	var d Histogram
+	for i, c := range h.buckets {
+		if p := prev.buckets[i]; c > p {
+			d.buckets[i] = c - p
+		}
+	}
+	if h.count > prev.count {
+		d.count = h.count - prev.count
+	}
+	if h.sum > prev.sum {
+		d.sum = h.sum - prev.sum
+	}
+	d.max = h.max
+	return d
+}
+
 // Quantile returns the log-bucket midpoint estimate of the q-quantile
 // (0 < q <= 1), clamped by the exact maximum. Empty histograms return
 // 0.

@@ -207,12 +207,34 @@ const (
 	// waiting for published readers to leave.
 	BravoDrainWait HistID = iota
 
+	// GOLLWriteWait is the full write-acquire latency of the GOLL lock
+	// (call entry to ownership), recorded once per write acquisition.
+	// The metrics sampler's writer-starvation rule watches its windowed
+	// p99.
+	GOLLWriteWait
+	// FOLLWriteWait is the FOLL write-acquire latency.
+	FOLLWriteWait
+	// ROLLWriteWait is the ROLL write-acquire latency — the histogram
+	// that quantifies what reader preference costs writers.
+	ROLLWriteWait
+
+	// ParkWait is the time a waiter spent descheduled: from the park
+	// decision (channel park or timed-sleep ladder) to the wake. The
+	// park.park counter says how often waiters parked; this says for
+	// how long — the pair separates a park storm (huge count, tiny
+	// waits) from honest long waits.
+	ParkWait
+
 	// NumHists is the number of declared histograms.
 	NumHists
 )
 
 var histNames = [NumHists]string{
 	BravoDrainWait: "bravo.drain.wait",
+	GOLLWriteWait:  "goll.write.wait",
+	FOLLWriteWait:  "foll.write.wait",
+	ROLLWriteWait:  "roll.write.wait",
+	ParkWait:       "park.wait",
 }
 
 // String returns the histogram's stable dotted name.
@@ -437,6 +459,9 @@ func (s *Stats) Scopes() []string {
 // HistSnapshot is the merged, immutable view of one histogram.
 type HistSnapshot struct {
 	Count uint64 `json:"count"`
+	// Sum is the exact sum of recorded samples (Sum/Count is the mean;
+	// the Prometheus exporter emits it as the summary's _sum sample).
+	Sum int64 `json:"sum"`
 	// P50/P90/P99 are log-bucket midpoint estimates; Max is exact.
 	P50 int64 `json:"p50"`
 	P90 int64 `json:"p90"`
@@ -479,6 +504,7 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 		out.Hists[h.String()] = HistSnapshot{
 			Count: m.Count(),
+			Sum:   m.Sum(),
 			P50:   m.Quantile(0.50),
 			P90:   m.Quantile(0.90),
 			P99:   m.Quantile(0.99),
@@ -536,6 +562,35 @@ func (s *Stats) PublishExpvar() {
 	pubs[key] = s
 }
 
+// EachCounter calls fn for every in-scope event with its current
+// merged total (zero or not — the in-scope set is the lock kind's
+// contract, exactly as in Snapshot). Unlike Snapshot it allocates
+// nothing, which is what lets the metrics sampler poll every
+// registered block at a fixed period without map churn. Nil-safe.
+func (s *Stats) EachCounter(fn func(e Event, total uint64)) {
+	if s == nil {
+		return
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		if s.inScope(e.Scope()) {
+			fn(e, s.Count(e))
+		}
+	}
+}
+
+// EachHist calls fn for every in-scope histogram with its merged
+// point-in-time copy. Nil-safe.
+func (s *Stats) EachHist(fn func(h HistID, hist Histogram)) {
+	if s == nil {
+		return
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		if s.inScope(h.Scope()) {
+			fn(h, s.Hist(h))
+		}
+	}
+}
+
 // AllEventNames returns the dotted names of every declared event,
 // sorted — the counter-name universe shared by real and simulated
 // locks.
@@ -543,6 +598,17 @@ func AllEventNames() []string {
 	out := make([]string, 0, NumEvents)
 	for e := Event(0); e < NumEvents; e++ {
 		out = append(out, e.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllHistNames returns the dotted names of every declared histogram,
+// sorted.
+func AllHistNames() []string {
+	out := make([]string, 0, NumHists)
+	for h := HistID(0); h < NumHists; h++ {
+		out = append(out, h.String())
 	}
 	sort.Strings(out)
 	return out

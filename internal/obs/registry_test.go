@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	if key := r.Register(New()); key != "" {
+		t.Fatalf("nil registry returned key %q", key)
+	}
+	if r.Len() != 0 || r.Names() != nil || r.Get("x") != nil {
+		t.Fatal("nil registry not empty")
+	}
+	r.Each(func(string, *Stats) { t.Fatal("nil registry iterated") })
+
+	r2 := NewRegistry()
+	if key := r2.Register(nil); key != "" || r2.Len() != 0 {
+		t.Fatalf("nil Stats registered as %q (len %d)", key, r2.Len())
+	}
+}
+
+func TestRegistryKeysAndDedupe(t *testing.T) {
+	r := NewRegistry()
+	a := New(WithName("db"))
+	b := New(WithName("db"))
+	c := New()
+	if key := r.Register(a); key != "db" {
+		t.Fatalf("first db key %q", key)
+	}
+	if key := r.Register(b); key != "db#2" {
+		t.Fatalf("second db key %q", key)
+	}
+	if key := r.Register(c); key != "lock" {
+		t.Fatalf("unnamed key %q", key)
+	}
+	// Re-registering the same block is a no-op returning its key.
+	if key := r.Register(a); key != "db" || r.Len() != 3 {
+		t.Fatalf("re-register: key %q len %d", key, r.Len())
+	}
+	if got, want := r.Names(), []string{"db", "db#2", "lock"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if r.Get("db") != a || r.Get("db#2") != b || r.Get("lock") != c || r.Get("nope") != nil {
+		t.Fatal("Get returned wrong blocks")
+	}
+}
+
+func TestRegistryEachOrderAndIsolation(t *testing.T) {
+	r := NewRegistry()
+	blocks := []*Stats{New(WithName("a")), New(WithName("b")), New(WithName("c"))}
+	for _, s := range blocks {
+		r.Register(s)
+	}
+	var keys []string
+	var seen []*Stats
+	r.Each(func(key string, s *Stats) {
+		keys = append(keys, key)
+		seen = append(seen, s)
+		// Registering mid-iteration must not deadlock or extend
+		// the running iteration.
+		r.Register(New(WithName("mid-" + key)))
+	})
+	if !reflect.DeepEqual(keys, []string{"a", "b", "c"}) {
+		t.Fatalf("Each order %v", keys)
+	}
+	for i := range blocks {
+		if seen[i] != blocks[i] {
+			t.Fatalf("Each block %d mismatch", i)
+		}
+	}
+	if r.Len() != 6 {
+		t.Fatalf("Len after mid-iteration registers = %d, want 6", r.Len())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Register(New(WithName("con")))
+				r.Each(func(key string, s *Stats) {
+					if s == nil {
+						t.Error("nil block in Each")
+					}
+				})
+				r.Names()
+				r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8*50 {
+		t.Fatalf("Len = %d, want %d", r.Len(), 8*50)
+	}
+	// Every key distinct.
+	names := r.Names()
+	set := map[string]bool{}
+	for _, n := range names {
+		if set[n] {
+			t.Fatalf("duplicate key %q", n)
+		}
+		set[n] = true
+	}
+}

@@ -235,7 +235,14 @@ func (w *Waiter) waitAdaptive(pol *Policy, id int, tr *trace.Local) {
 	}
 	pol.stats().Inc(obs.ParkPark, id)
 	tr.Emit(trace.KindPark, trace.PhaseNone, parkArgChan)
+	var t0 time.Time
+	if st := pol.stats(); st.Enabled() {
+		t0 = time.Now()
+	}
 	<-w.sem
+	if st := pol.stats(); st.Enabled() {
+		st.Observe(obs.ParkWait, id, time.Since(t0).Nanoseconds())
+	}
 	pol.stats().Inc(obs.ParkUnpark, id)
 	tr.Emit(trace.KindUnpark, trace.PhaseNone, parkArgChan)
 }
@@ -318,12 +325,19 @@ func WaitCond(pol *Policy, id int, tr *trace.Local, cond func() bool) {
 	}
 	pol.stats().Inc(obs.ParkPark, id)
 	tr.Emit(trace.KindPark, trace.PhaseNone, parkArgSleep)
+	var t0 time.Time
+	if st := pol.stats(); st.Enabled() {
+		t0 = time.Now()
+	}
 	d := sleepMin
 	for !cond() {
 		time.Sleep(d)
 		if d < sleepMax {
 			d *= 2
 		}
+	}
+	if st := pol.stats(); st.Enabled() {
+		st.Observe(obs.ParkWait, id, time.Since(t0).Nanoseconds())
 	}
 	pol.stats().Inc(obs.ParkUnpark, id)
 	tr.Emit(trace.KindUnpark, trace.PhaseNone, parkArgSleep)

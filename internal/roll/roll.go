@@ -33,6 +33,7 @@ import (
 	"io"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"ollock/internal/atomicx"
 	"ollock/internal/obs"
@@ -363,12 +364,19 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.tr.Now()
+	var w0 time.Time
+	if l.stats.Enabled() {
+		w0 = time.Now()
+	}
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	w.qPrev.Store(oldTail)
 	if oldTail == nil {
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	w.flag.Set(true)
@@ -378,6 +386,9 @@ func (p *Proc) Lock() {
 		p.tr.BeginAt(t0, trace.PhaseQueueWait)
 		w.flag.Wait(l.pol, p.id, p.tr)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	// Reader-node predecessor. First wait out the enqueue/Open window
@@ -404,10 +415,16 @@ func (p *Proc) Lock() {
 		freeReaderNode(oldTail)
 		l.stats.Inc(obs.ROLLNodeRecycle, p.id)
 		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
+		if l.stats.Enabled() {
+			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+		}
 		return
 	}
 	w.flag.Wait(l.pol, p.id, p.tr)
 	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
+	if l.stats.Enabled() {
+		l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
+	}
 }
 
 // Unlock releases a write acquisition.

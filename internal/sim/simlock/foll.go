@@ -45,6 +45,7 @@ type FOLL struct {
 	// a plain FOLL emits foll.* — same contract as the real locks.
 	stats                        *obs.Stats
 	evJoin, evEnqueue, evRecycle obs.Event
+	histWrite                    obs.HistID
 	pol                          *WaitPolicy
 }
 
@@ -80,9 +81,11 @@ func newFOLL(m *sim.Machine, maxProcs int, withPrev bool, name string, f Indicat
 	if withPrev {
 		l.stats = obs.New(obs.WithName(name), obs.WithStripes(1), obs.WithScopes("csnzi", "roll"))
 		l.evJoin, l.evEnqueue, l.evRecycle = obs.ROLLReadJoin, obs.ROLLReadEnqueue, obs.ROLLNodeRecycle
+		l.histWrite = obs.ROLLWriteWait
 	} else {
 		l.stats = obs.New(obs.WithName(name), obs.WithStripes(1), obs.WithScopes("csnzi", "foll"))
 		l.evJoin, l.evEnqueue, l.evRecycle = obs.FOLLReadJoin, obs.FOLLReadEnqueue, obs.FOLLNodeRecycle
+		l.histWrite = obs.FOLLWriteWait
 	}
 	for i := 0; i < maxProcs; i++ {
 		n := &qNode{
@@ -252,6 +255,7 @@ func (p *follProc) RUnlock(c *sim.Ctx) {
 
 func (p *follProc) Lock(c *sim.Ctx) {
 	l := p.l
+	w0 := c.Now()
 	w := l.nodes[p.wNodeIdx]
 	c.Store(w.qNext, 0)
 	oldTail := c.Swap(l.tail, ref(p.wNodeIdx))
@@ -259,6 +263,7 @@ func (p *follProc) Lock(c *sim.Ctx) {
 		c.Store(w.qPrev, oldTail)
 	}
 	if isNil(oldTail) {
+		l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 		return
 	}
 	pred := l.nodes[deref(oldTail)]
@@ -266,6 +271,7 @@ func (p *follProc) Lock(c *sim.Ctx) {
 	c.Store(pred.qNext, ref(p.wNodeIdx))
 	if pred.isWriter {
 		l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
+		l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 		return
 	}
 	pred.cs.QueryOpenSpin(c)
@@ -278,9 +284,11 @@ func (p *follProc) Lock(c *sim.Ctx) {
 			c.Store(pred.qNext, 0)
 			freeNode(c, pred)
 			l.stats.Inc(l.evRecycle, p.id)
+			l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 			return
 		}
 		l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
+		l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 		return
 	}
 	// FOLL: close immediately to stop further readers joining.
@@ -289,9 +297,11 @@ func (p *follProc) Lock(c *sim.Ctx) {
 		c.Store(pred.qNext, 0)
 		freeNode(c, pred)
 		l.stats.Inc(l.evRecycle, p.id)
+		l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 		return
 	}
 	l.pol.waitUntil(c, l.stats, p.id, w.slot, w.spin, func(v uint64) bool { return v == 0 })
+	l.stats.Observe(l.histWrite, p.id, c.Now()-w0)
 }
 
 func (p *follProc) Unlock(c *sim.Ctx) {

@@ -117,14 +117,17 @@ func (p *gollProc) RUnlock(c *sim.Ctx) {
 
 func (p *gollProc) Lock(c *sim.Ctx) {
 	l := p.l
+	w0 := c.Now()
 	if l.cs.CloseIfEmpty(c) {
 		l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteRoot)
+		l.stats.Observe(obs.GOLLWriteWait, p.id, c.Now()-w0)
 		return
 	}
 	l.meta.lock(c)
 	if l.cs.Close(c) {
 		l.meta.unlock(c)
 		l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteRoot)
+		l.stats.Observe(obs.GOLLWriteWait, p.id, c.Now()-w0)
 		return
 	}
 	l.tr.emit(c, p.id, trace.KindIndClose, trace.PhaseNone, trace.RouteNone)
@@ -135,6 +138,7 @@ func (p *gollProc) Lock(c *sim.Ctx) {
 	l.tr.emit(c, p.id, trace.KindPhaseBegin, trace.PhaseQueueWait, trace.RouteNone)
 	l.pol.waitUntil(c, l.stats, p.id, p.slot, p.flag, func(v uint64) bool { return v == 1 })
 	l.tr.emit(c, p.id, trace.KindWriteAcquired, trace.PhaseNone, trace.RouteDirect)
+	l.stats.Observe(obs.GOLLWriteWait, p.id, c.Now()-w0)
 }
 
 func (p *gollProc) Unlock(c *sim.Ctx) {

@@ -2,6 +2,7 @@ package simlock_test
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"ollock"
@@ -101,6 +102,7 @@ func histNames(sn ollock.Snapshot) []string {
 	for name := range sn.Hists {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -100,7 +100,9 @@ func (p *WaitPolicy) waitUntil(c *sim.Ctx, st *obs.Stats, id int, slot, w *sim.W
 		}
 		st.Inc(obs.ParkPark, id)
 		c.Work(simParkCost)
+		t0 := c.Now()
 		v := c.SpinUntil(w, pred)
+		st.Observe(obs.ParkWait, id, c.Now()-t0)
 		st.Inc(obs.ParkUnpark, id)
 		c.Work(simUnparkCost)
 		return v
@@ -136,7 +138,9 @@ func (p *WaitPolicy) waitCond(c *sim.Ctx, st *obs.Stats, id int, w *sim.Word, pr
 	}
 	st.Inc(obs.ParkPark, id)
 	c.Work(simParkCost)
+	t0 := c.Now()
 	v := c.SpinUntil(w, pred)
+	st.Observe(obs.ParkWait, id, c.Now()-t0)
 	st.Inc(obs.ParkUnpark, id)
 	c.Work(simUnparkCost)
 	return v

@@ -1,0 +1,163 @@
+package ollock
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"ollock/internal/doctor"
+	"ollock/internal/metrics"
+	"ollock/internal/obs"
+)
+
+// Metrics is the live observability pipeline for a set of instrumented
+// locks: a registry the locks report into, a periodic sampler that
+// snapshots every registered lock's counters and histograms into a
+// fixed-size time-series ring, a Prometheus/OpenMetrics + JSON HTTP
+// exporter over those rings, and the pathology doctor evaluated over
+// the sampled rate windows.
+//
+// Create one with NewMetrics, hand it to each New call through
+// WithMetrics, then Start it. Everything is pull-based: the sampler
+// reads the same striped counters the locks already maintain, so the
+// locks' hot paths are untouched by sampling frequency (the metrics-off
+// fast path is untouched entirely — an uninstrumented lock never sees
+// any of this machinery).
+type Metrics struct {
+	reg     *obs.Registry
+	sampler *metrics.Sampler
+	cfg     doctor.Config
+	wd      *TraceWatchdog
+}
+
+// MetricsOption configures NewMetrics.
+type MetricsOption func(*metricsConfig)
+
+type metricsConfig struct {
+	period time.Duration
+	ring   int
+	cfg    doctor.Config
+	wd     *TraceWatchdog
+}
+
+// MetricsPeriod sets the sampling period (default one second; floor one
+// millisecond). Shorter periods sharpen the doctor's rate windows at
+// the cost of proportionally more snapshot work per second — one
+// counter-block read per registered lock per tick, nothing on the lock
+// hot paths.
+func MetricsPeriod(d time.Duration) MetricsOption {
+	return func(c *metricsConfig) { c.period = d }
+}
+
+// MetricsRing sets how many samples each lock's time-series ring
+// retains (default 600 — ten minutes at the default period).
+func MetricsRing(n int) MetricsOption {
+	return func(c *metricsConfig) { c.ring = n }
+}
+
+// MetricsDoctorConfig overrides the doctor's rule thresholds (default
+// DefaultDoctorConfig).
+func MetricsDoctorConfig(cfg DoctorConfig) MetricsOption {
+	return func(c *metricsConfig) { c.cfg = cfg }
+}
+
+// MetricsWatchdog folds a stall watchdog's findings into Diagnose:
+// each call polls wd synchronously and attaches any stalled waiters to
+// the window of the lock they are stuck on (matched by name, so the
+// Tracer and the stats block must share it — WithStats and WithTrace
+// take the same name).
+func MetricsWatchdog(wd *TraceWatchdog) MetricsOption {
+	return func(c *metricsConfig) { c.wd = wd }
+}
+
+// NewMetrics creates an idle metrics pipeline. Register locks with
+// WithMetrics, then either call Start for continuous background
+// sampling or Sample manually at moments of your choosing.
+func NewMetrics(opts ...MetricsOption) *Metrics {
+	c := metricsConfig{period: time.Second, ring: 600, cfg: doctor.DefaultConfig()}
+	for _, o := range opts {
+		o(&c)
+	}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		sampler: metrics.New(reg,
+			metrics.WithPeriod(c.period), metrics.WithRing(c.ring)),
+		cfg: c.cfg,
+		wd:  c.wd,
+	}
+}
+
+// WithMetrics registers the created lock with the metrics pipeline and
+// implies WithStats (an unnamed block, unless WithStats also appears
+// and names it). Locks sharing a pipeline are distinguished by their
+// stats name in every export ("lock" when unnamed; duplicates get a
+// "#2", "#3", ... suffix in registration order).
+func WithMetrics(m *Metrics) Option {
+	return func(c *newConfig) {
+		c.withStats = true
+		c.metrics = m
+	}
+}
+
+// Start begins background sampling at the configured period.
+// Idempotent; pair with Stop.
+func (m *Metrics) Start() { m.sampler.Start() }
+
+// Stop halts background sampling and waits for the sampler goroutine
+// to exit. The retained rings stay readable.
+func (m *Metrics) Stop() { m.sampler.Stop() }
+
+// Sample takes one synchronous sample of every registered lock.
+// Useful without Start (manual cadence) or right before Collect.
+func (m *Metrics) Sample() { m.sampler.SampleNow() }
+
+// Samples reports how many sampling passes have run.
+func (m *Metrics) Samples() uint64 { return m.sampler.Samples() }
+
+// Handler returns the scrape endpoint: Prometheus/OpenMetrics text by
+// default, JSON time series when the request prefers application/json
+// (or targets a path ending in ".json"). Mount it wherever you serve
+// operational endpoints:
+//
+//	http.Handle("/metrics", m.Handler())
+//
+// Every exported name is documented in METRICS.md.
+func (m *Metrics) Handler() http.Handler { return m.sampler.Handler() }
+
+// WritePrometheus writes the current rings' latest values in
+// Prometheus/OpenMetrics text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return m.sampler.WritePrometheus(w)
+}
+
+// Diagnose evaluates the pathology rules over roughly the last d of
+// samples (all retained history when d <= 0) and returns the findings,
+// most severe first; an empty slice means every sampled lock looks
+// healthy. A fresh sample is taken first so the evaluated window
+// reaches now. When a watchdog is attached its current stalls are
+// folded into the matching locks' windows.
+func (m *Metrics) Diagnose(d time.Duration) []Finding {
+	m.sampler.SampleNow()
+	windows := doctor.WindowsFrom(m.sampler, m.reg, d)
+	if m.wd != nil {
+		windows = doctor.AttachStalls(windows, m.wd.CheckNow())
+	}
+	return doctor.Diagnose(m.cfg, windows)
+}
+
+// Finding is one diagnosed lock pathology: which rule fired on which
+// lock, how severe it is, the evidence (counter rates and histogram
+// quantiles from the sampled window), and what to try about it.
+type Finding = doctor.Finding
+
+// DoctorConfig holds the pathology rules' thresholds.
+type DoctorConfig = doctor.Config
+
+// DefaultDoctorConfig returns thresholds tuned for nanosecond-scale
+// timings on real hardware (the sim harness re-bases them to cycles).
+func DefaultDoctorConfig() DoctorConfig { return doctor.DefaultConfig() }
+
+// DoctorReport renders findings as an indented human-readable report,
+// "doctor: no findings" when the slice is empty.
+func DoctorReport(findings []Finding) string { return doctor.Report(findings) }

@@ -198,6 +198,7 @@ type newConfig struct {
 	indicator IndicatorKind
 	wait      WaitMode
 	lt        *trace.LockTrace
+	metrics   *Metrics
 }
 
 // WithBias wraps the created lock with the BRAVO biased reader fast path
@@ -411,6 +412,9 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	}
 	if cfg.withStats && cfg.statsName != "" {
 		st.PublishExpvar()
+	}
+	if cfg.metrics != nil {
+		cfg.metrics.reg.Register(st)
 	}
 	if bias {
 		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol), nil
