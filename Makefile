@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-386 test race bench bench-json bench-json-check fig5 fig5-plot fig5-real fairness stress clean
+.PHONY: all build build-386 test race registry-check bench bench-json bench-json-check fig5 fig5-plot fig5-real fairness stress clean
 
 all: build test
 
@@ -19,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The kind-registry guards: capability matrix and host ↔ locksuite ↔
+# sim sync tests under the race detector, the import-layering boundary,
+# and a short New fuzz over arbitrary option combinations.
+registry-check:
+	$(GO) test -race -run 'TestCapabilityMatrix|TestKindsMatchRegistry|TestLocksuiteMatchesRegistry|TestSimlockMatchesRegistry|TestBoundedProcsValidated|TestAlgorithmPackageLayering' .
+	$(GO) test -run FuzzNew -fuzz FuzzNew -fuzztime 20s .
+	$(GO) test ./internal/lockcore/
 
 # The full benchmark sweep (real-goroutine + simulated Figure 5 panels,
 # micro-benchmarks, ablations).

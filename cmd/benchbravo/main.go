@@ -40,6 +40,7 @@ import (
 
 	"ollock"
 	"ollock/internal/harness"
+	"ollock/internal/lockcore"
 	"ollock/internal/locksuite"
 	"ollock/internal/sim"
 	"ollock/internal/sim/simlock"
@@ -153,6 +154,28 @@ var oversubFractions = []float64{0.95, 0.50, 0.00}
 // factories; the others use the lock × indicator matrix entries, with
 // the wrapper built inline (NewBravo adopts the base's stats block
 // either way).
+// biasBases lists the base kinds of the registry's pre-biased wrapper
+// kinds (bravo-goll → goll, ...), in registry order — the pairs this
+// benchmark compares.
+func biasBases() []string {
+	var out []string
+	for _, d := range lockcore.Descs() {
+		if d.ForceBias {
+			out = append(out, d.BiasBase)
+		}
+	}
+	return out
+}
+
+// biasBaseKinds is biasBases as ollock.Kind values for the host section.
+func biasBaseKinds() []ollock.Kind {
+	var out []ollock.Kind
+	for _, name := range biasBases() {
+		out = append(out, ollock.Kind(name))
+	}
+	return out
+}
+
 func factories(baseName, indicator string) (base, wrapped simlock.Factory, err error) {
 	lookup := func(name string) (simlock.Factory, error) {
 		f := simlock.ByName(name)
@@ -197,7 +220,7 @@ func main() {
 	}
 
 	doc := Output{Tool: "benchbravo", Machine: "sim-T5440", Ops: *ops, Seed: *seed}
-	for _, baseName := range []string{"goll", "roll"} {
+	for _, baseName := range biasBases() {
 		for _, indicator := range indicators {
 			base, wrapped, err := factories(baseName, indicator)
 			if err != nil {
@@ -351,7 +374,7 @@ func (h *hostLocks) sum() (map[string]uint64, uint64) {
 func oversubSweep(mults []int, ops, runs int, seed uint64) []Series {
 	procs := runtime.GOMAXPROCS(0)
 	var out []Series
-	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.ROLL} {
+	for _, kind := range biasBaseKinds() {
 		for _, mult := range mults {
 			threads := mult * procs
 			for _, frac := range oversubFractions {

@@ -28,8 +28,20 @@ import (
 	"strings"
 
 	"ollock/internal/harness"
+	"ollock/internal/lockcore"
 	"ollock/internal/locksuite"
 )
+
+// defaultLocks is the Figure 5 legend, read from the kind registry.
+func defaultLocks() string {
+	var names []string
+	for _, d := range lockcore.Descs() {
+		if d.Figure5 {
+			names = append(names, d.Name)
+		}
+	}
+	return strings.Join(names, ",")
+}
 
 var panels = map[string]float64{
 	"a": 1.00, "b": 0.99, "c": 0.95, "d": 0.80, "e": 0.50, "f": 0.00,
@@ -52,7 +64,7 @@ func main() {
 	ops := flag.Int("ops", 20000, "acquisitions per goroutine (paper: 100000; 10000 at <=50% reads)")
 	runs := flag.Int("runs", 3, "runs to average (paper uses 3)")
 	seed := flag.Uint64("seed", 42, "base PRNG seed")
-	locksFlag := flag.String("locks", "goll,foll,roll,ksuh,solaris", "comma-separated lock subset (see -list)")
+	locksFlag := flag.String("locks", defaultLocks(), "comma-separated lock subset (see -list)")
 	indicator := flag.String("indicator", "csnzi", "read indicator for the OLL locks: csnzi, central or sharded")
 	list := flag.Bool("list", false, "list available locks and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -124,12 +136,12 @@ func main() {
 
 // indicatorVariant maps an OLL lock name to its lock × indicator
 // matrix entry for a non-default indicator; other names pass through.
+// Matrix membership comes from the kind registry.
 func indicatorVariant(name, indicator string) string {
 	if indicator == "" || indicator == "csnzi" {
 		return name
 	}
-	switch name {
-	case "goll", "foll", "roll":
+	if d, ok := lockcore.DescOf(name); ok && d.IndicatorMatrix {
 		return name + "-" + indicator
 	}
 	return name

@@ -101,9 +101,18 @@ type workloadFlags struct {
 	seed      *uint64
 }
 
+// kindList renders the registry's kind names for flag help text.
+func kindList() string {
+	var names []string
+	for _, k := range ollock.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
 func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
 	return &workloadFlags{
-		lock:      fs.String("lock", "goll", "lock kind under test"),
+		lock:      fs.String("lock", "goll", "lock kind under test: "+kindList()),
 		indicator: fs.String("indicator", "csnzi", "read indicator: csnzi, central or sharded"),
 		bias:      fs.Bool("bias", false, "wrap with the BRAVO biased reader fast path"),
 		wait:      fs.String("wait", "spin", "wait policy: spin, adaptive or array"),

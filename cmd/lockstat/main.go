@@ -42,11 +42,17 @@ import (
 	"ollock/internal/xrand"
 )
 
-// instrumented lists the kinds that carry obs instrumentation.
-var instrumented = []ollock.Kind{
-	ollock.GOLL, ollock.FOLL, ollock.ROLL,
-	ollock.KindBravoGOLL, ollock.KindBravoROLL,
-}
+// instrumented lists the kinds that carry obs instrumentation, read
+// from the kind registry's capability flags.
+var instrumented = func() []ollock.Kind {
+	var out []ollock.Kind
+	for _, info := range ollock.KindInfos() {
+		if info.Instrumented {
+			out = append(out, info.Kind)
+		}
+	}
+	return out
+}()
 
 func main() {
 	lockFlag := flag.String("lock", "all", "comma-separated lock kinds, or all instrumented kinds")

@@ -81,9 +81,18 @@ func usage() {
 	os.Exit(2)
 }
 
+// kindList renders the registry's kind names for flag help text.
+func kindList() string {
+	var names []string
+	for _, k := range ollock.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	lockFlag := fs.String("lock", "goll,foll,roll", "comma-separated lock kinds to trace")
+	lockFlag := fs.String("lock", "goll,foll,roll", "comma-separated lock kinds to trace (available: "+kindList()+")")
 	indicator := fs.String("indicator", "csnzi", "read indicator for the OLL locks")
 	threads := fs.Int("threads", 8, "concurrent goroutines")
 	ops := fs.Int("ops", 5000, "acquisitions per goroutine")
@@ -192,7 +201,7 @@ func cmdCheck(args []string) error {
 
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
-	lockFlag := fs.String("lock", "goll", "lock kind to wedge")
+	lockFlag := fs.String("lock", "goll", "lock kind to wedge (available: "+kindList()+")")
 	indicator := fs.String("indicator", "sharded", "read indicator for the OLL locks")
 	threads := fs.Int("threads", 4, "readers to pile up behind the held write lock")
 	threshold := fs.Duration("threshold", 50*time.Millisecond, "stall threshold")

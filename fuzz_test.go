@@ -1,0 +1,58 @@
+package ollock_test
+
+import (
+	"testing"
+
+	"ollock"
+)
+
+// FuzzNew is the registry's robustness property: for arbitrary kind
+// names, option values, and capacities, New never panics and never
+// returns (nil, nil) — it either builds a working lock or reports a
+// clean error. Seed corpus: every registered kind crossed with the
+// interesting option values, plus garbage.
+func FuzzNew(f *testing.F) {
+	for _, kind := range ollock.Kinds() {
+		f.Add(string(kind), "csnzi", "spin", false, 0, 4, false)
+		f.Add(string(kind), "sharded", "adaptive", true, 2, 1, true)
+		f.Add(string(kind), "central", "array", false, -1, 0, true)
+	}
+	f.Add("", "", "", false, 0, 0, false)
+	f.Add("no-such-kind", "no-such-indicator", "no-such-wait", true, 1<<30, -5, true)
+	f.Fuzz(func(t *testing.T, kind, indicator, wait string, bias bool, biasMult, maxProcs int, stats bool) {
+		// Bound the capacity: FOLL/ROLL/Hsieh allocate O(maxProcs)
+		// arrays eagerly, and the property under test is option
+		// validation, not allocator limits.
+		if maxProcs > 1024 {
+			maxProcs %= 1024
+		}
+		opts := []ollock.Option{
+			ollock.WithIndicator(ollock.IndicatorKind(indicator)),
+			ollock.WithWait(ollock.WaitMode(wait)),
+		}
+		if bias {
+			opts = append(opts, ollock.WithBias())
+		}
+		if biasMult != 0 {
+			opts = append(opts, ollock.WithBiasMultiplier(biasMult))
+		}
+		if stats {
+			opts = append(opts, ollock.WithStats(""))
+		}
+		l, err := ollock.New(ollock.Kind(kind), maxProcs, opts...)
+		if err == nil && l == nil {
+			t.Fatalf("New(%q, %d, ...) returned (nil, nil)", kind, maxProcs)
+		}
+		if err != nil && l != nil {
+			t.Fatalf("New(%q, %d, ...) returned a lock alongside error %v", kind, maxProcs, err)
+		}
+		if err != nil {
+			return
+		}
+		p := l.NewProc()
+		p.RLock()
+		p.RUnlock()
+		p.Lock()
+		p.Unlock()
+	})
+}

@@ -41,12 +41,9 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
-	"time"
 
 	"ollock/internal/atomicx"
-	"ollock/internal/obs"
-	"ollock/internal/park"
-	"ollock/internal/trace"
+	"ollock/internal/lockcore"
 )
 
 // BaseProc is the per-goroutine view of the wrapped lock: the same
@@ -117,19 +114,12 @@ type Lock struct {
 	// inhibit counts the slow-path read acquisitions that must still
 	// happen before the bias may be re-armed.
 	inhibit atomicx.PaddedUint64
-	// stats is the optional instrumentation block (nil = off). It only
-	// covers the wrapper's own events (bravo.*); the underlying lock
-	// carries its own block if instrumented.
-	stats *obs.Stats
-	// lt is the optional flight-recorder handle (nil = off). Share the
-	// same handle with the underlying lock: the wrapper emits only the
-	// bravo-specific events (fast-path acquire/release, re-check
-	// failures, revocations), the base lock emits the slow-path ones, and
-	// together they form one coherent per-proc timeline.
-	lt *trace.LockTrace
-	// pol selects how revocation waits for published readers to drain
-	// (nil = the legacy pure spin); see WithWaitPolicy.
-	pol *park.Policy
+	// in is the instrumentation bundle (zero = all off). The stats
+	// block covers only the wrapper's own events (bravo.*); share the
+	// same trace handle with the underlying lock so wrapper and base
+	// events interleave on one per-proc timeline, and the wait policy
+	// routes revocation drain waits down its ladder.
+	in lockcore.Instr
 }
 
 // Option configures the wrapper.
@@ -147,24 +137,16 @@ func WithInhibitMultiplier(n int) Option {
 	}
 }
 
-// WithStats attaches an instrumentation block (see internal/obs). The
-// wrapper counts fast vs. slow reads, bias arms, revocations and slot
-// collisions under bravo.*, and samples revocation drain waits into
-// the bravo.drain.wait histogram.
-func WithStats(s *obs.Stats) Option { return func(l *Lock) { l.stats = s } }
-
-// WithTrace attaches a flight-recorder handle (see internal/trace).
-// Pass the same handle to the underlying lock so wrapper and base
-// events interleave on one timeline.
-func WithTrace(lt *trace.LockTrace) Option { return func(l *Lock) { l.lt = lt } }
-
-// WithWaitPolicy routes the revoking writer's per-slot drain wait
-// through a wait policy (see internal/park): instead of spinning
-// unboundedly on a published reader's slot, the writer descends the
-// policy's spin-yield-sleep ladder. The published reader itself never
-// parks (its critical section is running), so drain waits use the
-// condition form of the ladder rather than a parked hand-off.
-func WithWaitPolicy(pol *park.Policy) Option { return func(l *Lock) { l.pol = pol } }
+// WithInstr attaches the instrumentation bundle (see internal/lockcore):
+// the stats block (fast vs. slow reads, bias arms, revocations, slot
+// collisions under bravo.*, plus the bravo.drain.wait histogram), the
+// flight-recorder handle (pass the same handle to the underlying lock
+// so wrapper and base events interleave on one timeline), and the wait
+// policy the revoking writer's per-slot drain wait descends instead of
+// spinning unboundedly. The published reader itself never parks (its
+// critical section is running), so drain waits use the condition form
+// of the policy's ladder rather than a parked hand-off.
+func WithInstr(in lockcore.Instr) Option { return func(l *Lock) { l.in = in } }
 
 // New wraps the lock whose Procs newProc creates. The lock starts
 // read-biased.
@@ -175,7 +157,7 @@ func New(newProc func() BaseProc, opts ...Option) *Lock {
 	}
 	l.salt = mix64(lockSeq.Add(1))
 	l.bias.Store(1)
-	l.lt.AddDumper(l)
+	l.in.AddDumper(l)
 	return l
 }
 
@@ -206,14 +188,11 @@ type Proc struct {
 	slot *atomicx.PaddedPointer[Lock]
 	// pend counts slow-path reads not yet folded into l.inhibit.
 	pend uint64
-	// lc is the proc's buffered counter view (nil when the lock is
-	// uninstrumented); the read paths count through it so the shared
-	// stats cells are touched only once per obs.FlushEvery events.
-	lc *obs.Local
-	// tr is the proc's flight-recorder ring for wrapper-level events
-	// (nil when untraced). The base Proc owns a separate ring under the
-	// same lock id; each ring stays single-writer.
-	tr *trace.Local
+	// pi is the proc's instrumentation view for wrapper-level events
+	// (buffered counters + flight-recorder ring). The base Proc owns a
+	// separate ring under the same lock id; each ring stays
+	// single-writer.
+	pi lockcore.ProcInstr
 }
 
 // NewProc registers a goroutine with the lock, creating the underlying
@@ -227,8 +206,7 @@ func (l *Lock) NewProc() *Proc {
 		id:   int(id),
 		home: home,
 		cur:  &readers[home],
-		lc:   l.stats.NewLocal(int(id)),
-		tr:   l.lt.NewLocal(int(id)),
+		pi:   l.in.NewProc(int(id)),
 	}
 }
 
@@ -242,14 +220,14 @@ func (p *Proc) ReadFastPath() bool { return p.slot != nil }
 // underlying lock's read acquisition plus the adaptive re-arm check.
 func (p *Proc) RLock() {
 	l := p.l
-	t0 := p.tr.Now()
+	t0 := p.pi.Now()
 	if l.bias.Load() != 0 {
 		// Memoized slot first: after settling this CAS is on a line no
 		// other goroutine writes, so the whole fast path touches no
 		// contended memory.
 		s := p.cur
 		if !s.CompareAndSwap(nil, l) {
-			p.lc.Inc(obs.BravoSlotCollision)
+			p.pi.Inc(lockcore.BravoSlotCollision)
 			s = nil
 			for i := uint64(0); i < maxProbes; i++ {
 				cand := &readers[(p.home+i)&tableMask]
@@ -265,19 +243,19 @@ func (p *Proc) RLock() {
 			// are sequentially consistent atomics.
 			if l.bias.Load() != 0 {
 				p.slot = s
-				p.lc.Inc(obs.BravoFastRead)
-				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteBravoFast)
+				p.pi.Inc(lockcore.BravoFastRead)
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteBravoFast)
 				return
 			}
 			// A writer revoked between our publish and re-check:
 			// unpublish so its scan does not wait for us, and fall
 			// through to the slow path.
 			s.Store(nil)
-			p.tr.Emit(trace.KindBravoRecheckFail, 0, 0)
+			p.pi.Emit(lockcore.KindBravoRecheckFail, 0, 0)
 		}
 	}
 	p.base.RLock()
-	p.lc.Inc(obs.BravoSlowRead)
+	p.pi.Inc(lockcore.BravoSlowRead)
 	if l.bias.Load() == 0 {
 		p.slowReadArm()
 	}
@@ -297,7 +275,7 @@ func (p *Proc) slowReadArm() {
 	switch {
 	case v == 0:
 		l.bias.Store(1)
-		l.stats.Inc(obs.BravoBiasArm, p.id)
+		l.in.Inc(lockcore.BravoBiasArm, p.id)
 	case v <= p.pend:
 		// This batch drains the window; re-arming is (at most) one
 		// batch away.
@@ -316,7 +294,7 @@ func (p *Proc) RUnlock() {
 	if s := p.slot; s != nil {
 		p.slot = nil
 		s.Store(nil)
-		p.tr.Released(trace.KindReadReleased)
+		p.pi.Released(lockcore.KindReadReleased)
 		return
 	}
 	p.base.RUnlock()
@@ -329,10 +307,10 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	p.base.Lock()
 	if p.l.bias.Load() != 0 {
-		p.tr.Begin(trace.PhaseRevoke)
-		drained := p.l.revoke(p.id, p.tr)
-		p.tr.End(trace.PhaseRevoke)
-		p.tr.Emit(trace.KindBravoRevoke, 0, uint64(drained))
+		p.pi.Begin(lockcore.PhaseRevoke)
+		drained := p.l.revoke(p.id, p.pi.TR)
+		p.pi.End(lockcore.PhaseRevoke)
+		p.pi.Emit(lockcore.KindBravoRevoke, 0, uint64(drained))
 	}
 }
 
@@ -347,27 +325,22 @@ func (p *Proc) Unlock() {
 // holds the underlying write lock, so no new fast-path reader can
 // succeed (the re-check fails) and nobody can re-arm the bias (that
 // requires the read lock).
-func (l *Lock) revoke(id int, tr *trace.Local) int {
-	l.stats.Inc(obs.BravoRevoke, id)
+func (l *Lock) revoke(id int, tr *lockcore.TraceLocal) int {
+	l.in.Inc(lockcore.BravoRevoke, id)
 	// Sample the drain wait only when instrumented: the clock reads are
 	// off the reader fast path, but revocation frequency is part of the
 	// policy being measured, so keep them out of the uninstrumented run.
-	var start time.Time
-	if l.stats.Enabled() {
-		start = time.Now()
-	}
+	start := l.in.SpanStart()
 	l.bias.Store(0)
 	drained := 0
 	for i := range readers {
 		s := &readers[i]
 		if s.Load() == l {
 			drained++
-			park.WaitCond(l.pol, id, tr, func() bool { return s.Load() != l })
+			lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return s.Load() != l })
 		}
 	}
-	if l.stats.Enabled() {
-		l.stats.Observe(obs.BravoDrainWait, id, time.Since(start).Nanoseconds())
-	}
+	l.in.SpanObserve(lockcore.BravoDrainWait, id, start)
 	// Charge the revocation: a full-table scan plus a drain premium per
 	// published reader, paid back by future slow-path reads before the
 	// bias may return.

@@ -14,7 +14,7 @@
 package central
 
 import (
-	"ollock/internal/park"
+	"ollock/internal/lockcore"
 )
 
 // RWLock is a centralized reader-writer lock. The zero value is an
@@ -24,16 +24,16 @@ type RWLock struct {
 	word Lockword
 	// pol selects how contended acquisitions pause between lockword
 	// retries (nil = the legacy backoff spin).
-	pol *park.Policy
+	pol *lockcore.Policy
 }
 
 // New returns an unlocked centralized RW lock.
 func New() *RWLock { return &RWLock{} }
 
 // SetWaitPolicy routes the lock's retry pauses through a wait policy
-// (see internal/park). Call before sharing the lock; a nil policy (the
-// default) keeps the legacy exponential-backoff spin.
-func (l *RWLock) SetWaitPolicy(pol *park.Policy) { l.pol = pol }
+// (see internal/park via lockcore). Call before sharing the lock; a nil
+// policy (the default) keeps the legacy exponential-backoff spin.
+func (l *RWLock) SetWaitPolicy(pol *lockcore.Policy) { l.pol = pol }
 
 // RLock acquires the lock for reading, spinning while a writer holds it.
 func (l *RWLock) RLock() {

@@ -26,13 +26,10 @@ import (
 	"io"
 	"runtime"
 	"sync/atomic"
-	"time"
 
 	"ollock/internal/atomicx"
-	"ollock/internal/obs"
-	"ollock/internal/park"
+	"ollock/internal/lockcore"
 	"ollock/internal/rind"
-	"ollock/internal/trace"
 )
 
 // Node kinds.
@@ -55,8 +52,8 @@ type Node struct {
 	qNext atomicx.PaddedPointer[Node]
 	// flag is the node's grant flag (the "spin" boolean of Figure 4),
 	// policy-aware so blocked threads can yield or park instead of
-	// burning CPU; see internal/park.
-	flag park.Flag
+	// burning CPU; see internal/park via lockcore.
+	flag lockcore.Flag
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -70,14 +67,10 @@ type RWLock struct {
 	ring    []Node
 	procs   atomic.Int64
 	factory rind.Factory
-	// stats is the optional instrumentation block (nil = off), shared
-	// with every ring node's indicator.
-	stats *obs.Stats
-	// lt is the optional flight-recorder handle (nil = off).
-	lt *trace.LockTrace
-	// pol is the wait policy every blocking site routes through (nil =
-	// pure spinning, the paper's behavior).
-	pol *park.Policy
+	// in is the instrumentation bundle (zero = all off): the stats
+	// block is shared with every ring node's indicator, and the wait
+	// policy routes every blocking site.
+	in lockcore.Instr
 }
 
 // Proc is a per-goroutine handle. It carries the thread-local state of
@@ -90,23 +83,13 @@ type Proc struct {
 	wNode      *Node
 	departFrom *Node
 	ticket     rind.Ticket
-	// lc is the proc's buffered counter view (nil when the lock is
-	// uninstrumented); the read hot path counts through it so the
-	// shared stats cells are touched only once per obs.FlushEvery
-	// events.
-	lc *obs.Local
-	// tr is the proc's flight-recorder ring (nil when untraced).
-	tr *trace.Local
+	// pi is the proc's instrumentation view (buffered counters +
+	// flight-recorder ring); one predictable branch per site when off.
+	pi lockcore.ProcInstr
 }
 
 // Option configures the lock.
 type Option func(*RWLock)
-
-// WithStats attaches an instrumentation block (see internal/obs). The
-// lock counts group joins vs. new-node enqueues and ring-pool
-// recycling under foll.*, and shares the block with every ring node's
-// C-SNZI (csnzi.* counters, including the per-group close/open churn).
-func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
 // WithIndicator substitutes a read-indicator factory (see
 // internal/rind) for the per-node C-SNZIs. A factory rather than an
@@ -114,16 +97,13 @@ func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 // recycled nodes then recycle indicators of the chosen kind.
 func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
 
-// WithTrace attaches a flight-recorder handle (see internal/trace). The
-// lock emits queue/group/hand-off lifecycle events per proc and
-// registers itself as a live-state dumper for the stall watchdog.
-func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
-
-// WithWaitPolicy selects how blocked threads wait (see internal/park):
-// node grant flags become parking-capable, and the untimed waits
-// (indicator opening, successor linking) descend the policy's ladder. A
-// nil policy (the default) spins exactly as the paper does.
-func WithWaitPolicy(pol *park.Policy) Option { return func(l *RWLock) { l.pol = pol } }
+// WithInstr attaches the instrumentation bundle (see internal/lockcore):
+// the stats block (foll.* join/enqueue/recycle counters, shared with
+// every ring node's csnzi.* counters), the flight-recorder handle
+// (queue/group/hand-off lifecycle events), and the wait policy that
+// makes node grant flags parking-capable. The zero bundle (the default)
+// spins exactly as the paper does, uninstrumented.
+func WithInstr(in lockcore.Instr) Option { return func(l *RWLock) { l.in = in } }
 
 // New returns a FOLL lock sized for maxProcs participating goroutines
 // (the ring pool holds exactly maxProcs reader nodes, which §4.2.1
@@ -143,13 +123,13 @@ func New(maxProcs int, opts ...Option) *RWLock {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.ind = rind.Instrument(l.factory(), l.stats)
+		n.ind = rind.Instrument(l.factory(), l.in.Stats)
 		// Fresh nodes start closed with no surplus (§4.2: "when just
 		// allocated, has a closed C-SNZI"): a node's indicator is open
 		// only while the node is enqueued.
 		n.ind.CloseIfEmpty()
 	}
-	l.lt.AddDumper(l)
+	l.in.AddDumper(l)
 	return l
 }
 
@@ -166,8 +146,7 @@ func (l *RWLock) NewProc() *Proc {
 		id:    id,
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
-		lc:    l.stats.NewLocal(id),
-		tr:    l.lt.NewLocal(id),
+		pi:    l.in.NewProc(id),
 	}
 }
 
@@ -199,7 +178,7 @@ func freeReaderNode(n *Node) {
 // RLock acquires the lock for reading.
 func (p *Proc) RLock() {
 	l := p.l
-	t0 := p.tr.Now()
+	t0 := p.pi.Now()
 	var rNode *Node
 	for {
 		tail := l.tail.Load()
@@ -216,20 +195,20 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				continue // tail changed; retry (keep rNode)
 			}
-			p.lc.Inc(obs.FOLLReadEnqueue)
-			p.tr.Emit(trace.KindGroupEnqueue, 0, 0)
+			p.pi.Inc(lockcore.FOLLReadEnqueue)
+			p.pi.Emit(lockcore.KindGroupEnqueue, 0, 0)
 			rNode.ind.Open()
-			t := rNode.ind.ArriveLocal(p.id, p.lc)
+			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
-				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
 			// A writer closed the node between Open and Arrive. The node
 			// is in the queue; the closer owns its cleanup. Retry with a
 			// new node.
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			rNode = nil
 
 		case tail.kind == kindWriter:
@@ -243,44 +222,44 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				continue
 			}
-			p.lc.Inc(obs.FOLLReadEnqueue)
-			p.tr.Emit(trace.KindGroupEnqueue, 0, 1)
+			p.pi.Inc(lockcore.FOLLReadEnqueue)
+			p.pi.Emit(lockcore.KindGroupEnqueue, 0, 1)
 			tail.qNext.Store(rNode)
 			rNode.ind.Open()
-			t := rNode.ind.ArriveLocal(p.id, p.lc)
+			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
-				if p.tr != nil && rNode.flag.Blocked() {
-					p.tr.Begin(trace.PhaseSpinWait)
+				if p.pi.Tracing() && rNode.flag.Blocked() {
+					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				rNode.flag.Wait(l.pol, p.id, p.tr)
-				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
+				rNode.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			rNode = nil
 
 		default:
 			// Tail is a reader node: join it.
-			t := tail.ind.ArriveLocal(p.id, p.lc)
+			t := tail.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
-				p.lc.Inc(obs.FOLLReadJoin)
+				p.pi.Inc(lockcore.FOLLReadJoin)
 				if rNode != nil {
 					freeReaderNode(rNode) // allocated but never enqueued
 				}
 				p.departFrom = tail
 				p.ticket = t
-				if p.tr != nil && tail.flag.Blocked() {
-					p.tr.Begin(trace.PhaseSpinWait)
+				if p.pi.Tracing() && tail.flag.Blocked() {
+					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				tail.flag.Wait(l.pol, p.id, p.tr)
-				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
+				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 				return
 			}
 			// Arrive failed: a writer closed the node after enqueuing
 			// behind it, so the tail must have changed. Retry.
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 		}
 	}
 }
@@ -291,81 +270,70 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
-		p.tr.Released(trace.KindReadReleased)
+		p.pi.Released(lockcore.KindReadReleased)
 		return
 	}
 	// Last departer: the closing writer linked itself before closing, so
 	// qNext is set.
-	p.tr.Emit(trace.KindIndDrain, 0, 0)
+	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
-	succ.flag.Clear(p.l.pol)
+	succ.flag.Clear(p.l.in.Wait)
 	n.qNext.Store(nil) // clean up before recycling
 	freeReaderNode(n)
-	p.lc.Inc(obs.FOLLNodeRecycle)
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, true))
-	p.tr.Released(trace.KindReadReleased)
+	p.pi.Inc(lockcore.FOLLNodeRecycle)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, true))
+	p.pi.Released(lockcore.KindReadReleased)
 }
 
 // Lock acquires the lock for writing, exactly as in the MCS mutex except
 // for the reader-node predecessor handling.
 func (p *Proc) Lock() {
 	l := p.l
-	t0 := p.tr.Now()
-	var w0 time.Time
-	if l.stats.Enabled() {
-		w0 = time.Now()
-	}
+	t0 := p.pi.Now()
+	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	if oldTail == nil {
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return // free lock acquired
 	}
 	w.flag.Set(true)
 	oldTail.qNext.Store(w)
-	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
+	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
-		p.tr.BeginAt(t0, trace.PhaseQueueWait)
-		w.flag.Wait(l.pol, p.id, p.tr)
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
+		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return
 	}
 	// Reader predecessor. Its C-SNZI may not be open yet (the enqueuer
 	// opens it just after the enqueue; see also node recycling): wait
 	// until it is, then close it to stop further readers joining.
-	p.tr.BeginAt(t0, trace.PhaseDrainWait)
-	park.WaitCond(l.pol, p.id, p.tr, func() bool {
+	p.pi.BeginAt(t0, lockcore.PhaseDrainWait)
+	lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool {
 		_, open := oldTail.ind.Query()
 		return open
 	})
 	closedEmpty := oldTail.ind.Close()
-	p.tr.Emit(trace.KindIndClose, 0, 0)
+	p.pi.Emit(lockcore.KindIndClose, 0, 0)
 	if closedEmpty {
 		// Closed empty: no readers will signal us. Wait for the
 		// predecessor node's own grant and recycle it ourselves.
-		oldTail.flag.Wait(l.pol, p.id, p.tr)
+		oldTail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
-		l.stats.Inc(obs.FOLLNodeRecycle, p.id)
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		l.in.Inc(lockcore.FOLLNodeRecycle, p.id)
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return
 	}
 	// Readers exist: the last departer will signal us.
-	w.flag.Wait(l.pol, p.id, p.tr)
-	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
-	if l.stats.Enabled() {
-		l.stats.Observe(obs.FOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-	}
+	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 }
 
 // Unlock releases a write acquisition.
@@ -374,16 +342,16 @@ func (p *Proc) Unlock() {
 	w := p.wNode
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
-			p.tr.Released(trace.KindWriteReleased)
+			p.pi.Released(lockcore.KindWriteReleased)
 			return
 		}
-		park.WaitCond(l.pol, p.id, p.tr, func() bool { return w.qNext.Load() != nil })
+		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
-	succ.flag.Clear(l.pol)
+	succ.flag.Clear(l.in.Wait)
 	w.qNext.Store(nil) // clean up
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
-	p.tr.Released(trace.KindWriteReleased)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
+	p.pi.Released(lockcore.KindWriteReleased)
 }
 
 // MaxProcs returns the ring size (diagnostic).

@@ -24,14 +24,11 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
-	"time"
 
 	"ollock/internal/csnzi"
-	"ollock/internal/obs"
-	"ollock/internal/park"
+	"ollock/internal/lockcore"
 	"ollock/internal/rind"
 	"ollock/internal/spin"
-	"ollock/internal/trace"
 	"ollock/internal/waitq"
 )
 
@@ -42,16 +39,10 @@ type RWLock struct {
 	meta spin.Mutex
 	q    waitq.Queue
 	ids  atomic.Int64
-	// stats is the optional instrumentation block (nil = off). It is
-	// shared with the lock's C-SNZI so one Snapshot covers both
-	// layers.
-	stats *obs.Stats
-	// lt is the optional flight-recorder handle (nil = off); every Proc
-	// mints its per-proc trace ring from it.
-	lt *trace.LockTrace
-	// pol is the wait policy every blocking site routes through (nil =
-	// pure spinning, the paper's behavior).
-	pol *park.Policy
+	// in is the instrumentation bundle (zero = all off): the stats
+	// block is shared with the lock's C-SNZI so one Snapshot covers
+	// both layers, and the wait policy routes every blocking site.
+	in lockcore.Instr
 }
 
 // Proc is a per-goroutine handle carrying the Local record of the
@@ -62,14 +53,10 @@ type Proc struct {
 	id       int
 	priority int
 	ticket   rind.Ticket
-	// lc is the proc's buffered counter view (nil when the lock is
-	// uninstrumented); the arrival hot path counts through it so the
-	// shared stats cells are touched only once per obs.FlushEvery
-	// events.
-	lc *obs.Local
-	// tr is the proc's flight-recorder ring (nil when untraced): every
-	// emission below is one predictable branch when tracing is off.
-	tr *trace.Local
+	// pi is the proc's instrumentation view (buffered counters +
+	// flight-recorder ring); every emission below is one predictable
+	// branch when the corresponding layer is off.
+	pi lockcore.ProcInstr
 }
 
 // SetPriority sets the scheduling priority used when this Proc has to
@@ -95,28 +82,13 @@ func WithIndicator(ind rind.Indicator) Option {
 	return func(l *RWLock) { l.cs = ind }
 }
 
-// WithStats attaches an instrumentation block (see internal/obs). The
-// lock counts hand-offs and upgrade attempts/failures under goll.*,
-// and shares the block with its C-SNZI (csnzi.* counters), so one
-// Snapshot covers the whole acquisition path.
-func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
-
-// WithWaitPolicy selects how blocked threads wait (see internal/park):
-// queue waiters descend the policy's spin→yield→park ladder or move
-// onto its waiting array, and the queue mutex itself pauses through the
-// policy. A nil policy (the default) spins exactly as the paper does.
-func WithWaitPolicy(pol *park.Policy) Option {
-	return func(l *RWLock) { l.pol = pol }
-}
-
-// WithTrace attaches a flight-recorder handle (see internal/trace).
-// The lock emits lifecycle events — arrive decisions, queue waits,
-// indicator close/open/drain, hand-offs — into per-proc ring buffers,
-// and registers itself as the handle's state dumper for watchdog
-// post-mortems.
-func WithTrace(lt *trace.LockTrace) Option {
-	return func(l *RWLock) { l.lt = lt }
-}
+// WithInstr attaches the instrumentation bundle (see internal/lockcore):
+// the stats block (goll.* hand-off and upgrade counters, shared with
+// the C-SNZI's csnzi.* counters), the flight-recorder handle (arrive
+// decisions, queue waits, indicator transitions, hand-offs), and the
+// wait policy every blocking site routes through. The zero bundle (the
+// default) spins exactly as the paper does, uninstrumented.
+func WithInstr(in lockcore.Instr) Option { return func(l *RWLock) { l.in = in } }
 
 // New returns an unlocked GOLL lock.
 func New(opts ...Option) *RWLock {
@@ -127,8 +99,8 @@ func New(opts ...Option) *RWLock {
 	if l.cs == nil {
 		l.cs = rind.NewCSNZI()
 	}
-	l.cs = rind.Instrument(l.cs, l.stats)
-	l.lt.AddDumper(l)
+	l.cs = rind.Instrument(l.cs, l.in.Stats)
+	l.in.AddDumper(l)
 	return l
 }
 
@@ -137,7 +109,7 @@ func New(opts ...Option) *RWLock {
 // created.
 func (l *RWLock) NewProc() *Proc {
 	id := int(l.ids.Add(1)) - 1
-	return &Proc{l: l, id: id, lc: l.stats.NewLocal(id), tr: l.lt.NewLocal(id)}
+	return &Proc{l: l, id: id, pi: l.in.NewProc(id)}
 }
 
 // RLock acquires the lock for reading. On the conflict-free path this is
@@ -146,22 +118,22 @@ func (l *RWLock) NewProc() *Proc {
 // writer.
 func (p *Proc) RLock() {
 	l := p.l
-	t0 := p.tr.Now()
+	t0 := p.pi.Now()
 	slow := false
 	for {
-		p.ticket = l.cs.ArriveLocal(p.id, p.lc)
+		p.ticket = l.cs.ArriveLocal(p.id, p.pi.LC)
 		if p.ticket.Arrived() {
-			p.tr.Acquired(trace.KindReadAcquired, t0, p.ticket.TraceRoute())
+			p.pi.Acquired(lockcore.KindReadAcquired, t0, p.ticket.TraceRoute())
 			return
 		}
 		if !slow {
 			// Open the arrive phase retroactively: the fast path never
 			// pays for this event.
 			slow = true
-			p.tr.BeginAt(t0, trace.PhaseArrive)
+			p.pi.BeginAt(t0, lockcore.PhaseArrive)
 		}
-		p.tr.Emit(trace.KindArriveFail, 0, 0)
-		l.meta.LockWith(l.pol)
+		p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+		l.meta.LockWith(l.in.Wait)
 		if _, open := l.cs.Query(); open {
 			// The closer released before we got the mutex; retry the
 			// fast path.
@@ -170,13 +142,13 @@ func (p *Proc) RLock() {
 		}
 		e := l.q.Enqueue(waitq.Reader, p.priority)
 		l.meta.Unlock()
-		p.tr.Emit(trace.KindQueueEnqueue, 0, 0)
+		p.pi.Emit(lockcore.KindQueueEnqueue, 0, 0)
 		// The thread releasing the lock pre-arrives at the root for us
 		// (OpenWithArrivals), so we will depart directly.
 		p.ticket = l.cs.DirectTicket()
-		p.tr.Begin(trace.PhaseQueueWait)
-		e.WaitWith(l.pol, p.id, p.tr)
-		p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteDirect)
+		p.pi.Begin(lockcore.PhaseQueueWait)
+		e.WaitWith(l.in.Wait, p.id, p.pi.TR)
+		p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteDirect)
 		return
 	}
 }
@@ -186,97 +158,88 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	l := p.l
 	if l.cs.Depart(p.ticket) {
-		p.tr.Released(trace.KindReadReleased)
+		p.pi.Released(lockcore.KindReadReleased)
 		return
 	}
 	// The C-SNZI is closed with zero surplus: write-acquired state, to
 	// be handed to the next waiter. A waiting writer must exist (readers
 	// only queue behind a closer), but the queue may also hand to
 	// readers if a policy lets them overtake (§3.2, footnote 1).
-	p.tr.Emit(trace.KindIndDrain, 0, 0)
-	l.meta.LockWith(l.pol)
+	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
+	l.meta.LockWith(l.in.Wait)
 	batch := l.q.DequeueHandoff(waitq.Reader)
 	if batch.Kind == waitq.Reader {
 		// Readers overtook the waiting writer: move the lock straight to
 		// the read-acquired state, keeping it closed while writers wait.
 		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
-		p.tr.Emit(trace.KindIndOpen, 0, uint64(batch.Count()))
+		p.pi.Emit(lockcore.KindIndOpen, 0, uint64(batch.Count()))
 	}
 	l.meta.Unlock()
-	l.stats.Inc(obs.GOLLHandoff, p.id)
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
-	batch.SignalWith(l.pol)
-	p.tr.Released(trace.KindReadReleased)
+	l.in.Inc(lockcore.GOLLHandoff, p.id)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
+	batch.SignalWith(l.in.Wait)
+	p.pi.Released(lockcore.KindReadReleased)
 }
 
 // Lock acquires the lock for writing: one CAS (CloseIfEmpty) when the
 // lock is free, otherwise close-and-enqueue under the queue mutex.
 func (p *Proc) Lock() {
 	l := p.l
-	t0 := p.tr.Now()
-	var w0 time.Time
-	if l.stats.Enabled() {
-		w0 = time.Now()
-	}
+	t0 := p.pi.Now()
+	w0 := l.in.SpanStart()
 	if l.cs.CloseIfEmpty() {
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 		return
 	}
-	p.tr.BeginAt(t0, trace.PhaseArrive)
-	l.meta.LockWith(l.pol)
+	p.pi.BeginAt(t0, lockcore.PhaseArrive)
+	l.meta.LockWith(l.in.Wait)
 	if l.cs.Close() {
 		// The lock drained between our fast path and here; Close
 		// acquired it.
 		l.meta.Unlock()
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 		return
 	}
 	// The indicator is now closed over the readers holding it (by our
 	// Close, or an earlier writer's); their last departer hands off.
-	p.tr.Emit(trace.KindIndClose, 0, 0)
+	p.pi.Emit(lockcore.KindIndClose, 0, 0)
 	e := l.q.Enqueue(waitq.Writer, p.priority)
 	l.meta.Unlock()
-	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
-	p.tr.Begin(trace.PhaseQueueWait)
-	e.WaitWith(l.pol, p.id, p.tr)
-	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
-	if l.stats.Enabled() {
-		l.stats.Observe(obs.GOLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-	}
+	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
+	p.pi.Begin(lockcore.PhaseQueueWait)
+	e.WaitWith(l.in.Wait, p.id, p.pi.TR)
+	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 }
 
 // Unlock releases a write acquisition, handing ownership to the next
 // batch of waiters if any.
 func (p *Proc) Unlock() {
 	l := p.l
-	l.meta.LockWith(l.pol)
+	l.meta.LockWith(l.in.Wait)
 	batch := l.q.DequeueHandoff(waitq.Writer)
 	if batch == nil {
 		l.cs.Open()
 		l.meta.Unlock()
-		p.tr.Emit(trace.KindIndOpen, 0, 0)
-		p.tr.Released(trace.KindWriteReleased)
+		p.pi.Emit(lockcore.KindIndOpen, 0, 0)
+		p.pi.Released(lockcore.KindWriteReleased)
 		return
 	}
 	if batch.Kind == waitq.Reader {
 		// Convert to read-acquired: surplus = group size, closed iff
 		// writers still wait.
 		l.cs.OpenWithArrivals(batch.Count(), l.q.NumWriters() != 0)
-		p.tr.Emit(trace.KindIndOpen, 0, uint64(batch.Count()))
+		p.pi.Emit(lockcore.KindIndOpen, 0, uint64(batch.Count()))
 	}
 	// For a writer batch the C-SNZI is already closed with zero surplus
 	// (write-acquired); nothing to change.
 	l.meta.Unlock()
-	l.stats.Inc(obs.GOLLHandoff, p.id)
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
-	batch.SignalWith(l.pol)
-	p.tr.Released(trace.KindWriteReleased)
+	l.in.Inc(lockcore.GOLLHandoff, p.id)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
+	batch.SignalWith(l.in.Wait)
+	p.pi.Released(lockcore.KindWriteReleased)
 }
 
 // TryRLock attempts a read acquisition without waiting, reporting
@@ -284,7 +247,7 @@ func (p *Proc) Unlock() {
 // or waits for it (the C-SNZI is closed) — the same condition that
 // would have queued the caller.
 func (p *Proc) TryRLock() bool {
-	p.ticket = p.l.cs.ArriveLocal(p.id, p.lc)
+	p.ticket = p.l.cs.ArriveLocal(p.id, p.pi.LC)
 	return p.ticket.Arrived()
 }
 
@@ -308,12 +271,12 @@ func (p *Proc) TryLock() bool {
 // ownership ahead of it (it will be handed the lock on our Unlock).
 func (p *Proc) TryUpgrade() bool {
 	l := p.l
-	l.stats.Inc(obs.GOLLUpgradeAttempt, p.id)
+	l.in.Inc(lockcore.GOLLUpgradeAttempt, p.id)
 	p.ticket = l.cs.TradeToRoot(p.ticket)
 	if l.cs.TryUpgrade() {
 		return true
 	}
-	l.stats.Inc(obs.GOLLUpgradeFail, p.id)
+	l.in.Inc(lockcore.GOLLUpgradeFail, p.id)
 	return false
 }
 
@@ -323,22 +286,22 @@ func (p *Proc) TryUpgrade() bool {
 // must subsequently release with RUnlock.
 func (p *Proc) Downgrade() {
 	l := p.l
-	l.stats.Inc(obs.GOLLDowngrade, p.id)
-	l.meta.LockWith(l.pol)
+	l.in.Inc(lockcore.GOLLDowngrade, p.id)
+	l.meta.LockWith(l.in.Wait)
 	readers := l.q.TakeReaders()
 	// Surplus = us + admitted waiting readers; stays closed if writers
 	// still wait so late readers keep queuing behind them.
 	l.cs.OpenWithArrivals(1+readers.Count(), l.q.NumWriters() != 0)
 	l.meta.Unlock()
 	p.ticket = l.cs.DirectTicket()
-	readers.SignalWith(l.pol)
+	readers.SignalWith(l.in.Wait)
 }
 
 // DumpLockState implements trace.StateDumper: a human-readable
 // description of the live indicator word and wait-queue chain, taken
 // under the queue mutex (safe — the dumper holds no acquisition).
 func (l *RWLock) DumpLockState(w io.Writer) {
-	l.meta.LockWith(l.pol)
+	l.meta.LockWith(l.in.Wait)
 	defer l.meta.Unlock()
 	fmt.Fprintf(w, "goll: indicator %s\n", rind.Describe(l.cs))
 	fmt.Fprintf(w, "goll: wait queue: %d waiters (%d writers, %d readers)\n",

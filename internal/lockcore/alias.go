@@ -1,0 +1,126 @@
+// Re-exports of the obs/trace/park surface the algorithm packages use.
+// goll, foll, roll, bravo, and central import only lockcore (a layering
+// rule enforced by a test in the module root); everything they need
+// from the instrumentation substrate is aliased here, so adding an
+// event or phase for a new lock kind means extending this file, not
+// threading a new import through five packages.
+package lockcore
+
+import (
+	"ollock/internal/obs"
+	"ollock/internal/park"
+	"ollock/internal/trace"
+)
+
+// Event is an obs counter identity (see internal/obs for the glossary).
+type Event = obs.Event
+
+// HistID is an obs histogram identity.
+type HistID = obs.HistID
+
+// Counter events the algorithm packages emit.
+const (
+	GOLLHandoff        = obs.GOLLHandoff
+	GOLLUpgradeAttempt = obs.GOLLUpgradeAttempt
+	GOLLUpgradeFail    = obs.GOLLUpgradeFail
+	GOLLDowngrade      = obs.GOLLDowngrade
+
+	FOLLReadJoin    = obs.FOLLReadJoin
+	FOLLReadEnqueue = obs.FOLLReadEnqueue
+	FOLLNodeRecycle = obs.FOLLNodeRecycle
+
+	ROLLReadJoin    = obs.ROLLReadJoin
+	ROLLReadEnqueue = obs.ROLLReadEnqueue
+	ROLLNodeRecycle = obs.ROLLNodeRecycle
+	ROLLOvertake    = obs.ROLLOvertake
+	ROLLHintHit     = obs.ROLLHintHit
+	ROLLHintMiss    = obs.ROLLHintMiss
+
+	BravoFastRead      = obs.BravoFastRead
+	BravoSlowRead      = obs.BravoSlowRead
+	BravoBiasArm       = obs.BravoBiasArm
+	BravoRevoke        = obs.BravoRevoke
+	BravoSlotCollision = obs.BravoSlotCollision
+)
+
+// Histograms the algorithm packages sample.
+const (
+	GOLLWriteWait  = obs.GOLLWriteWait
+	FOLLWriteWait  = obs.FOLLWriteWait
+	ROLLWriteWait  = obs.ROLLWriteWait
+	BravoDrainWait = obs.BravoDrainWait
+)
+
+// Kind is a trace event kind; Phase a timeline span label; Route an
+// arrival route (see internal/trace).
+type (
+	TraceKind = trace.Kind
+	Phase     = trace.Phase
+	Route     = trace.Route
+)
+
+// Trace kinds the algorithm packages emit.
+const (
+	KindReadAcquired  = trace.KindReadAcquired
+	KindReadReleased  = trace.KindReadReleased
+	KindWriteAcquired = trace.KindWriteAcquired
+	KindWriteReleased = trace.KindWriteReleased
+
+	KindArriveFail   = trace.KindArriveFail
+	KindQueueEnqueue = trace.KindQueueEnqueue
+	KindGroupEnqueue = trace.KindGroupEnqueue
+	KindOvertake     = trace.KindOvertake
+	KindHintHit      = trace.KindHintHit
+	KindHintMiss     = trace.KindHintMiss
+
+	KindIndClose = trace.KindIndClose
+	KindIndOpen  = trace.KindIndOpen
+	KindIndDrain = trace.KindIndDrain
+
+	KindHandoff = trace.KindHandoff
+
+	KindBravoRecheckFail = trace.KindBravoRecheckFail
+	KindBravoRevoke      = trace.KindBravoRevoke
+)
+
+// Phases the algorithm packages open and close.
+const (
+	PhaseArrive    = trace.PhaseArrive
+	PhaseQueueWait = trace.PhaseQueueWait
+	PhaseSpinWait  = trace.PhaseSpinWait
+	PhaseDrainWait = trace.PhaseDrainWait
+	PhaseRevoke    = trace.PhaseRevoke
+)
+
+// Routes the algorithm packages report.
+const (
+	RouteRoot      = trace.RouteRoot
+	RouteTree      = trace.RouteTree
+	RouteDirect    = trace.RouteDirect
+	RouteJoin      = trace.RouteJoin
+	RouteBravoFast = trace.RouteBravoFast
+)
+
+// PackHandoff packs a hand-off batch size and kind into a KindHandoff
+// event's Arg word.
+func PackHandoff(count int, writer bool) uint64 { return trace.PackHandoff(count, writer) }
+
+// StateDumper is implemented by locks that can render their live state
+// for watchdog post-mortems.
+type StateDumper = trace.StateDumper
+
+// TraceLocal is a proc's flight-recorder ring (ProcInstr.TR). The alias
+// exists for signatures that thread the ring through helpers.
+type TraceLocal = trace.Local
+
+// Policy is a waiting policy (see internal/park); nil means pure
+// spinning. Flag is a policy-aware grant flag for queue nodes.
+type (
+	Policy = park.Policy
+	Flag   = park.Flag
+)
+
+// WaitCond waits (via the policy's ladder) until cond reports true.
+func WaitCond(pol *Policy, id int, tr *TraceLocal, cond func() bool) {
+	park.WaitCond(pol, id, tr, cond)
+}

@@ -9,6 +9,12 @@
 // randomized mixed workload against an invariant checker. The tests
 // live in this package's test files; other packages reuse the adapters
 // for benchmarks and examples.
+//
+// The Locks table is generated from the kind registry
+// (internal/lockcore): one entry per registered kind in registry
+// order, the standard library's RWMutex as an external reference
+// point, then the lock × read-indicator matrix for the kinds the
+// registry marks IndicatorMatrix. Only the constructors live here.
 package locksuite
 
 import (
@@ -20,6 +26,7 @@ import (
 	"ollock/internal/goll"
 	"ollock/internal/hsieh"
 	"ollock/internal/ksuh"
+	"ollock/internal/lockcore"
 	"ollock/internal/mcs"
 	"ollock/internal/obs"
 	"ollock/internal/rind"
@@ -63,30 +70,85 @@ type Upgrader interface {
 	Downgrade()
 }
 
-// Locks enumerates every implementation in the module: the three OLL
-// locks, the four prior-work baselines, the naive centralized lock, and
-// the standard library's RWMutex as an external reference point.
-var Locks = []Impl{
-	{Name: "goll", New: newGOLL, NewStats: newGOLLStats, Upgradable: true},
-	{Name: "foll", New: newFOLL, NewStats: newFOLLStats},
-	{Name: "roll", New: newROLL, NewStats: newROLLStats},
-	{Name: "ksuh", New: newKSUH},
-	{Name: "mcs-rw", New: newMCSRW},
-	{Name: "solaris", New: newSolaris},
-	{Name: "hsieh", New: newHsieh},
-	{Name: "central", New: newCentral},
-	{Name: "sync.RWMutex", New: newStdRW},
-	{Name: "bravo-goll", New: newBravoGOLL, NewStats: newBravoGOLLStats},
-	{Name: "bravo-roll", New: newBravoROLL, NewStats: newBravoROLLStats},
-	// The lock × read-indicator matrix (ollock.WithIndicator): each OLL
-	// lock over the two non-default rind implementations. The plain
-	// goll/foll/roll entries above cover the default C-SNZI indicator.
-	{Name: "goll-central", New: newGOLLInd(rind.CentralFactory()), Upgradable: true},
-	{Name: "goll-sharded", New: newGOLLInd(rind.ShardedFactory(0)), Upgradable: true},
-	{Name: "foll-central", New: newFOLLInd(rind.CentralFactory())},
-	{Name: "foll-sharded", New: newFOLLInd(rind.ShardedFactory(0))},
-	{Name: "roll-central", New: newROLLInd(rind.CentralFactory())},
-	{Name: "roll-sharded", New: newROLLInd(rind.ShardedFactory(0))},
+// ctors maps registry kind names to constructors; statCtors to the
+// instrumented variants (absent for uninstrumented kinds). A sync test
+// in the module root asserts these tables and the registry agree.
+var ctors = map[string]func(maxProcs int) ProcMaker{
+	"goll":       newGOLL,
+	"foll":       newFOLL,
+	"roll":       newROLL,
+	"ksuh":       newKSUH,
+	"mcs-rw":     newMCSRW,
+	"solaris":    newSolaris,
+	"hsieh":      newHsieh,
+	"central":    newCentral,
+	"bravo-goll": newBravoGOLL,
+	"bravo-roll": newBravoROLL,
+}
+
+var statCtors = map[string]func(maxProcs int) (ProcMaker, *obs.Stats){
+	"goll":       newGOLLStats,
+	"foll":       newFOLLStats,
+	"roll":       newROLLStats,
+	"bravo-goll": newBravoGOLLStats,
+	"bravo-roll": newBravoROLLStats,
+}
+
+// indCtors builds the read-indicator matrix entries for the kinds the
+// registry marks IndicatorMatrix.
+var indCtors = map[string]func(rind.Factory) func(int) ProcMaker{
+	"goll": newGOLLInd,
+	"foll": newFOLLInd,
+	"roll": newROLLInd,
+}
+
+// matrixFactory maps a lockcore.MatrixIndicators name to its rind
+// factory.
+func matrixFactory(name string) rind.Factory {
+	switch name {
+	case "central":
+		return rind.CentralFactory()
+	case "sharded":
+		return rind.ShardedFactory(0)
+	default:
+		panic("locksuite: unknown matrix indicator " + name)
+	}
+}
+
+// Locks enumerates every implementation in the module, generated from
+// the kind registry: the three OLL locks, the prior-work baselines,
+// the BRAVO-biased wrappers, the standard library's RWMutex as an
+// external reference point, and the lock × read-indicator matrix
+// (each IndicatorMatrix kind over the two non-default rind
+// implementations; the plain entries cover the default C-SNZI).
+var Locks = buildLocks()
+
+func buildLocks() []Impl {
+	descs := lockcore.Descs()
+	out := make([]Impl, 0, len(descs)+1+3*len(lockcore.MatrixIndicators()))
+	for _, d := range descs {
+		out = append(out, Impl{
+			Name:       d.Name,
+			New:        ctors[d.Name],
+			NewStats:   statCtors[d.Name],
+			Upgradable: d.Caps.Upgrade,
+		})
+	}
+	out = append(out, Impl{Name: "sync.RWMutex", New: newStdRW})
+	for _, d := range descs {
+		if !d.IndicatorMatrix {
+			continue
+		}
+		build := indCtors[d.Name]
+		for _, ind := range lockcore.MatrixIndicators() {
+			out = append(out, Impl{
+				Name:       d.Name + "-" + ind,
+				New:        build(matrixFactory(ind)),
+				Upgradable: d.Caps.Upgrade,
+			})
+		}
+	}
+	return out
 }
 
 // ByName returns the implementation with the given name, or nil.
@@ -199,39 +261,56 @@ func newROLLInd(f rind.Factory) func(int) ProcMaker {
 // --- instrumented adapters ---
 //
 // Each mirrors ollock.WithStats: one obs block per lock instance, its
-// scope set matching the facade's statScopes for that kind, shared
-// across the BRAVO wrapper and its base so one Snapshot covers the
-// whole stack.
+// scope set read from the kind's registry descriptor (plus the bravo
+// scope for the pre-biased wrappers), shared across the BRAVO wrapper
+// and its base so one Snapshot covers the whole stack.
+
+// statsFor builds the obs block for a registered kind, deriving the
+// scope set from the kind's descriptor the same way ollock.statScopes
+// does.
+func statsFor(name string) *obs.Stats {
+	d, ok := lockcore.DescOf(name)
+	if !ok {
+		panic("locksuite: unregistered kind " + name)
+	}
+	scopes := append([]string{}, d.Scopes...)
+	if d.ForceBias {
+		scopes = append(scopes, "bravo")
+	}
+	return obs.New(obs.WithName(name), obs.WithScopes(scopes...))
+}
 
 func newGOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
-	st := obs.New(obs.WithName("goll"), obs.WithScopes("csnzi", "goll"))
-	l := goll.New(goll.WithStats(st))
+	st := statsFor("goll")
+	l := goll.New(goll.WithInstr(lockcore.Instr{Stats: st}))
 	return func() Proc { return l.NewProc() }, st
 }
 
 func newFOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
-	st := obs.New(obs.WithName("foll"), obs.WithScopes("csnzi", "foll"))
-	l := foll.New(maxProcs, foll.WithStats(st))
+	st := statsFor("foll")
+	l := foll.New(maxProcs, foll.WithInstr(lockcore.Instr{Stats: st}))
 	return func() Proc { return l.NewProc() }, st
 }
 
 func newROLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
-	st := obs.New(obs.WithName("roll"), obs.WithScopes("csnzi", "roll"))
-	l := roll.New(maxProcs, roll.WithStats(st))
+	st := statsFor("roll")
+	l := roll.New(maxProcs, roll.WithInstr(lockcore.Instr{Stats: st}))
 	return func() Proc { return l.NewProc() }, st
 }
 
 func newBravoGOLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
-	st := obs.New(obs.WithName("bravo-goll"), obs.WithScopes("csnzi", "goll", "bravo"))
-	base := goll.New(goll.WithStats(st))
-	l := bravo.New(func() bravo.BaseProc { return base.NewProc() }, bravo.WithStats(st))
+	st := statsFor("bravo-goll")
+	base := goll.New(goll.WithInstr(lockcore.Instr{Stats: st}))
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() },
+		bravo.WithInstr(lockcore.Instr{Stats: st}))
 	return func() Proc { return l.NewProc() }, st
 }
 
 func newBravoROLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
-	st := obs.New(obs.WithName("bravo-roll"), obs.WithScopes("csnzi", "roll", "bravo"))
-	base := roll.New(maxProcs, roll.WithStats(st))
-	l := bravo.New(func() bravo.BaseProc { return base.NewProc() }, bravo.WithStats(st))
+	st := statsFor("bravo-roll")
+	base := roll.New(maxProcs, roll.WithInstr(lockcore.Instr{Stats: st}))
+	l := bravo.New(func() bravo.BaseProc { return base.NewProc() },
+		bravo.WithInstr(lockcore.Instr{Stats: st}))
 	return func() Proc { return l.NewProc() }, st
 }
 

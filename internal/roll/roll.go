@@ -33,13 +33,10 @@ import (
 	"io"
 	"runtime"
 	"sync/atomic"
-	"time"
 
 	"ollock/internal/atomicx"
-	"ollock/internal/obs"
-	"ollock/internal/park"
+	"ollock/internal/lockcore"
 	"ollock/internal/rind"
-	"ollock/internal/trace"
 )
 
 // Node kinds.
@@ -66,9 +63,10 @@ type Node struct {
 	qNext atomicx.PaddedPointer[Node]
 	qPrev atomicx.PaddedPointer[Node]
 	// flag is the node's grant flag ("spin" in the paper), policy-aware
-	// so blocked threads can yield or park; see internal/park. Its
-	// Blocked bit doubles as the "group still waiting" join condition.
-	flag park.Flag
+	// so blocked threads can yield or park; see internal/park via
+	// lockcore. Its Blocked bit doubles as the "group still waiting"
+	// join condition.
+	flag lockcore.Flag
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -83,14 +81,10 @@ type RWLock struct {
 	ring       []Node
 	procs      atomic.Int64
 	factory    rind.Factory
-	// stats is the optional instrumentation block (nil = off), shared
-	// with every ring node's indicator.
-	stats *obs.Stats
-	// lt is the optional flight-recorder handle (nil = off).
-	lt *trace.LockTrace
-	// pol is the wait policy every blocking site routes through (nil =
-	// pure spinning, the paper's behavior).
-	pol *park.Policy
+	// in is the instrumentation bundle (zero = all off): the stats
+	// block is shared with every ring node's indicator, and the wait
+	// policy routes every blocking site.
+	in lockcore.Instr
 }
 
 // Proc is a per-goroutine handle (one outstanding acquisition at a
@@ -102,40 +96,26 @@ type Proc struct {
 	wNode      *Node
 	departFrom *Node
 	ticket     rind.Ticket
-	// lc is the proc's buffered counter view (nil when the lock is
-	// uninstrumented); the read hot path counts through it so the
-	// shared stats cells are touched only once per obs.FlushEvery
-	// events.
-	lc *obs.Local
-	// tr is the proc's flight-recorder ring (nil when untraced).
-	tr *trace.Local
+	// pi is the proc's instrumentation view (buffered counters +
+	// flight-recorder ring); one predictable branch per site when off.
+	pi lockcore.ProcInstr
 }
 
 // Option configures the lock.
 type Option func(*RWLock)
-
-// WithStats attaches an instrumentation block (see internal/obs). The
-// lock counts group joins, new-node enqueues, overtakes and lastReader
-// hint hits/misses under roll.*, and shares the block with every ring
-// node's C-SNZI (csnzi.* counters).
-func WithStats(s *obs.Stats) Option { return func(l *RWLock) { l.stats = s } }
 
 // WithIndicator substitutes a read-indicator factory (see
 // internal/rind) for the per-node C-SNZIs; every ring-pool node gets
 // its own indicator of the chosen kind.
 func WithIndicator(f rind.Factory) Option { return func(l *RWLock) { l.factory = f } }
 
-// WithTrace attaches a flight-recorder handle (see internal/trace). The
-// lock emits queue/overtake/hint lifecycle events per proc and registers
-// itself as a live-state dumper for the stall watchdog.
-func WithTrace(lt *trace.LockTrace) Option { return func(l *RWLock) { l.lt = lt } }
-
-// WithWaitPolicy selects how blocked threads wait (see internal/park):
-// node grant flags become parking-capable, and the untimed waits
-// (indicator opening, successor linking, deferred close) descend the
-// policy's ladder. A nil policy (the default) spins exactly as the
-// paper does.
-func WithWaitPolicy(pol *park.Policy) Option { return func(l *RWLock) { l.pol = pol } }
+// WithInstr attaches the instrumentation bundle (see internal/lockcore):
+// the stats block (roll.* join/overtake/hint counters, shared with
+// every ring node's csnzi.* counters), the flight-recorder handle
+// (queue/overtake/hint lifecycle events), and the wait policy that
+// makes node grant flags parking-capable. The zero bundle (the default)
+// spins exactly as the paper does, uninstrumented.
+func WithInstr(in lockcore.Instr) Option { return func(l *RWLock) { l.in = in } }
 
 // New returns a ROLL lock sized for maxProcs participating goroutines.
 func New(maxProcs int, opts ...Option) *RWLock {
@@ -153,10 +133,10 @@ func New(maxProcs int, opts ...Option) *RWLock {
 		n := &l.ring[i]
 		n.kind = kindReader
 		n.ringNext = &l.ring[(i+1)%maxProcs]
-		n.ind = rind.Instrument(l.factory(), l.stats)
+		n.ind = rind.Instrument(l.factory(), l.in.Stats)
 		n.ind.CloseIfEmpty() // not enqueued => closed
 	}
-	l.lt.AddDumper(l)
+	l.in.AddDumper(l)
 	return l
 }
 
@@ -171,8 +151,7 @@ func (l *RWLock) NewProc() *Proc {
 		id:    id,
 		rNode: &l.ring[id],
 		wNode: &Node{kind: kindWriter},
-		lc:    l.stats.NewLocal(id),
-		tr:    l.lt.NewLocal(id),
+		pi:    l.in.NewProc(id),
 	}
 }
 
@@ -202,12 +181,12 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 	if n.kind != kindReader || !n.flag.Blocked() {
 		return false
 	}
-	t := n.ind.ArriveLocal(p.id, p.lc)
+	t := n.ind.ArriveLocal(p.id, p.pi.LC)
 	if !t.Arrived() {
 		return false
 	}
-	p.lc.Inc(obs.ROLLOvertake)
-	p.tr.Emit(trace.KindOvertake, 0, 0)
+	p.pi.Inc(lockcore.ROLLOvertake)
+	p.pi.Emit(lockcore.KindOvertake, 0, 0)
 	// Refresh the hint only when it actually changes: with one waiting
 	// group at a time, an unconditional store would make the hint word a
 	// globally contended line written by every joining reader.
@@ -216,11 +195,11 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 	}
 	p.departFrom = n
 	p.ticket = t
-	if p.tr != nil && n.flag.Blocked() {
-		p.tr.Begin(trace.PhaseSpinWait)
+	if p.pi.Tracing() && n.flag.Blocked() {
+		p.pi.Begin(lockcore.PhaseSpinWait)
 	}
-	n.flag.Wait(p.l.pol, p.id, p.tr)
-	p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
+	n.flag.Wait(p.l.in.Wait, p.id, p.pi.TR)
+	p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 	return true
 }
 
@@ -228,7 +207,7 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 // waiting reader group over enqueuing behind writers.
 func (p *Proc) RLock() {
 	l := p.l
-	t0 := p.tr.Now()
+	t0 := p.pi.Now()
 	var rNode *Node
 	defer func() {
 		if rNode != nil {
@@ -239,12 +218,12 @@ func (p *Proc) RLock() {
 		// Fast path: the hint points at the last known waiting group.
 		if h := l.lastReader.Load(); h != nil {
 			if p.tryJoinWaiting(h, t0) {
-				p.lc.Inc(obs.ROLLHintHit)
-				p.tr.Emit(trace.KindHintHit, 0, 0)
+				p.pi.Inc(lockcore.ROLLHintHit)
+				p.pi.Emit(lockcore.KindHintHit, 0, 0)
 				return
 			}
-			p.lc.Inc(obs.ROLLHintMiss)
-			p.tr.Emit(trace.KindHintMiss, 0, 0)
+			p.pi.Inc(lockcore.ROLLHintMiss)
+			p.pi.Emit(lockcore.KindHintMiss, 0, 0)
 			l.lastReader.CompareAndSwap(h, nil)
 		}
 		tail := l.tail.Load()
@@ -259,39 +238,39 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				continue
 			}
-			p.lc.Inc(obs.ROLLReadEnqueue)
-			p.tr.Emit(trace.KindGroupEnqueue, 0, 0)
+			p.pi.Inc(lockcore.ROLLReadEnqueue)
+			p.pi.Emit(lockcore.KindGroupEnqueue, 0, 0)
 			rNode.ind.Open()
-			t := rNode.ind.ArriveLocal(p.id, p.lc)
+			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
 				rNode = nil
-				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			rNode = nil // in queue; the closing writer recycles it
 
 		case tail.kind == kindReader:
 			// Tail is a reader node: join it directly (same as FOLL).
-			t := tail.ind.ArriveLocal(p.id, p.lc)
+			t := tail.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
-				p.lc.Inc(obs.ROLLReadJoin)
+				p.pi.Inc(lockcore.ROLLReadJoin)
 				p.departFrom = tail
 				p.ticket = t
 				if tail.flag.Blocked() && l.lastReader.Load() != tail {
 					l.lastReader.Store(tail)
 				}
-				if p.tr != nil && tail.flag.Blocked() {
-					p.tr.Begin(trace.PhaseSpinWait)
+				if p.pi.Tracing() && tail.flag.Blocked() {
+					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				tail.flag.Wait(l.pol, p.id, p.tr)
-				p.tr.Acquired(trace.KindReadAcquired, t0, trace.RouteJoin)
+				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 				return
 			}
 			// Closed: tail changed; retry.
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 
 		default:
 			// Tail is a writer: search backward for a waiting reader
@@ -317,25 +296,25 @@ func (p *Proc) RLock() {
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				continue
 			}
-			p.lc.Inc(obs.ROLLReadEnqueue)
-			p.tr.Emit(trace.KindGroupEnqueue, 0, 1)
+			p.pi.Inc(lockcore.ROLLReadEnqueue)
+			p.pi.Emit(lockcore.KindGroupEnqueue, 0, 1)
 			tail.qNext.Store(rNode)
 			rNode.ind.Open()
-			t := rNode.ind.ArriveLocal(p.id, p.lc)
+			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
 				p.departFrom = rNode
 				p.ticket = t
 				l.lastReader.Store(rNode)
 				node := rNode
 				rNode = nil
-				if p.tr != nil && node.flag.Blocked() {
-					p.tr.Begin(trace.PhaseSpinWait)
+				if p.pi.Tracing() && node.flag.Blocked() {
+					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				node.flag.Wait(l.pol, p.id, p.tr)
-				p.tr.Acquired(trace.KindReadAcquired, t0, t.TraceRoute())
+				node.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				return
 			}
-			p.tr.Emit(trace.KindArriveFail, 0, 0)
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			rNode = nil
 		}
 	}
@@ -346,55 +325,48 @@ func (p *Proc) RLock() {
 func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
-		p.tr.Released(trace.KindReadReleased)
+		p.pi.Released(lockcore.KindReadReleased)
 		return
 	}
-	p.tr.Emit(trace.KindIndDrain, 0, 0)
+	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
 	succ.qPrev.Store(nil) // succ becomes head
-	succ.flag.Clear(p.l.pol)
+	succ.flag.Clear(p.l.in.Wait)
 	n.qNext.Store(nil)
 	freeReaderNode(n)
-	p.lc.Inc(obs.ROLLNodeRecycle)
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
-	p.tr.Released(trace.KindReadReleased)
+	p.pi.Inc(lockcore.ROLLNodeRecycle)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
+	p.pi.Released(lockcore.KindReadReleased)
 }
 
 // Lock acquires the lock for writing.
 func (p *Proc) Lock() {
 	l := p.l
-	t0 := p.tr.Now()
-	var w0 time.Time
-	if l.stats.Enabled() {
-		w0 = time.Now()
-	}
+	t0 := p.pi.Now()
+	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	w.qPrev.Store(oldTail)
 	if oldTail == nil {
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
 	w.flag.Set(true)
 	oldTail.qNext.Store(w)
-	p.tr.Emit(trace.KindQueueEnqueue, 0, 1)
+	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
-		p.tr.BeginAt(t0, trace.PhaseQueueWait)
-		w.flag.Wait(l.pol, p.id, p.tr)
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
+		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
 	// Reader-node predecessor. First wait out the enqueue/Open window
 	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
-	p.tr.BeginAt(t0, trace.PhaseDrainWait)
-	park.WaitCond(l.pol, p.id, p.tr, func() bool {
+	p.pi.BeginAt(t0, lockcore.PhaseDrainWait)
+	lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool {
 		_, open := oldTail.ind.Query()
 		return open
 	})
@@ -404,27 +376,23 @@ func (p *Proc) Lock() {
 	// close only once the group is activated, after which no waiting
 	// reader targets it (the backward search joins only spin==true
 	// nodes).
-	oldTail.flag.Wait(l.pol, p.id, p.tr)
+	oldTail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 	closedEmpty := oldTail.ind.Close()
-	p.tr.Emit(trace.KindIndClose, 0, 0)
+	p.pi.Emit(lockcore.KindIndClose, 0, 0)
 	if closedEmpty {
 		// Group already drained: no reader will signal us; the grant we
 		// just observed (spin false) is ours to take over.
 		w.qPrev.Store(nil) // we are the head now
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
-		l.stats.Inc(obs.ROLLNodeRecycle, p.id)
-		p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteRoot)
-		if l.stats.Enabled() {
-			l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-		}
+		l.in.Inc(lockcore.ROLLNodeRecycle, p.id)
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
-	w.flag.Wait(l.pol, p.id, p.tr)
-	p.tr.Acquired(trace.KindWriteAcquired, t0, trace.RouteDirect)
-	if l.stats.Enabled() {
-		l.stats.Observe(obs.ROLLWriteWait, p.id, time.Since(w0).Nanoseconds())
-	}
+	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 }
 
 // Unlock releases a write acquisition.
@@ -433,17 +401,17 @@ func (p *Proc) Unlock() {
 	w := p.wNode
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
-			p.tr.Released(trace.KindWriteReleased)
+			p.pi.Released(lockcore.KindWriteReleased)
 			return
 		}
-		park.WaitCond(l.pol, p.id, p.tr, func() bool { return w.qNext.Load() != nil })
+		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
 	succ.qPrev.Store(nil)
-	succ.flag.Clear(l.pol)
+	succ.flag.Clear(l.in.Wait)
 	w.qNext.Store(nil)
-	p.tr.Emit(trace.KindHandoff, 0, trace.PackHandoff(1, succ.kind == kindWriter))
-	p.tr.Released(trace.KindWriteReleased)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
+	p.pi.Released(lockcore.KindWriteReleased)
 }
 
 // MaxProcs returns the ring size (diagnostic).

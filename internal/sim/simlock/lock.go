@@ -1,6 +1,7 @@
 package simlock
 
 import (
+	"ollock/internal/lockcore"
 	"ollock/internal/obs"
 	"ollock/internal/sim"
 )
@@ -25,33 +26,86 @@ type Lock interface {
 // Factory names and constructs one simulated lock implementation.
 type Factory struct {
 	Name string
+	// Caps carries the host registry's capability descriptor for the
+	// kind; matrix variants inherit their base kind's capabilities. The
+	// host↔sim sync test asserts these stay equal to lockcore's.
+	Caps lockcore.Caps
 	New  func(m *sim.Machine, maxProcs int) Lock
 }
 
-// Locks enumerates the simulated implementations: the five locks of the
-// paper's Figure 5, plus the MCS fair reader-writer lock, the
-// Hsieh–Weihl lock, the naive centralized lock as additional reference
-// points, and the BRAVO-biased wrappers over the GOLL and ROLL locks.
-var Locks = []Factory{
-	{Name: "goll", New: func(m *sim.Machine, n int) Lock { return NewGOLL(m, n) }},
-	{Name: "foll", New: func(m *sim.Machine, n int) Lock { return NewFOLL(m, n) }},
-	{Name: "roll", New: func(m *sim.Machine, n int) Lock { return NewROLL(m, n) }},
-	{Name: "ksuh", New: func(m *sim.Machine, n int) Lock { return NewKSUH(m, n) }},
-	{Name: "solaris", New: func(m *sim.Machine, n int) Lock { return NewSolaris(m, n) }},
-	{Name: "mcs-rw", New: func(m *sim.Machine, n int) Lock { return NewMCSRW(m, n) }},
-	{Name: "hsieh", New: func(m *sim.Machine, n int) Lock { return NewHsieh(m, n) }},
-	{Name: "central", New: func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
-	{Name: "bravo-goll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewGOLL(m, n)) }},
-	{Name: "bravo-roll", New: func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewROLL(m, n)) }},
-	// The lock × read-indicator matrix (mirrors the real locksuite
-	// entries): each OLL lock over the two non-default indicators. The
-	// plain goll/foll/roll entries cover the default C-SNZI.
-	{Name: "goll-central", New: func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-central", CentralIndicator) }},
-	{Name: "goll-sharded", New: func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-sharded", ShardedIndicator) }},
-	{Name: "foll-central", New: func(m *sim.Machine, n int) Lock { return NewFOLLInd(m, n, "foll-central", CentralIndicator) }},
-	{Name: "foll-sharded", New: func(m *sim.Machine, n int) Lock { return NewFOLLInd(m, n, "foll-sharded", ShardedIndicator) }},
-	{Name: "roll-central", New: func(m *sim.Machine, n int) Lock { return NewROLLInd(m, n, "roll-central", CentralIndicator) }},
-	{Name: "roll-sharded", New: func(m *sim.Machine, n int) Lock { return NewROLLInd(m, n, "roll-sharded", ShardedIndicator) }},
+// ctors maps registry kind names to simulated constructors; matrixCtors
+// to the indicator-matrix variants for the kinds the registry marks
+// IndicatorMatrix. Only the constructors live here — the Locks table
+// itself is generated from lockcore.Descs() so the sim enumerates
+// exactly the host's kinds, in the host's order.
+var ctors = map[string]func(m *sim.Machine, n int) Lock{
+	"goll":       func(m *sim.Machine, n int) Lock { return NewGOLL(m, n) },
+	"foll":       func(m *sim.Machine, n int) Lock { return NewFOLL(m, n) },
+	"roll":       func(m *sim.Machine, n int) Lock { return NewROLL(m, n) },
+	"ksuh":       func(m *sim.Machine, n int) Lock { return NewKSUH(m, n) },
+	"mcs-rw":     func(m *sim.Machine, n int) Lock { return NewMCSRW(m, n) },
+	"solaris":    func(m *sim.Machine, n int) Lock { return NewSolaris(m, n) },
+	"hsieh":      func(m *sim.Machine, n int) Lock { return NewHsieh(m, n) },
+	"central":    func(m *sim.Machine, n int) Lock { return NewCentral(m, n) },
+	"bravo-goll": func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewGOLL(m, n)) },
+	"bravo-roll": func(m *sim.Machine, n int) Lock { return NewBravo(m, n, NewROLL(m, n)) },
+}
+
+var matrixCtors = map[string]func(m *sim.Machine, n int, name, ind string) Lock{
+	"goll": func(m *sim.Machine, n int, name, ind string) Lock { return NewGOLLInd(m, n, name, matrixKind(ind)) },
+	"foll": func(m *sim.Machine, n int, name, ind string) Lock { return NewFOLLInd(m, n, name, matrixKind(ind)) },
+	"roll": func(m *sim.Machine, n int, name, ind string) Lock { return NewROLLInd(m, n, name, matrixKind(ind)) },
+}
+
+// matrixKind maps a lockcore.MatrixIndicators name to the simulated
+// indicator factory.
+func matrixKind(name string) IndicatorFactory {
+	switch name {
+	case "central":
+		return CentralIndicator
+	case "sharded":
+		return ShardedIndicator
+	default:
+		panic("simlock: unknown matrix indicator " + name)
+	}
+}
+
+// Locks enumerates the simulated implementations, generated from the
+// host kind registry (internal/lockcore): one entry per registered
+// kind in registry order, then the lock × read-indicator matrix
+// (mirroring the real locksuite entries — each OLL lock over the two
+// non-default indicators; the plain goll/foll/roll entries cover the
+// default C-SNZI).
+var Locks = buildLocks()
+
+func buildLocks() []Factory {
+	descs := lockcore.Descs()
+	out := make([]Factory, 0, len(descs)+3*len(lockcore.MatrixIndicators()))
+	for _, d := range descs {
+		ctor, ok := ctors[d.Name]
+		if !ok {
+			panic("simlock: no simulated constructor for registered kind " + d.Name)
+		}
+		out = append(out, Factory{Name: d.Name, Caps: d.Caps, New: ctor})
+	}
+	for _, d := range descs {
+		if !d.IndicatorMatrix {
+			continue
+		}
+		build := matrixCtors[d.Name]
+		for _, ind := range lockcore.MatrixIndicators() {
+			name := d.Name + "-" + ind
+			indName := ind
+			out = append(out, Factory{
+				Name: name,
+				Caps: d.Caps,
+				New: func(m *sim.Machine, n int) Lock {
+					return build(m, n, name, indName)
+				},
+			})
+		}
+	}
+	return out
 }
 
 // StatsOf returns a simulated lock's obs counter block, or nil for
@@ -75,13 +129,14 @@ func ByName(name string) *Factory {
 	return nil
 }
 
-// Figure5Locks lists the five locks that appear in the paper's Figure 5,
-// in its legend order.
+// Figure5Locks lists the locks that appear in the paper's Figure 5, in
+// its legend order, derived from the registry's Figure5 marker.
 func Figure5Locks() []Factory {
-	names := []string{"goll", "foll", "roll", "ksuh", "solaris"}
-	out := make([]Factory, 0, len(names))
-	for _, n := range names {
-		out = append(out, *ByName(n))
+	var out []Factory
+	for _, d := range lockcore.Descs() {
+		if d.Figure5 {
+			out = append(out, *ByName(d.Name))
+		}
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"ollock/internal/goll"
 	"ollock/internal/hsieh"
 	"ollock/internal/ksuh"
+	"ollock/internal/lockcore"
 	"ollock/internal/mcs"
 	"ollock/internal/obs"
 	"ollock/internal/park"
@@ -68,41 +69,15 @@ func NewGOLLWithCSNZI(c *CSNZI) *GOLLLock {
 	return &GOLLLock{l: goll.New(goll.WithCSNZI(c))}
 }
 
-// GOLLProc is the GOLL per-goroutine handle.
-type GOLLProc struct{ p *goll.Proc }
+// GOLLProc is the GOLL per-goroutine handle: RLock/RUnlock and
+// Lock/Unlock, the Upgrader pair (TryUpgrade/Downgrade), the
+// non-blocking TryRLock/TryLock, and SetPriority. It aliases the
+// algorithm package's Proc directly — the facade adds no per-call
+// indirection.
+type GOLLProc = goll.Proc
 
 // NewProc returns a handle for the calling goroutine.
-func (l *GOLLLock) NewProc() Proc { return &GOLLProc{p: l.l.NewProc()} }
-
-// RLock acquires the lock for reading.
-func (p *GOLLProc) RLock() { p.p.RLock() }
-
-// RUnlock releases a read acquisition.
-func (p *GOLLProc) RUnlock() { p.p.RUnlock() }
-
-// Lock acquires the lock for writing.
-func (p *GOLLProc) Lock() { p.p.Lock() }
-
-// Unlock releases a write acquisition.
-func (p *GOLLProc) Unlock() { p.p.Unlock() }
-
-// TryUpgrade converts a read acquisition to a write acquisition iff the
-// caller is the sole holder.
-func (p *GOLLProc) TryUpgrade() bool { return p.p.TryUpgrade() }
-
-// SetPriority sets the priority used when this Proc waits (higher wins;
-// default 0). A strictly-higher-priority waiting writer overtakes
-// waiting readers at hand-off.
-func (p *GOLLProc) SetPriority(priority int) { p.p.SetPriority(priority) }
-
-// TryRLock attempts a read acquisition without waiting.
-func (p *GOLLProc) TryRLock() bool { return p.p.TryRLock() }
-
-// TryLock attempts a write acquisition without waiting.
-func (p *GOLLProc) TryLock() bool { return p.p.TryLock() }
-
-// Downgrade converts a write acquisition to a read acquisition.
-func (p *GOLLProc) Downgrade() { p.p.Downgrade() }
+func (l *GOLLLock) NewProc() Proc { return l.l.NewProc() }
 
 // --- FOLL ---
 
@@ -117,24 +92,13 @@ func (l *FOLLLock) lockStats() *obs.Stats { return l.stats }
 // NewFOLL returns a FOLL lock for up to maxProcs goroutines.
 func NewFOLL(maxProcs int) *FOLLLock { return &FOLLLock{l: foll.New(maxProcs)} }
 
-// FOLLProc is the FOLL per-goroutine handle.
-type FOLLProc struct{ p *foll.Proc }
+// FOLLProc is the FOLL per-goroutine handle, an alias for the
+// algorithm package's Proc.
+type FOLLProc = foll.Proc
 
 // NewProc returns a handle for the calling goroutine (panics beyond
 // maxProcs).
-func (l *FOLLLock) NewProc() Proc { return &FOLLProc{p: l.l.NewProc()} }
-
-// RLock acquires the lock for reading.
-func (p *FOLLProc) RLock() { p.p.RLock() }
-
-// RUnlock releases a read acquisition.
-func (p *FOLLProc) RUnlock() { p.p.RUnlock() }
-
-// Lock acquires the lock for writing.
-func (p *FOLLProc) Lock() { p.p.Lock() }
-
-// Unlock releases a write acquisition.
-func (p *FOLLProc) Unlock() { p.p.Unlock() }
+func (l *FOLLLock) NewProc() Proc { return l.l.NewProc() }
 
 // --- ROLL ---
 
@@ -149,24 +113,13 @@ func (l *ROLLLock) lockStats() *obs.Stats { return l.stats }
 // NewROLL returns a ROLL lock for up to maxProcs goroutines.
 func NewROLL(maxProcs int) *ROLLLock { return &ROLLLock{l: roll.New(maxProcs)} }
 
-// ROLLProc is the ROLL per-goroutine handle.
-type ROLLProc struct{ p *roll.Proc }
+// ROLLProc is the ROLL per-goroutine handle, an alias for the
+// algorithm package's Proc.
+type ROLLProc = roll.Proc
 
 // NewProc returns a handle for the calling goroutine (panics beyond
 // maxProcs).
-func (l *ROLLLock) NewProc() Proc { return &ROLLProc{p: l.l.NewProc()} }
-
-// RLock acquires the lock for reading.
-func (p *ROLLProc) RLock() { p.p.RLock() }
-
-// RUnlock releases a read acquisition.
-func (p *ROLLProc) RUnlock() { p.p.RUnlock() }
-
-// Lock acquires the lock for writing.
-func (p *ROLLProc) Lock() { p.p.Lock() }
-
-// Unlock releases a write acquisition.
-func (p *ROLLProc) Unlock() { p.p.Unlock() }
+func (l *ROLLLock) NewProc() Proc { return l.l.NewProc() }
 
 // --- KSUH ---
 
@@ -281,24 +234,13 @@ type HsiehLock struct{ l *hsieh.RWLock }
 // NewHsieh returns a Hsieh–Weihl lock for up to maxProcs goroutines.
 func NewHsieh(maxProcs int) *HsiehLock { return &HsiehLock{l: hsieh.New(maxProcs)} }
 
-// HsiehProc is the per-goroutine handle (it owns one private mutex).
-type HsiehProc struct{ p *hsieh.Proc }
+// HsiehProc is the per-goroutine handle (it owns one private mutex),
+// an alias for the algorithm package's Proc.
+type HsiehProc = hsieh.Proc
 
 // NewProc returns a handle for the calling goroutine (panics beyond
 // maxProcs).
-func (l *HsiehLock) NewProc() Proc { return &HsiehProc{p: l.l.NewProc()} }
-
-// RLock acquires the lock for reading (one private mutex).
-func (p *HsiehProc) RLock() { p.p.RLock() }
-
-// RUnlock releases a read acquisition.
-func (p *HsiehProc) RUnlock() { p.p.RUnlock() }
-
-// Lock acquires the lock for writing (all private mutexes).
-func (p *HsiehProc) Lock() { p.p.Lock() }
-
-// Unlock releases a write acquisition.
-func (p *HsiehProc) Unlock() { p.p.Unlock() }
+func (l *HsiehLock) NewProc() Proc { return l.l.NewProc() }
 
 // --- BRAVO biased wrapper ---
 
@@ -334,7 +276,7 @@ func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol 
 			st = c.lockStats()
 		}
 	}
-	opts := []bravo.Option{bravo.WithStats(st), bravo.WithTrace(lt), bravo.WithWaitPolicy(pol)}
+	opts := []bravo.Option{bravo.WithInstr(lockcore.Instr{Stats: st, Trace: lt, Wait: pol})}
 	if mult > 0 {
 		opts = append(opts, bravo.WithInhibitMultiplier(mult))
 	}
@@ -348,30 +290,15 @@ func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol 
 // the answer can be stale by the time it returns.
 func (l *BravoLock) Biased() bool { return l.l.Biased() }
 
-// BravoProc is the per-goroutine handle of a BravoLock.
-type BravoProc struct{ p *bravo.Proc }
+// BravoProc is the per-goroutine handle of a BravoLock: RLock takes
+// the biased fast path while the read bias is armed, Lock revokes the
+// bias first, and ReadFastPath reports which path the current read
+// acquisition took. It aliases the wrapper package's Proc directly.
+type BravoProc = bravo.Proc
 
 // NewProc returns a handle for the calling goroutine (subject to the
 // underlying lock's participant limit, if any).
-func (l *BravoLock) NewProc() Proc { return &BravoProc{p: l.l.NewProc()} }
-
-// RLock acquires the lock for reading, via the biased fast path when the
-// read bias is armed.
-func (p *BravoProc) RLock() { p.p.RLock() }
-
-// RUnlock releases a read acquisition.
-func (p *BravoProc) RUnlock() { p.p.RUnlock() }
-
-// Lock acquires the lock for writing, revoking the read bias first if it
-// is armed.
-func (p *BravoProc) Lock() { p.p.Lock() }
-
-// Unlock releases a write acquisition.
-func (p *BravoProc) Unlock() { p.p.Unlock() }
-
-// ReadFastPath reports whether the current read acquisition took the
-// biased fast path. Only meaningful between RLock and RUnlock.
-func (p *BravoProc) ReadFastPath() bool { return p.p.ReadFastPath() }
+func (l *BravoLock) NewProc() Proc { return l.l.NewProc() }
 
 // --- Centralized ---
 

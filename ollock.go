@@ -46,6 +46,7 @@ import (
 
 	"ollock/internal/foll"
 	"ollock/internal/goll"
+	"ollock/internal/lockcore"
 	"ollock/internal/obs"
 	"ollock/internal/park"
 	"ollock/internal/rind"
@@ -115,9 +116,85 @@ const (
 	KindBravoROLL Kind = "bravo-roll"
 )
 
-// Kinds lists every available lock kind, OLL locks first.
+// Kinds lists every available lock kind in registry order, OLL locks
+// first. The list is derived from the kind registry
+// (internal/lockcore) — the single source of truth this facade, the
+// command-line tools, and the simulator's lock table all share.
 func Kinds() []Kind {
-	return []Kind{GOLL, FOLL, ROLL, KSUH, MCSRW, Solaris, Hsieh, Central, KindBravoGOLL, KindBravoROLL}
+	descs := lockcore.Descs()
+	out := make([]Kind, len(descs))
+	for i, d := range descs {
+		out[i] = Kind(d.Name)
+	}
+	return out
+}
+
+// KindInfo describes one lock kind: its name, a one-line summary, and
+// the capability flags that decide which New options it accepts. The
+// command-line tools derive their kind enumerations and help text from
+// this; the values come from the same registry descriptor that drives
+// New's validation, so a capability shown here is exactly a
+// combination New accepts.
+type KindInfo struct {
+	// Kind is the registry name.
+	Kind Kind
+	// Doc is a one-line description of the algorithm.
+	Doc string
+	// Indicator reports whether the kind accepts WithIndicator.
+	Indicator bool
+	// Wait reports whether the kind accepts a non-default WithWait mode.
+	Wait bool
+	// Upgrade reports whether the kind's Procs implement Upgrader.
+	Upgrade bool
+	// Priority reports whether the kind's Procs support SetPriority.
+	Priority bool
+	// BoundedProcs reports whether the kind has a fixed participant
+	// capacity: maxProcs must be >= 1 and at most maxProcs Procs may be
+	// created.
+	BoundedProcs bool
+	// Instrumented reports whether WithStats attaches counters to the
+	// kind (uninstrumented kinds accept the option but record nothing).
+	Instrumented bool
+	// Biased marks the pre-biased wrapper kinds (bravo-*), equivalent
+	// to New of the base kind with WithBias.
+	Biased bool
+	// Figure5 marks the kinds plotted in the paper's Figure 5.
+	Figure5 bool
+}
+
+func kindInfo(d lockcore.KindDesc) KindInfo {
+	return KindInfo{
+		Kind:         Kind(d.Name),
+		Doc:          d.Doc,
+		Indicator:    d.Caps.Indicator,
+		Wait:         d.Caps.Wait,
+		Upgrade:      d.Caps.Upgrade,
+		Priority:     d.Caps.Priority,
+		BoundedProcs: d.Caps.BoundedProcs,
+		Instrumented: d.Caps.Instrumented,
+		Biased:       d.ForceBias,
+		Figure5:      d.Figure5,
+	}
+}
+
+// KindInfos lists every kind's KindInfo, in Kinds() order.
+func KindInfos() []KindInfo {
+	descs := lockcore.Descs()
+	out := make([]KindInfo, len(descs))
+	for i, d := range descs {
+		out[i] = kindInfo(d)
+	}
+	return out
+}
+
+// InfoOf returns the KindInfo for a kind; ok is false for unknown
+// kinds.
+func InfoOf(kind Kind) (KindInfo, bool) {
+	d, ok := lockcore.DescOf(string(kind))
+	if !ok {
+		return KindInfo{}, false
+	}
+	return kindInfo(d), true
 }
 
 // IndicatorKind names a read-indicator implementation (see
@@ -294,21 +371,16 @@ func SnapshotOf(l Lock) (Snapshot, bool) {
 	return c.lockStats().Snapshot(), true
 }
 
-// statScopes returns the obs counter scopes a lock kind reports:
-// every OLL lock carries its own scope plus the C-SNZI substrate, a
-// biased wrapper adds the bravo scope on top, and a non-spin wait
-// policy adds the park scope (pure spinning emits no park events, so
-// the default keeps the historical name set exactly). Baseline kinds
-// have no instrumentation.
+// statScopes returns the obs counter scopes a lock kind reports,
+// read from its registry descriptor: every OLL lock carries its own
+// scope plus the C-SNZI substrate, a biased wrapper adds the bravo
+// scope on top, and a non-spin wait policy adds the park scope (pure
+// spinning emits no park events, so the default keeps the historical
+// name set exactly). Baseline kinds have no instrumentation.
 func statScopes(kind Kind, bias, parked bool) []string {
 	var s []string
-	switch kind {
-	case GOLL, KindBravoGOLL:
-		s = []string{"csnzi", "goll"}
-	case FOLL:
-		s = []string{"csnzi", "foll"}
-	case ROLL, KindBravoROLL:
-		s = []string{"csnzi", "roll"}
+	if d, ok := lockcore.DescOf(string(kind)); ok {
+		s = append(s, d.Scopes...)
 	}
 	if bias {
 		s = append(s, "bravo")
@@ -321,26 +393,35 @@ func statScopes(kind Kind, bias, parked bool) []string {
 
 // New creates a lock of the given kind sized for maxProcs participating
 // goroutines. GOLL, KSUH, MCSRW, Solaris and Central ignore maxProcs
-// (they have no fixed capacity); FOLL, ROLL and Hsieh panic if more than
-// maxProcs Procs are created. Options apply to any kind: WithBias wraps
-// the result in the BRAVO biased reader fast path.
+// (they have no fixed capacity); FOLL, ROLL and Hsieh admit at most
+// maxProcs Procs and New reports an error unless maxProcs >= 1. Options
+// apply to any kind: WithBias wraps the result in the BRAVO biased
+// reader fast path.
+//
+// Kind dispatch and option validation are driven by the kind registry
+// (internal/lockcore): each kind's descriptor says which options it
+// takes (see KindInfos), and New rejects an inapplicable option with a
+// uniform error naming the kind and the rejected value.
 func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	var cfg newConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	bias := cfg.bias || kind == KindBravoGOLL || kind == KindBravoROLL
 	wmode, err := parkMode(cfg.wait)
 	if err != nil {
 		return nil, err
 	}
+	desc, ok := lockcore.DescOf(string(kind))
+	if !ok {
+		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
+	}
+	bias := cfg.bias || desc.ForceBias
 	parked := wmode != park.ModeSpin
-	if parked {
-		switch kind {
-		case GOLL, FOLL, ROLL, KindBravoGOLL, KindBravoROLL, Central:
-		default:
-			return nil, fmt.Errorf("ollock: lock kind %q does not take a wait policy (%q)", kind, cfg.wait)
-		}
+	if parked && !desc.Caps.Wait {
+		return nil, fmt.Errorf("ollock: lock kind %q does not take a wait policy (%q)", kind, cfg.wait)
+	}
+	if desc.Caps.BoundedProcs && maxProcs < 1 {
+		return nil, fmt.Errorf("ollock: lock kind %q requires maxProcs >= 1 (got %d)", kind, maxProcs)
 	}
 	var st *obs.Stats
 	if cfg.withStats {
@@ -368,48 +449,18 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	if err != nil {
 		return nil, err
 	}
-	if factory != nil {
-		switch kind {
-		case GOLL, FOLL, ROLL, KindBravoGOLL, KindBravoROLL:
-		default:
-			return nil, fmt.Errorf("ollock: lock kind %q does not take a read indicator (%q)", kind, cfg.indicator)
-		}
+	if factory != nil && !desc.Caps.Indicator {
+		return nil, fmt.Errorf("ollock: lock kind %q does not take a read indicator (%q)", kind, cfg.indicator)
 	}
-	var base Lock
-	switch kind {
-	case GOLL, KindBravoGOLL:
-		gopts := []goll.Option{goll.WithStats(st), goll.WithTrace(cfg.lt), goll.WithWaitPolicy(pol)}
-		if factory != nil {
-			gopts = append(gopts, goll.WithIndicator(factory()))
-		}
-		base = &GOLLLock{l: goll.New(gopts...), stats: st}
-	case FOLL:
-		fopts := []foll.Option{foll.WithStats(st), foll.WithTrace(cfg.lt), foll.WithWaitPolicy(pol)}
-		if factory != nil {
-			fopts = append(fopts, foll.WithIndicator(factory))
-		}
-		base = &FOLLLock{l: foll.New(maxProcs, fopts...), stats: st}
-	case ROLL, KindBravoROLL:
-		ropts := []roll.Option{roll.WithStats(st), roll.WithTrace(cfg.lt), roll.WithWaitPolicy(pol)}
-		if factory != nil {
-			ropts = append(ropts, roll.WithIndicator(factory))
-		}
-		base = &ROLLLock{l: roll.New(maxProcs, ropts...), stats: st}
-	case KSUH:
-		base = NewKSUH()
-	case MCSRW:
-		base = NewMCSRW()
-	case Solaris:
-		base = NewSolaris()
-	case Hsieh:
-		base = NewHsieh(maxProcs)
-	case Central:
-		cl := NewCentral()
-		cl.l.SetWaitPolicy(pol)
-		base = cl
-	default:
-		return nil, fmt.Errorf("ollock: unknown lock kind %q", kind)
+	baseName := desc.Name
+	if desc.ForceBias {
+		baseName = desc.BiasBase
 	}
+	build, ok := builders[baseName]
+	if !ok {
+		return nil, fmt.Errorf("ollock: lock kind %q has no registered constructor", kind)
+	}
+	base := build(maxProcs, buildArgs{st: st, lt: cfg.lt, pol: pol, factory: factory})
 	if cfg.withStats && cfg.statsName != "" {
 		st.PublishExpvar()
 	}
@@ -420,6 +471,59 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol), nil
 	}
 	return base, nil
+}
+
+// buildArgs carries the cross-cutting pieces New assembles — the stats
+// block, trace handle, wait policy, and read-indicator factory — into a
+// kind's registered constructor.
+type buildArgs struct {
+	st      *obs.Stats
+	lt      *trace.LockTrace
+	pol     *park.Policy
+	factory rind.Factory
+}
+
+// instr bundles the instrumentation arguments into the lockcore.Instr
+// the algorithm packages take.
+func (a buildArgs) instr() lockcore.Instr {
+	return lockcore.Instr{Stats: a.st, Trace: a.lt, Wait: a.pol}
+}
+
+// builders maps base kind names to constructors. The bravo-* wrapper
+// kinds have no entry — New dispatches them through their descriptor's
+// BiasBase and applies the wrapper afterwards. A sync test asserts
+// every registered kind resolves to a builder.
+var builders = map[string]func(maxProcs int, a buildArgs) Lock{
+	"goll": func(_ int, a buildArgs) Lock {
+		gopts := []goll.Option{goll.WithInstr(a.instr())}
+		if a.factory != nil {
+			gopts = append(gopts, goll.WithIndicator(a.factory()))
+		}
+		return &GOLLLock{l: goll.New(gopts...), stats: a.st}
+	},
+	"foll": func(n int, a buildArgs) Lock {
+		fopts := []foll.Option{foll.WithInstr(a.instr())}
+		if a.factory != nil {
+			fopts = append(fopts, foll.WithIndicator(a.factory))
+		}
+		return &FOLLLock{l: foll.New(n, fopts...), stats: a.st}
+	},
+	"roll": func(n int, a buildArgs) Lock {
+		ropts := []roll.Option{roll.WithInstr(a.instr())}
+		if a.factory != nil {
+			ropts = append(ropts, roll.WithIndicator(a.factory))
+		}
+		return &ROLLLock{l: roll.New(n, ropts...), stats: a.st}
+	},
+	"ksuh":    func(int, buildArgs) Lock { return NewKSUH() },
+	"mcs-rw":  func(int, buildArgs) Lock { return NewMCSRW() },
+	"solaris": func(int, buildArgs) Lock { return NewSolaris() },
+	"hsieh":   func(n int, _ buildArgs) Lock { return NewHsieh(n) },
+	"central": func(_ int, a buildArgs) Lock {
+		cl := NewCentral()
+		cl.l.SetWaitPolicy(a.pol)
+		return cl
+	},
 }
 
 // indicatorFactory maps an IndicatorKind to a rind.Factory, or nil for

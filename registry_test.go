@@ -1,0 +1,269 @@
+package ollock_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ollock"
+	"ollock/internal/lockcore"
+	"ollock/internal/locksuite"
+	"ollock/internal/sim/simlock"
+)
+
+// These tests pin the single-source-of-truth property of the kind
+// registry (internal/lockcore): the public facade, the locksuite
+// correctness battery, and the simulator's lock table must all
+// enumerate exactly the registry's kinds with the registry's
+// capabilities, and New must accept exactly the option combinations
+// the capability flags advertise.
+
+// TestKindsMatchRegistry: ollock.Kinds and ollock.KindInfos are the
+// registry, verbatim and in order.
+func TestKindsMatchRegistry(t *testing.T) {
+	descs := lockcore.Descs()
+	kinds := ollock.Kinds()
+	if len(kinds) != len(descs) {
+		t.Fatalf("Kinds() has %d entries, registry has %d", len(kinds), len(descs))
+	}
+	infos := ollock.KindInfos()
+	for i, d := range descs {
+		if string(kinds[i]) != d.Name {
+			t.Errorf("Kinds()[%d] = %q, registry says %q", i, kinds[i], d.Name)
+		}
+		info := infos[i]
+		if string(info.Kind) != d.Name {
+			t.Errorf("KindInfos()[%d].Kind = %q, registry says %q", i, info.Kind, d.Name)
+		}
+		if info.Indicator != d.Caps.Indicator || info.Wait != d.Caps.Wait ||
+			info.Upgrade != d.Caps.Upgrade || info.Priority != d.Caps.Priority ||
+			info.BoundedProcs != d.Caps.BoundedProcs || info.Instrumented != d.Caps.Instrumented ||
+			info.Biased != d.ForceBias || info.Figure5 != d.Figure5 {
+			t.Errorf("KindInfos()[%d] (%s) = %+v, disagrees with registry descriptor %+v", i, d.Name, info, d)
+		}
+		got, ok := ollock.InfoOf(ollock.Kind(d.Name))
+		if !ok || got != info {
+			t.Errorf("InfoOf(%q) = %+v ok=%v, want %+v", d.Name, got, ok, info)
+		}
+	}
+	if _, ok := ollock.InfoOf("no-such-kind"); ok {
+		t.Error("InfoOf reports ok for an unknown kind")
+	}
+}
+
+// TestLocksuiteMatchesRegistry: the correctness battery's Locks table
+// is the registry's kinds (names, order, upgradability), plus the
+// sync.RWMutex reference point, plus the lock × indicator matrix.
+func TestLocksuiteMatchesRegistry(t *testing.T) {
+	descs := lockcore.Descs()
+	i := 0
+	for _, d := range descs {
+		impl := locksuite.Locks[i]
+		if impl.Name != d.Name {
+			t.Fatalf("locksuite.Locks[%d] = %q, registry says %q", i, impl.Name, d.Name)
+		}
+		if impl.New == nil {
+			t.Errorf("locksuite kind %q has no constructor", d.Name)
+		}
+		if impl.Upgradable != d.Caps.Upgrade {
+			t.Errorf("locksuite kind %q Upgradable=%v, registry says %v", d.Name, impl.Upgradable, d.Caps.Upgrade)
+		}
+		if (impl.NewStats != nil) != d.Caps.Instrumented {
+			t.Errorf("locksuite kind %q has stats ctor=%v, registry says Instrumented=%v",
+				d.Name, impl.NewStats != nil, d.Caps.Instrumented)
+		}
+		i++
+	}
+	if locksuite.Locks[i].Name != "sync.RWMutex" {
+		t.Fatalf("locksuite.Locks[%d] = %q, want the sync.RWMutex reference entry", i, locksuite.Locks[i].Name)
+	}
+	i++
+	for _, d := range descs {
+		if !d.IndicatorMatrix {
+			continue
+		}
+		for _, ind := range lockcore.MatrixIndicators() {
+			want := d.Name + "-" + ind
+			if locksuite.Locks[i].Name != want {
+				t.Fatalf("locksuite.Locks[%d] = %q, want matrix entry %q", i, locksuite.Locks[i].Name, want)
+			}
+			i++
+		}
+	}
+	if i != len(locksuite.Locks) {
+		t.Errorf("locksuite.Locks has %d extra entries beyond the registry-derived set", len(locksuite.Locks)-i)
+	}
+}
+
+// TestSimlockMatchesRegistry: the simulator's lock table enumerates
+// the registry's kinds with the registry's capabilities, then the same
+// matrix entries, so every host experiment has a simulated twin.
+func TestSimlockMatchesRegistry(t *testing.T) {
+	descs := lockcore.Descs()
+	i := 0
+	for _, d := range descs {
+		f := simlock.Locks[i]
+		if f.Name != d.Name {
+			t.Fatalf("simlock.Locks[%d] = %q, registry says %q", i, f.Name, d.Name)
+		}
+		if f.Caps != d.Caps {
+			t.Errorf("simlock kind %q Caps=%+v, registry says %+v", d.Name, f.Caps, d.Caps)
+		}
+		if f.New == nil {
+			t.Errorf("simlock kind %q has no constructor", d.Name)
+		}
+		i++
+	}
+	for _, d := range descs {
+		if !d.IndicatorMatrix {
+			continue
+		}
+		for _, ind := range lockcore.MatrixIndicators() {
+			want := d.Name + "-" + ind
+			f := simlock.Locks[i]
+			if f.Name != want {
+				t.Fatalf("simlock.Locks[%d] = %q, want matrix entry %q", i, f.Name, want)
+			}
+			if f.Caps != d.Caps {
+				t.Errorf("simlock matrix entry %q Caps=%+v, want base kind's %+v", want, f.Caps, d.Caps)
+			}
+			i++
+		}
+	}
+	if i != len(simlock.Locks) {
+		t.Errorf("simlock.Locks has %d extra entries beyond the registry-derived set", len(simlock.Locks)-i)
+	}
+
+	var wantFig5 []string
+	for _, d := range descs {
+		if d.Figure5 {
+			wantFig5 = append(wantFig5, d.Name)
+		}
+	}
+	var gotFig5 []string
+	for _, f := range simlock.Figure5Locks() {
+		gotFig5 = append(gotFig5, f.Name)
+	}
+	if strings.Join(gotFig5, ",") != strings.Join(wantFig5, ",") {
+		t.Errorf("simlock.Figure5Locks() = %v, registry says %v", gotFig5, wantFig5)
+	}
+}
+
+// smoke exercises a constructed lock hard enough to matter under
+// -race: concurrent readers against a writer, then an upgrade round
+// trip where the kind advertises one.
+func smoke(t *testing.T, l ollock.Lock, info ollock.KindInfo, biased bool) {
+	t.Helper()
+	var wg sync.WaitGroup
+	shared := 0
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := l.NewProc()
+			for i := 0; i < 50; i++ {
+				p.RLock()
+				_ = shared
+				p.RUnlock()
+			}
+		}()
+	}
+	pw := l.NewProc()
+	for i := 0; i < 25; i++ {
+		pw.Lock()
+		shared++
+		pw.Unlock()
+	}
+	wg.Wait()
+
+	// The Upgrader capability: advertised procs must implement it and
+	// complete a TryUpgrade/Downgrade round trip. The bravo-wrapped
+	// construction hides the base lock's upgrade path, so only unbiased
+	// constructions are held to it.
+	p := l.NewProc()
+	u, ok := p.(ollock.Upgrader)
+	if !biased {
+		if ok != info.Upgrade {
+			t.Fatalf("proc implements Upgrader=%v, registry says %v", ok, info.Upgrade)
+		}
+		if ok {
+			p.RLock()
+			if !u.TryUpgrade() {
+				t.Fatal("sole-holder TryUpgrade failed")
+			}
+			u.Downgrade()
+			p.RUnlock()
+		}
+	}
+}
+
+// TestCapabilityMatrix constructs every kind × option combination: New
+// must either reject it with the uniform capability error naming the
+// kind, or return a lock that survives a concurrent smoke test. No
+// third outcome (panic, nil-nil, misworded error) is allowed.
+func TestCapabilityMatrix(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		info := info
+		for _, ind := range ollock.IndicatorKinds() {
+			for _, wait := range ollock.WaitModes() {
+				for _, bias := range []bool{false, true} {
+					ind, wait, bias := ind, wait, bias
+					name := fmt.Sprintf("%s/%s/%s/bias=%v", info.Kind, ind, wait, bias)
+					t.Run(name, func(t *testing.T) {
+						opts := []ollock.Option{
+							ollock.WithIndicator(ind),
+							ollock.WithWait(wait),
+							ollock.WithStats(""),
+						}
+						if bias {
+							opts = append(opts, ollock.WithBias())
+						}
+						l, err := ollock.New(info.Kind, 4, opts...)
+						wantIndErr := ind != ollock.IndicatorCSNZI && !info.Indicator
+						wantWaitErr := wait != ollock.WaitSpin && !info.Wait
+						if wantIndErr || wantWaitErr {
+							if err == nil {
+								t.Fatalf("New accepted an option the registry says %q does not take", info.Kind)
+							}
+							msg := err.Error()
+							okMsg := (wantWaitErr && strings.Contains(msg, "does not take a wait policy")) ||
+								(wantIndErr && strings.Contains(msg, "does not take a read indicator"))
+							if !okMsg || !strings.Contains(msg, string(info.Kind)) {
+								t.Fatalf("capability error %q is not the uniform form naming kind %q", msg, info.Kind)
+							}
+							return
+						}
+						if err != nil {
+							t.Fatalf("New rejected a combination the registry allows: %v", err)
+						}
+						if l == nil {
+							t.Fatal("New returned (nil, nil)")
+						}
+						smoke(t, l, info, bias || info.Biased)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedProcsValidated: kinds with a fixed participant capacity
+// reject a non-positive maxProcs with a clean error instead of
+// panicking in the algorithm constructor.
+func TestBoundedProcsValidated(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		for _, n := range []int{0, -1} {
+			l, err := ollock.New(info.Kind, n)
+			if info.BoundedProcs {
+				if err == nil {
+					t.Errorf("New(%s, %d) accepted a non-positive capacity", info.Kind, n)
+				}
+				continue
+			}
+			if err != nil || l == nil {
+				t.Errorf("New(%s, %d) = (%v, %v); unbounded kinds ignore maxProcs", info.Kind, n, l, err)
+			}
+		}
+	}
+}

@@ -13,6 +13,35 @@ import (
 // read-dominated workload. The stats-off side (no block at all) is
 // covered by alloc_test.go; these tests pin the stats-on side.
 
+// TestUninstrumentedPathsZeroAllocs sweeps every kind the registry
+// marks Instrumented and pins the off side of the contract after the
+// lockcore refactor: with no stats block, no tracer, and no wait
+// policy attached, the nil-guarded lockcore helpers must keep both
+// the read and the write fast path allocation-free.
+func TestUninstrumentedPathsZeroAllocs(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		if !info.Instrumented {
+			continue
+		}
+		info := info
+		t.Run(string(info.Kind), func(t *testing.T) {
+			p := ollock.MustNew(info.Kind, 4).NewProc()
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("uninstrumented RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				p.Lock()
+				p.Unlock()
+			}); n != 0 {
+				t.Fatalf("uninstrumented Lock/Unlock allocates %.1f times per op, want 0", n)
+			}
+		})
+	}
+}
+
 func TestReadPathZeroAllocsWithStats(t *testing.T) {
 	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL} {
 		kind := kind
