@@ -1,0 +1,175 @@
+package ollock
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DebugHandler unifies the module's observability surfaces under one
+// HTTP prefix, net/http/pprof-style. Mount it at /debug/ollock/:
+//
+//	mux.Handle("/debug/ollock/", ollock.DebugHandler(prof, met, tr))
+//
+// Endpoints (each answers 404 when its component is nil):
+//
+//	/debug/ollock/              index of everything below
+//	/debug/ollock/profile       contention profile, pprof protobuf
+//	/debug/ollock/holds         hold profile, pprof protobuf
+//	/debug/ollock/folded        folded flamegraph stacks (?metric=hold)
+//	/debug/ollock/metrics       Prometheus/OpenMetrics exposition
+//	/debug/ollock/metrics.json  JSON time series
+//	/debug/ollock/doctor        pathology findings, JSON
+//	/debug/ollock/trace         Chrome trace-event JSON (Perfetto)
+//
+// The profile and folded endpoints take ?seconds=N to serve a delta
+// profile — snapshot, wait N seconds (honouring request cancellation),
+// snapshot again, encode the difference — so
+// `go tool pprof http://host/debug/ollock/profile?seconds=5` sees only
+// the contention of those five seconds. The doctor endpoint takes
+// ?window=D (a Go duration, e.g. 30s) to bound the diagnosed history.
+//
+// Any of the three components may be nil; pass whatever the process
+// actually wires up.
+func DebugHandler(p *Profiler, m *Metrics, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/ollock/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/ollock/" && r.URL.Path != "/debug/ollock" {
+			http.NotFound(w, r)
+			return
+		}
+		serveDebugIndex(w, p, m, t)
+	})
+	mux.HandleFunc("/debug/ollock/profile", serveLockProfile(p, ProfileContention))
+	mux.HandleFunc("/debug/ollock/holds", serveLockProfile(p, ProfileHold))
+	mux.HandleFunc("/debug/ollock/folded", func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "ollock: no profiler attached", http.StatusNotFound)
+			return
+		}
+		metric := ProfileContention
+		if r.URL.Query().Get("metric") == "hold" {
+			metric = ProfileHold
+		}
+		snap, err := debugSnapshot(p, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteFolded(w, metric)
+	})
+	metricsHandler := func(w http.ResponseWriter, r *http.Request) {
+		if m == nil {
+			http.Error(w, "ollock: no metrics pipeline attached", http.StatusNotFound)
+			return
+		}
+		m.Handler().ServeHTTP(w, r)
+	}
+	mux.HandleFunc("/debug/ollock/metrics", metricsHandler)
+	mux.HandleFunc("/debug/ollock/metrics.json", metricsHandler)
+	mux.HandleFunc("/debug/ollock/doctor", func(w http.ResponseWriter, r *http.Request) {
+		if m == nil {
+			http.Error(w, "ollock: no metrics pipeline attached", http.StatusNotFound)
+			return
+		}
+		var window time.Duration
+		if s := r.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "ollock: bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		findings := m.Diagnose(window)
+		type jsonFinding struct {
+			Severity string `json:"severity"`
+			Finding
+		}
+		out := struct {
+			Findings []jsonFinding `json:"findings"`
+		}{Findings: []jsonFinding{}}
+		for _, f := range findings {
+			out.Findings = append(out.Findings, jsonFinding{Severity: f.SeverityName(), Finding: f})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/ollock/trace", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "ollock: no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, t)
+	})
+	return mux
+}
+
+// serveLockProfile serves one pprof endpoint: cumulative by default,
+// delta under ?seconds=N.
+func serveLockProfile(p *Profiler, m ProfileMetric) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "ollock: no profiler attached", http.StatusNotFound)
+			return
+		}
+		snap, err := debugSnapshot(p, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename="ollock-%s.pb.gz"`, m))
+		snap.WriteProfile(w, m)
+	}
+}
+
+// debugSnapshot resolves a request to a profile snapshot: the
+// cumulative profile, or — under ?seconds=N — the delta accumulated
+// over the next N seconds (cancelled early if the client goes away).
+func debugSnapshot(p *Profiler, r *http.Request) (*ProfileSnapshot, error) {
+	sec := r.URL.Query().Get("seconds")
+	if sec == "" {
+		return p.Profile(), nil
+	}
+	n, err := strconv.ParseFloat(sec, 64)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("ollock: bad seconds parameter %q", sec)
+	}
+	before := p.Profile()
+	timer := time.NewTimer(time.Duration(n * float64(time.Second)))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+	return p.Profile().Sub(before), nil
+}
+
+// serveDebugIndex renders the endpoint index, marking which components
+// are wired up in this process.
+func serveDebugIndex(w http.ResponseWriter, p *Profiler, m *Metrics, t *Tracer) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	status := func(on bool) string {
+		if on {
+			return ""
+		}
+		return "  (not attached)"
+	}
+	fmt.Fprintf(w, "ollock debug surface\n\n")
+	fmt.Fprintf(w, "/debug/ollock/profile       pprof contention profile (?seconds=N for a delta)%s\n", status(p != nil))
+	fmt.Fprintf(w, "/debug/ollock/holds         pprof hold profile (?seconds=N for a delta)%s\n", status(p != nil))
+	fmt.Fprintf(w, "/debug/ollock/folded        folded flamegraph stacks (?metric=hold, ?seconds=N)%s\n", status(p != nil))
+	fmt.Fprintf(w, "/debug/ollock/metrics       Prometheus/OpenMetrics exposition%s\n", status(m != nil))
+	fmt.Fprintf(w, "/debug/ollock/metrics.json  JSON time series%s\n", status(m != nil))
+	fmt.Fprintf(w, "/debug/ollock/doctor        pathology findings, JSON (?window=30s)%s\n", status(m != nil))
+	fmt.Fprintf(w, "/debug/ollock/trace         Chrome trace-event JSON for Perfetto%s\n", status(t != nil))
+}

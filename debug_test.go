@@ -1,0 +1,161 @@
+package ollock_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ollock"
+	"ollock/internal/prof"
+)
+
+// debugGet serves one request against the handler and returns the
+// recorder.
+func debugGet(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestDebugHandlerSurface wires all three components, runs a contended
+// workload, and walks every endpoint of the unified debug surface.
+func TestDebugHandlerSurface(t *testing.T) {
+	p := ollock.NewProfiler(1)
+	tr := ollock.NewTracer(0)
+	m := ollock.NewMetrics(ollock.MetricsProfiler(p))
+	l, err := ollock.New("goll", 4,
+		ollock.WithMetrics(m),
+		ollock.WithStats("goll"),
+		ollock.WithProfile(p.Register("goll")),
+		ollock.WithTrace(tr.Register("goll")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profileWorkload(t, l, 1000)
+	m.Sample()
+
+	h := ollock.DebugHandler(p, m, tr)
+
+	rec := debugGet(h, "/debug/ollock/")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("index: code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	for _, want := range []string{"/debug/ollock/profile", "/debug/ollock/holds", "/debug/ollock/folded",
+		"/debug/ollock/metrics", "/debug/ollock/doctor", "/debug/ollock/trace"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("index missing %s", want)
+		}
+	}
+	if strings.Contains(rec.Body.String(), "not attached") {
+		t.Error("index marks a component as missing with all three wired")
+	}
+
+	rec = debugGet(h, "/debug/ollock/profile")
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("profile: code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	parsed, err := prof.Parse(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("profile endpoint body does not parse: %v", err)
+	}
+	if len(parsed.Samples) == 0 || parsed.SampleTypes[0].Type != "contentions" {
+		t.Fatalf("profile endpoint: %d samples, types %+v", len(parsed.Samples), parsed.SampleTypes)
+	}
+
+	rec = debugGet(h, "/debug/ollock/holds")
+	parsed, err = prof.Parse(rec.Body.Bytes())
+	if err != nil || len(parsed.SampleTypes) != 2 || parsed.SampleTypes[0].Type != "holds" {
+		t.Fatalf("holds endpoint: err %v, types %+v", err, parsed.SampleTypes)
+	}
+
+	rec = debugGet(h, "/debug/ollock/folded")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goll;") {
+		t.Fatalf("folded: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := debugGet(h, "/debug/ollock/folded?metric=hold"); rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("folded?metric=hold: code %d empty=%v", rec.Code, rec.Body.Len() == 0)
+	}
+
+	// A sub-second delta profile against live (here: idle) locks still
+	// returns a valid, possibly empty, profile.
+	rec = debugGet(h, "/debug/ollock/profile?seconds=0.05")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delta profile: code %d", rec.Code)
+	}
+	if _, err := prof.Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("delta profile does not parse: %v", err)
+	}
+
+	rec = debugGet(h, "/debug/ollock/metrics")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics: code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), "ollock_") {
+		t.Error("metrics endpoint body has no ollock_ families")
+	}
+	rec = debugGet(h, "/debug/ollock/metrics.json")
+	if rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("metrics.json content type %q", rec.Header().Get("Content-Type"))
+	}
+
+	rec = debugGet(h, "/debug/ollock/doctor")
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("doctor: code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var doc struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("doctor body is not the findings document: %v", err)
+	}
+	if rec := debugGet(h, "/debug/ollock/doctor?window=10s"); rec.Code != http.StatusOK {
+		t.Errorf("doctor?window=10s: code %d", rec.Code)
+	}
+
+	rec = debugGet(h, "/debug/ollock/trace")
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("trace: code %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Error("trace endpoint did not emit valid JSON")
+	}
+}
+
+// TestDebugHandlerErrors pins the failure modes: bad parameters are
+// 400s, unknown subpaths 404, and each endpoint 404s when its
+// component is not wired.
+func TestDebugHandlerErrors(t *testing.T) {
+	p := ollock.NewProfiler(1)
+	m := ollock.NewMetrics()
+	full := ollock.DebugHandler(p, m, ollock.NewTracer(0))
+
+	for _, path := range []string{
+		"/debug/ollock/profile?seconds=abc",
+		"/debug/ollock/profile?seconds=-1",
+		"/debug/ollock/doctor?window=nonsense",
+	} {
+		if rec := debugGet(full, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, rec.Code)
+		}
+	}
+	if rec := debugGet(full, "/debug/ollock/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown subpath = %d, want 404", rec.Code)
+	}
+
+	bare := ollock.DebugHandler(nil, nil, nil)
+	for _, path := range []string{
+		"/debug/ollock/profile", "/debug/ollock/holds", "/debug/ollock/folded",
+		"/debug/ollock/metrics", "/debug/ollock/metrics.json",
+		"/debug/ollock/doctor", "/debug/ollock/trace",
+	} {
+		if rec := debugGet(bare, path); rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s with nothing attached = %d, want 404", path, rec.Code)
+		}
+	}
+	rec := debugGet(bare, "/debug/ollock/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "not attached") {
+		t.Errorf("bare index: code %d, body should mark components missing", rec.Code)
+	}
+}

@@ -221,6 +221,7 @@ func (p *Proc) ReadFastPath() bool { return p.slot != nil }
 func (p *Proc) RLock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
 	if l.bias.Load() != 0 {
 		// Memoized slot first: after settling this CAS is on a line no
 		// other goroutine writes, so the whole fast path touches no
@@ -245,6 +246,7 @@ func (p *Proc) RLock() {
 				p.slot = s
 				p.pi.Inc(lockcore.BravoFastRead)
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteBravoFast)
+				p.pi.ProfAcquired(pt, false)
 				return
 			}
 			// A writer revoked between our publish and re-check:
@@ -295,6 +297,7 @@ func (p *Proc) RUnlock() {
 		p.slot = nil
 		s.Store(nil)
 		p.pi.Released(lockcore.KindReadReleased)
+		p.pi.ProfReleased()
 		return
 	}
 	p.base.RUnlock()
@@ -305,12 +308,19 @@ func (p *Proc) RUnlock() {
 // revocation of the read bias if it is armed (which drains every
 // fast-path reader).
 func (p *Proc) Lock() {
+	// The profiler tick is taken here only for revocation attribution:
+	// when this writer has to revoke the read bias, the cost is charged
+	// to its call site as a contention-only sample. Hold accounting stays
+	// with the base lock (which profiles its own Lock path), so the two
+	// layers never double-count.
+	pt := p.pi.ProfTick()
 	p.base.Lock()
 	if p.l.bias.Load() != 0 {
 		p.pi.Begin(lockcore.PhaseRevoke)
 		drained := p.l.revoke(p.id, p.pi.TR)
 		p.pi.End(lockcore.PhaseRevoke)
 		p.pi.Emit(lockcore.KindBravoRevoke, 0, uint64(drained))
+		p.pi.ProfContended(pt)
 	}
 }
 

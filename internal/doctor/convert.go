@@ -69,6 +69,20 @@ func AttachStalls(windows []Window, stalls []trace.Stall) []Window {
 	return windows
 }
 
+// AttachHotSites resolves each window's hottest contended call site
+// through lookup (the facade binds it to the call-site profiler's
+// snapshot, keyed by the lock's registered name — which the facade
+// keeps equal to the stats name).
+func AttachHotSites(windows []Window, lookup func(lock string) (CallSite, bool)) []Window {
+	for i := range windows {
+		if cs, ok := lookup(windows[i].Lock); ok {
+			site := cs
+			windows[i].HotSite = &site
+		}
+	}
+	return windows
+}
+
 // WindowsFrom samples nothing itself: it reduces the sampler's
 // retained rings to doctor windows spanning roughly the last d.
 func WindowsFrom(s *metrics.Sampler, reg *obs.Registry, d time.Duration) []Window {

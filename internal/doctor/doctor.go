@@ -57,6 +57,9 @@ type Finding struct {
 	Evidence []Evidence `json:"evidence"`
 	// Advice names the module knob that addresses the pathology.
 	Advice string `json:"advice,omitempty"`
+	// CallSite is the hottest contended call site attribution, present
+	// when the window carried one (a call-site profiler was attached).
+	CallSite string `json:"call_site,omitempty"`
 }
 
 // SeverityName surfaces the severity in JSON exports.
@@ -77,6 +80,18 @@ type StallInfo struct {
 	Waited time.Duration
 }
 
+// CallSite is a profiler-attributed call site, already reduced to data
+// (the doctor stays a pure rule engine; the facade formats and attaches
+// these from the call-site profiler's snapshot).
+type CallSite struct {
+	// Site is the rendered call site, e.g. "main.readHot (main.go:42)".
+	Site string
+	// Contentions and DelayNs are the site's rate-scaled contention
+	// totals.
+	Contentions uint64
+	DelayNs     uint64
+}
+
 // Window is the doctor's input: one lock's activity over Seconds of
 // wall time, as counter deltas and histogram windows keyed by the obs
 // dotted names. Plain maps keep scripted scenarios and sim-harness
@@ -87,6 +102,9 @@ type Window struct {
 	Deltas  map[string]uint64
 	Hists   map[string]HistWindow
 	Stalls  []StallInfo
+	// HotSite is the lock's hottest contended call site, when a
+	// call-site profiler was attached (see AttachHotSites).
+	HotSite *CallSite
 }
 
 func (w Window) delta(name string) uint64 { return w.Deltas[name] }
@@ -204,7 +222,7 @@ func ruleWriterStarvation(cfg Config, w Window, sig Signals) []Finding {
 		ev = append(ev, Evidence{Name: "roll.overtake", Value: float64(ot), Unit: "count"})
 		advice = "ROLL reader preference is overtaking writers; switch to FOLL (writer-fair batching) for this workload"
 	}
-	return []Finding{{
+	f := Finding{
 		Rule:     "writer-starvation",
 		Lock:     w.Lock,
 		Severity: Critical,
@@ -212,7 +230,9 @@ func ruleWriterStarvation(cfg Config, w Window, sig Signals) []Finding {
 			float64(worst.P99)/1e6, float64(sig.Reads)/w.Seconds),
 		Evidence: ev,
 		Advice:   advice,
-	}}
+	}
+	attachHotSite(&f, w)
+	return []Finding{f}
 }
 
 func ruleBiasThrash(cfg Config, w Window, sig Signals) []Finding {
@@ -226,7 +246,7 @@ func ruleBiasThrash(cfg Config, w Window, sig Signals) []Finding {
 	if h, ok := w.Hists["bravo.drain.wait"]; ok && h.Count > 0 {
 		ev = append(ev, Evidence{Name: "bravo.drain.wait.p99", Value: float64(h.P99), Unit: "ns"})
 	}
-	return []Finding{{
+	f := Finding{
 		Rule:     "bias-thrash",
 		Lock:     w.Lock,
 		Severity: Warning,
@@ -234,7 +254,9 @@ func ruleBiasThrash(cfg Config, w Window, sig Signals) []Finding {
 			sig.Revocations, sig.RevocationsPerRead),
 		Evidence: ev,
 		Advice:   "raise WithBiasMultiplier to lengthen the inhibition window, or drop WithBias for write-heavy phases",
-	}}
+	}
+	attachHotSite(&f, w)
+	return []Finding{f}
 }
 
 func ruleParkStorm(cfg Config, w Window, sig Signals) []Finding {
@@ -257,6 +279,18 @@ func ruleParkStorm(cfg Config, w Window, sig Signals) []Finding {
 		Evidence: ev,
 		Advice:   "reduce oversubscription, or use WaitArray (TWA) so long-term waiters spin on private slots instead of churning the scheduler",
 	}}
+}
+
+// attachHotSite copies the window's profiler attribution, if any, onto
+// a contention-shaped finding: the call site itself plus its delay as
+// one more piece of evidence.
+func attachHotSite(f *Finding, w Window) {
+	if w.HotSite == nil {
+		return
+	}
+	f.CallSite = w.HotSite.Site
+	f.Evidence = append(f.Evidence,
+		Evidence{Name: "hot.site.delay", Value: float64(w.HotSite.DelayNs), Unit: "ns"})
 }
 
 func ruleIndicatorStall(w Window) []Finding {
@@ -286,6 +320,9 @@ func Report(findings []Finding) string {
 		b = fmt.Appendf(b, "[%s] %s (lock=%s, rule=%s)\n", f.Severity, f.Summary, f.Lock, f.Rule)
 		for _, e := range f.Evidence {
 			b = fmt.Appendf(b, "    %-28s %.4g %s\n", e.Name, e.Value, e.Unit)
+		}
+		if f.CallSite != "" {
+			b = fmt.Appendf(b, "    hottest contended call site: %s\n", f.CallSite)
 		}
 		if f.Advice != "" {
 			b = fmt.Appendf(b, "    advice: %s\n", f.Advice)

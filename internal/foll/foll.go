@@ -179,6 +179,8 @@ func freeReaderNode(n *Node) {
 func (p *Proc) RLock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
+	slow := false
 	var rNode *Node
 	for {
 		tail := l.tail.Load()
@@ -193,6 +195,7 @@ func (p *Proc) RLock() {
 			rNode.flag.Set(false)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
+				slow = true
 				continue // tail changed; retry (keep rNode)
 			}
 			p.pi.Inc(lockcore.FOLLReadEnqueue)
@@ -203,12 +206,14 @@ func (p *Proc) RLock() {
 				p.departFrom = rNode
 				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.ProfAcquired(pt, slow)
 				return
 			}
 			// A writer closed the node between Open and Arrive. The node
 			// is in the queue; the closer owns its cleanup. Retry with a
 			// new node.
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 			rNode = nil
 
 		case tail.kind == kindWriter:
@@ -220,6 +225,7 @@ func (p *Proc) RLock() {
 			rNode.flag.Set(true)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(tail, rNode) {
+				slow = true
 				continue
 			}
 			p.pi.Inc(lockcore.FOLLReadEnqueue)
@@ -235,9 +241,11 @@ func (p *Proc) RLock() {
 				}
 				rNode.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.ProfAcquired(pt, true)
 				return
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 			rNode = nil
 
 		default:
@@ -250,16 +258,19 @@ func (p *Proc) RLock() {
 				}
 				p.departFrom = tail
 				p.ticket = t
-				if p.pi.Tracing() && tail.flag.Blocked() {
+				blocked := tail.flag.Blocked()
+				if p.pi.Tracing() && blocked {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
 				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
+				p.pi.ProfAcquired(pt, slow || blocked)
 				return
 			}
 			// Arrive failed: a writer closed the node after enqueuing
 			// behind it, so the tail must have changed. Retry.
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 		}
 	}
 }
@@ -271,6 +282,7 @@ func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
 		p.pi.Released(lockcore.KindReadReleased)
+		p.pi.ProfReleased()
 		return
 	}
 	// Last departer: the closing writer linked itself before closing, so
@@ -283,6 +295,7 @@ func (p *Proc) RUnlock() {
 	p.pi.Inc(lockcore.FOLLNodeRecycle)
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, true))
 	p.pi.Released(lockcore.KindReadReleased)
+	p.pi.ProfReleased()
 }
 
 // Lock acquires the lock for writing, exactly as in the MCS mutex except
@@ -290,12 +303,14 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
 	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
 	oldTail := l.tail.Swap(w)
 	if oldTail == nil {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return // free lock acquired
 	}
@@ -306,6 +321,7 @@ func (p *Proc) Lock() {
 		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
 		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return
 	}
@@ -327,12 +343,14 @@ func (p *Proc) Lock() {
 		freeReaderNode(oldTail)
 		l.in.Inc(lockcore.FOLLNodeRecycle, p.id)
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 		return
 	}
 	// Readers exist: the last departer will signal us.
 	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
 }
 
@@ -343,6 +361,7 @@ func (p *Proc) Unlock() {
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
 			p.pi.Released(lockcore.KindWriteReleased)
+			p.pi.ProfReleased()
 			return
 		}
 		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
@@ -352,6 +371,7 @@ func (p *Proc) Unlock() {
 	w.qNext.Store(nil) // clean up
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
 	p.pi.Released(lockcore.KindWriteReleased)
+	p.pi.ProfReleased()
 }
 
 // MaxProcs returns the ring size (diagnostic).

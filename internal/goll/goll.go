@@ -119,11 +119,13 @@ func (l *RWLock) NewProc() *Proc {
 func (p *Proc) RLock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
 	slow := false
 	for {
 		p.ticket = l.cs.ArriveLocal(p.id, p.pi.LC)
 		if p.ticket.Arrived() {
 			p.pi.Acquired(lockcore.KindReadAcquired, t0, p.ticket.TraceRoute())
+			p.pi.ProfAcquired(pt, slow)
 			return
 		}
 		if !slow {
@@ -149,6 +151,7 @@ func (p *Proc) RLock() {
 		p.pi.Begin(lockcore.PhaseQueueWait)
 		e.WaitWith(l.in.Wait, p.id, p.pi.TR)
 		p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteDirect)
+		p.pi.ProfAcquired(pt, true)
 		return
 	}
 }
@@ -159,6 +162,7 @@ func (p *Proc) RUnlock() {
 	l := p.l
 	if l.cs.Depart(p.ticket) {
 		p.pi.Released(lockcore.KindReadReleased)
+		p.pi.ProfReleased()
 		return
 	}
 	// The C-SNZI is closed with zero surplus: write-acquired state, to
@@ -179,6 +183,7 @@ func (p *Proc) RUnlock() {
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
 	batch.SignalWith(l.in.Wait)
 	p.pi.Released(lockcore.KindReadReleased)
+	p.pi.ProfReleased()
 }
 
 // Lock acquires the lock for writing: one CAS (CloseIfEmpty) when the
@@ -186,9 +191,11 @@ func (p *Proc) RUnlock() {
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
 	w0 := l.in.SpanStart()
 	if l.cs.CloseIfEmpty() {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 		return
 	}
@@ -199,6 +206,7 @@ func (p *Proc) Lock() {
 		// acquired it.
 		l.meta.Unlock()
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 		return
 	}
@@ -211,6 +219,7 @@ func (p *Proc) Lock() {
 	p.pi.Begin(lockcore.PhaseQueueWait)
 	e.WaitWith(l.in.Wait, p.id, p.pi.TR)
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
 }
 
@@ -225,6 +234,7 @@ func (p *Proc) Unlock() {
 		l.meta.Unlock()
 		p.pi.Emit(lockcore.KindIndOpen, 0, 0)
 		p.pi.Released(lockcore.KindWriteReleased)
+		p.pi.ProfReleased()
 		return
 	}
 	if batch.Kind == waitq.Reader {
@@ -240,6 +250,7 @@ func (p *Proc) Unlock() {
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(batch.Count(), batch.Kind == waitq.Writer))
 	batch.SignalWith(l.in.Wait)
 	p.pi.Released(lockcore.KindWriteReleased)
+	p.pi.ProfReleased()
 }
 
 // TryRLock attempts a read acquisition without waiting, reporting

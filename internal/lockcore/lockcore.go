@@ -20,24 +20,28 @@ import (
 
 	"ollock/internal/obs"
 	"ollock/internal/park"
+	"ollock/internal/prof"
 	"ollock/internal/trace"
 )
 
 // Instr bundles a lock's optional instrumentation: the striped counter
 // block (nil = stats off), the flight-recorder handle (nil = tracing
-// off), and the wait policy (nil = pure spinning, the paper's
-// behavior). The zero value is a fully-off bundle; every method is safe
-// on it, costing one predictable nil-check branch per call.
+// off), the wait policy (nil = pure spinning, the paper's behavior),
+// and the call-site profiler handle (nil = profiling off). The zero
+// value is a fully-off bundle; every method is safe on it, costing one
+// predictable nil-check branch per call.
 type Instr struct {
 	Stats *obs.Stats
 	Trace *trace.LockTrace
 	Wait  *park.Policy
+	Prof  *prof.LockProf
 }
 
-// NewProc mints the per-proc view: a buffered counter handle and a
-// per-proc trace ring, each nil when the corresponding layer is off.
+// NewProc mints the per-proc view: a buffered counter handle, a
+// per-proc trace ring, and a profiler sampling handle, each nil when
+// the corresponding layer is off.
 func (in Instr) NewProc(id int) ProcInstr {
-	return ProcInstr{LC: in.Stats.NewLocal(id), TR: in.Trace.NewLocal(id)}
+	return ProcInstr{LC: in.Stats.NewLocal(id), TR: in.Trace.NewLocal(id), PR: in.Prof.NewLocal()}
 }
 
 // Enabled reports whether the stats layer is on.
@@ -81,6 +85,7 @@ func (in Instr) AddDumper(d StateDumper) { in.Trace.AddDumper(d) }
 type ProcInstr struct {
 	LC *obs.Local
 	TR *trace.Local
+	PR *prof.Local
 }
 
 // Inc counts one event through the proc's buffer (no-op when stats are
@@ -114,3 +119,26 @@ func (pi ProcInstr) Acquired(k TraceKind, t0 int64, r Route) { pi.TR.Acquired(k,
 
 // Released emits the release event (no-op when tracing is off).
 func (pi ProcInstr) Released(k TraceKind) { pi.TR.Released(k) }
+
+// ProfTick advances the call-site profiler's per-proc sampling pacer
+// at the top of an acquisition, returning a nonzero profile-clock
+// timestamp when this acquisition is elected for sampling (0 when it
+// is not, or when profiling is off — one branch plus one increment).
+// Thread the result to ProfAcquired/ProfContended, whose work is
+// entirely gated on it.
+func (pi ProcInstr) ProfTick() int64 { return pi.PR.Tick() }
+
+// ProfAcquired completes a sampled acquisition: it captures the caller
+// stack, charges the blocked time since ts to the call site when
+// contended, and arms the hold sample ProfReleased will close. A zero
+// ts makes it one predictable branch.
+func (pi ProcInstr) ProfAcquired(ts int64, contended bool) { pi.PR.Acquired(ts, contended) }
+
+// ProfContended records a sampled contention event without arming a
+// hold sample — the BRAVO wrapper charges revocation cost to writer
+// call sites this way while the base lock owns the hold accounting.
+func (pi ProcInstr) ProfContended(ts int64) { pi.PR.Contended(ts) }
+
+// ProfReleased closes the pending hold sample, if any (one predictable
+// branch when profiling is off or the acquisition was not sampled).
+func (pi ProcInstr) ProfReleased() { pi.PR.Released() }

@@ -23,6 +23,10 @@ type Caps struct {
 	// Instrumented: the kind carries obs counters (Scopes below);
 	// SnapshotOf works on locks of this kind built with stats on.
 	Instrumented bool
+	// Profiled: the kind's acquire/release paths carry call-site
+	// profiler hooks (WithProfile; the OLL locks and their biased
+	// wrappers).
+	Profiled bool
 }
 
 // KindDesc describes one lock kind: the single source from which the
@@ -67,19 +71,19 @@ func MatrixIndicators() []string { return []string{"central", "sharded"} }
 var descs = []KindDesc{
 	{
 		Name: "goll", Doc: "general OLL lock (§3): wait queue, priorities, upgrade/downgrade",
-		Caps:    Caps{Indicator: true, Wait: true, Upgrade: true, Priority: true, Instrumented: true},
+		Caps:    Caps{Indicator: true, Wait: true, Upgrade: true, Priority: true, Instrumented: true, Profiled: true},
 		Scopes:  []string{"csnzi", "goll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
 	{
 		Name: "foll", Doc: "FIFO distributed-queue OLL lock (§4.2)",
-		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true},
+		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
 		Scopes:  []string{"csnzi", "foll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
 	{
 		Name: "roll", Doc: "reader-preference distributed-queue OLL lock (§4.3)",
-		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true},
+		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
 		Scopes:  []string{"csnzi", "roll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
@@ -104,13 +108,13 @@ var descs = []KindDesc{
 	},
 	{
 		Name: "bravo-goll", Doc: "GOLL under the BRAVO biased reader fast path",
-		Caps:      Caps{Indicator: true, Wait: true, Instrumented: true},
+		Caps:      Caps{Indicator: true, Wait: true, Instrumented: true, Profiled: true},
 		Scopes:    []string{"csnzi", "goll"},
 		ForceBias: true, BiasBase: "goll",
 	},
 	{
 		Name: "bravo-roll", Doc: "ROLL under the BRAVO biased reader fast path",
-		Caps:      Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true},
+		Caps:      Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
 		Scopes:    []string{"csnzi", "roll"},
 		ForceBias: true, BiasBase: "roll",
 	},

@@ -315,6 +315,56 @@ func TestHandlerContentNegotiation(t *testing.T) {
 	}
 }
 
+// TestHandlerNegotiationEdgeCases pins the default-to-Prometheus rule:
+// only an explicit JSON signal (Accept naming application/json, a
+// ".json" path, or ?format=json) switches the body; absent, wildcard,
+// and unknown Accept values all get the text exposition.
+func TestHandlerNegotiationEdgeCases(t *testing.T) {
+	reg, st := testRegistry()
+	s := New(reg)
+	st.Inc(obs.CSNZIArriveRoot, 0)
+	s.SampleNow()
+	h := s.Handler()
+
+	serve := func(path, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	wantText := func(name string, rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: content type %q, want text exposition", name, ct)
+		}
+		if err := ValidateExposition(rec.Body.Bytes()); err != nil {
+			t.Errorf("%s: prom output invalid: %v", name, err)
+		}
+	}
+	wantJSON := func(name string, rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q, want application/json", name, ct)
+		}
+		if !strings.Contains(rec.Body.String(), `"series"`) {
+			t.Errorf("%s: json body missing series", name)
+		}
+	}
+
+	wantText("no Accept header", serve("/metrics", ""))
+	wantText("Accept: */*", serve("/metrics", "*/*"))
+	wantText("Accept: text/html", serve("/metrics", "text/html"))
+	wantText("unknown Accept", serve("/metrics", "application/x-surprise"))
+	wantJSON("Accept: application/json", serve("/metrics", "application/json"))
+	wantJSON("Accept list naming json", serve("/metrics", "text/html, application/json;q=0.9"))
+	wantJSON(".json path", serve("/metrics.json", ""))
+	wantJSON(".json path beats Accept", serve("/metrics.json", "text/plain"))
+	wantJSON("?format=json", serve("/metrics?format=json", "text/plain"))
+}
+
 func TestValidatorRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"interleaved families": "# HELP a a\n# TYPE a counter\na 1\n# HELP b b\n# TYPE b counter\nb 1\na 2\n",

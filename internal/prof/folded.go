@@ -1,0 +1,53 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFolded writes the snapshot in folded-stack format — one
+// "lock;root;...;leaf weight" line per distinct stack, root-first with
+// the lock name as the synthetic root frame — directly consumable by
+// flamegraph.pl, speedscope, and inferno. The weight is the metric's
+// nanosecond value (contention delay or held time).
+func (s *Snapshot) WriteFolded(w io.Writer, m Metric) error {
+	weights := map[string]uint64{}
+	for i := range s.Records {
+		r := &s.Records[i]
+		_, ns, ok := sampleValues(r, m)
+		if !ok || ns == 0 {
+			continue
+		}
+		frames := symbolizeStack(pruneInternal(r.Stack))
+		parts := make([]string, 0, len(frames)+1)
+		parts = append(parts, r.Lock)
+		for j := len(frames) - 1; j >= 0; j-- {
+			name := frames[j].Func
+			if name == "" {
+				name = "?"
+			}
+			parts = append(parts, name)
+		}
+		// Distinct PC stacks can fold to one symbolic stack (different
+		// call offsets in the same caller); merge their weights.
+		weights[strings.Join(parts, ";")] += ns
+	}
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if weights[keys[i]] != weights[keys[j]] {
+			return weights[keys[i]] > weights[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, weights[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package prof
+
+// This file is a hand-rolled, dependency-free encoder for the pprof
+// profile.proto format (gzip-wrapped protobuf), producing files that
+// `go tool pprof`, speedscope, and every continuous profiler consume.
+// Only the wire format is implemented — varints, length-delimited
+// submessages, packed repeated scalars — against the field numbers of
+// github.com/google/pprof/proto/profile.proto; there is no generated
+// code and no proto dependency.
+//
+// A contention profile carries the runtime mutex-profile sample types
+// (contentions/count, delay/nanoseconds); a hold profile carries
+// holds/count and held/nanoseconds. Locations are one-per-PC with full
+// inline expansion via runtime.CallersFrames, and every sample is
+// labeled with its lock's registered name (label key "lock"), so
+// `pprof -tagfocus` splits a multi-lock profile apart.
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// Metric selects which value pair a profile or folded export carries.
+type Metric int
+
+const (
+	// Contention: contentions/count + delay/nanoseconds (the runtime
+	// mutex-profile shape). Samples come from slow-path acquisitions.
+	Contention Metric = iota
+	// Hold: holds/count + held/nanoseconds. Samples come from every
+	// sampled acquisition, fast or slow.
+	Hold
+)
+
+func (m Metric) String() string {
+	if m == Hold {
+		return "hold"
+	}
+	return "contention"
+}
+
+// profile.proto field numbers (Profile message).
+const (
+	fProfileSampleType    = 1
+	fProfileSample        = 2
+	fProfileLocation      = 4
+	fProfileFunction      = 5
+	fProfileStringTable   = 6
+	fProfileTimeNanos     = 9
+	fProfileDurationNanos = 10
+	fProfilePeriodType    = 11
+	fProfilePeriod        = 12
+	fProfileDefaultType   = 14
+)
+
+// ValueType fields.
+const (
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+)
+
+// Sample fields.
+const (
+	fSampleLocationID = 1
+	fSampleValue      = 2
+	fSampleLabel      = 3
+)
+
+// Label fields.
+const (
+	fLabelKey = 1
+	fLabelStr = 2
+)
+
+// Location fields.
+const (
+	fLocationID      = 1
+	fLocationAddress = 3
+	fLocationLine    = 4
+)
+
+// Line fields.
+const (
+	fLineFunctionID = 1
+	fLineLine       = 2
+)
+
+// Function fields.
+const (
+	fFunctionID         = 1
+	fFunctionName       = 2
+	fFunctionSystemName = 3
+	fFunctionFilename   = 4
+)
+
+// pbuf is a minimal protobuf writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tagVarint writes a wire-type-0 field.
+func (p *pbuf) tagVarint(field int, v uint64) {
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+func (p *pbuf) tagInt64(field int, v int64) { p.tagVarint(field, uint64(v)) }
+
+// tagBytes writes a wire-type-2 (length-delimited) field.
+func (p *pbuf) tagBytes(field int, payload []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(payload)))
+	p.b = append(p.b, payload...)
+}
+
+func (p *pbuf) tagString(field int, s string) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedUint64 writes a repeated scalar field in packed encoding.
+func (p *pbuf) packedUint64(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.tagBytes(field, inner.b)
+}
+
+func (p *pbuf) packedInt64(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	p.tagBytes(field, inner.b)
+}
+
+// stringTable interns strings; index 0 is "" per the proto contract.
+type stringTable struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]uint64{"": 0}, list: []string{""}}
+}
+
+func (st *stringTable) of(s string) uint64 {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(st.list))
+	st.idx[s] = i
+	st.list = append(st.list, s)
+	return i
+}
+
+// sampleValues extracts the metric's value pair from a record,
+// reporting false when the record has nothing for this metric.
+func sampleValues(r *Record, m Metric) (count, ns uint64, ok bool) {
+	if m == Hold {
+		return r.Holds, r.HeldNs, r.Holds != 0 || r.HeldNs != 0
+	}
+	return r.Contentions, r.DelayNs, r.Contentions != 0 || r.DelayNs != 0
+}
+
+// WriteProfile encodes the snapshot as a gzip-compressed pprof
+// profile.proto carrying the metric's value pair.
+func (s *Snapshot) WriteProfile(w io.Writer, m Metric) error {
+	st := newStringTable()
+	var out pbuf
+
+	// sample_type: (contentions|holds)/count, (delay|held)/nanoseconds.
+	countName, nsName := "contentions", "delay"
+	if m == Hold {
+		countName, nsName = "holds", "held"
+	}
+	for _, vt := range [][2]string{{countName, "count"}, {nsName, "nanoseconds"}} {
+		var b pbuf
+		b.tagVarint(fValueTypeType, st.of(vt[0]))
+		b.tagVarint(fValueTypeUnit, st.of(vt[1]))
+		out.tagBytes(fProfileSampleType, b.b)
+	}
+
+	// Locations and functions are interned across samples: one location
+	// per distinct PC (with inline expansion), one function per
+	// (name, file) pair.
+	locID := map[uintptr]uint64{}
+	type funcKey struct{ name, file string }
+	funcID := map[funcKey]uint64{}
+	var locs, funcs pbuf
+
+	locationOf := func(pc uintptr) uint64 {
+		if id, ok := locID[pc]; ok {
+			return id
+		}
+		id := uint64(len(locID) + 1)
+		locID[pc] = id
+		var lb pbuf
+		lb.tagVarint(fLocationID, id)
+		lb.tagVarint(fLocationAddress, uint64(pc))
+		for _, f := range expandPC(pc) {
+			if f.Func == "" && f.File == "" {
+				continue
+			}
+			k := funcKey{f.Func, f.File}
+			fid, ok := funcID[k]
+			if !ok {
+				fid = uint64(len(funcID) + 1)
+				funcID[k] = fid
+				var fb pbuf
+				fb.tagVarint(fFunctionID, fid)
+				fb.tagVarint(fFunctionName, st.of(f.Func))
+				fb.tagVarint(fFunctionSystemName, st.of(f.Func))
+				fb.tagVarint(fFunctionFilename, st.of(f.File))
+				funcs.tagBytes(fProfileFunction, fb.b)
+			}
+			var line pbuf
+			line.tagVarint(fLineFunctionID, fid)
+			line.tagInt64(fLineLine, int64(f.Line))
+			lb.tagBytes(fLocationLine, line.b)
+		}
+		locs.tagBytes(fProfileLocation, lb.b)
+		return id
+	}
+
+	lockKey := st.of("lock")
+	for i := range s.Records {
+		r := &s.Records[i]
+		count, ns, ok := sampleValues(r, m)
+		if !ok {
+			continue
+		}
+		stack := pruneInternal(r.Stack)
+		if len(stack) == 0 {
+			continue
+		}
+		ids := make([]uint64, len(stack))
+		for j, pc := range stack {
+			ids[j] = locationOf(pc)
+		}
+		var sb pbuf
+		sb.packedUint64(fSampleLocationID, ids)
+		sb.packedInt64(fSampleValue, []int64{int64(count), int64(ns)})
+		var lb pbuf
+		lb.tagVarint(fLabelKey, lockKey)
+		lb.tagVarint(fLabelStr, st.of(r.Lock))
+		sb.tagBytes(fSampleLabel, lb.b)
+		out.tagBytes(fProfileSample, sb.b)
+	}
+
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+
+	// period: one sampled acquisition stands for rate acquisitions.
+	var pt pbuf
+	pt.tagVarint(fValueTypeType, st.of(countName))
+	pt.tagVarint(fValueTypeUnit, st.of("count"))
+	out.tagBytes(fProfilePeriodType, pt.b)
+	out.tagInt64(fProfilePeriod, int64(s.Rate))
+	out.tagInt64(fProfileTimeNanos, s.TimeNanos)
+	if s.DurationNanos > 0 {
+		out.tagInt64(fProfileDurationNanos, s.DurationNanos)
+	}
+	out.tagVarint(fProfileDefaultType, st.of(nsName))
+
+	// The string table indexes were assigned on first use above; emit
+	// it last (field order is irrelevant in protobuf).
+	for _, str := range st.list {
+		out.tagString(fProfileStringTable, str)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,281 @@
+package prof_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ollock/internal/prof"
+)
+
+// The shim pair below reconstructs the production call shape so the
+// capture skip count (tuned for lock method → lockcore helper →
+// Acquired → capture) lands where it does in real locks: profAcquire
+// plays the lockcore ProcInstr helper, lockEnter plays the lock
+// method — so lockEnter is the recorded leaf frame and the test
+// function is the caller frame, exactly like goll.(*Proc).Lock and the
+// user's call site.
+
+//go:noinline
+func profAcquire(lo *prof.Local, block time.Duration) {
+	ts := lo.Tick()
+	if ts != 0 && block > 0 {
+		time.Sleep(block)
+	}
+	lo.Acquired(ts, block > 0)
+}
+
+//go:noinline
+func lockEnter(lo *prof.Local, block time.Duration) {
+	profAcquire(lo, block)
+}
+
+// TestSampledAcquisitionAccounting drives sampled contended
+// acquisitions with holds through the shims and checks the accumulated
+// record: counts scaled by the rate, blocked and held time nonzero,
+// leaf frame on the shim lock method.
+func TestSampledAcquisitionAccounting(t *testing.T) {
+	p := prof.New(2)
+	lo := p.Register("unit").NewLocal()
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		lockEnter(lo, time.Millisecond)
+		time.Sleep(time.Millisecond)
+		lo.Released()
+	}
+	s := p.Profile()
+	if len(s.Records) != 1 {
+		t.Fatalf("got %d records, want 1 (single call site)", len(s.Records))
+	}
+	r := s.Records[0]
+	if r.Lock != "unit" {
+		t.Errorf("record lock %q, want %q", r.Lock, "unit")
+	}
+	// rate 2, 10 calls: 5 elected samples, scaled back to 10.
+	if r.Contentions != calls {
+		t.Errorf("scaled contentions = %d, want %d", r.Contentions, calls)
+	}
+	if r.Holds != calls {
+		t.Errorf("scaled holds = %d, want %d", r.Holds, calls)
+	}
+	if r.DelayNs == 0 {
+		t.Error("contended sampled acquisitions accumulated no blocked time")
+	}
+	if r.HeldNs == 0 {
+		t.Error("released holds accumulated no held time")
+	}
+	site := r.Site()
+	if site.Func == "" {
+		t.Error("record site did not symbolize")
+	}
+}
+
+// TestUncontendedSampleIsHoldOnly: a fast-path (contended=false) sample
+// arms the hold but charges no contention.
+func TestUncontendedSampleIsHoldOnly(t *testing.T) {
+	p := prof.New(1)
+	lo := p.Register("fast").NewLocal()
+	lockEnter(lo, 0)
+	lo.Released()
+	s := p.Profile()
+	if len(s.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(s.Records))
+	}
+	r := s.Records[0]
+	if r.Contentions != 0 || r.DelayNs != 0 {
+		t.Errorf("uncontended sample charged contention: %d / %dns", r.Contentions, r.DelayNs)
+	}
+	if r.Holds != 1 {
+		t.Errorf("holds = %d, want 1", r.Holds)
+	}
+}
+
+// TestEncodeParseRoundTrip: WriteProfile's protobuf decodes with the
+// in-repo parser — schema, period, labels, symbolized leaf and caller
+// frames all intact.
+func TestEncodeParseRoundTrip(t *testing.T) {
+	p := prof.New(1)
+	lo := p.Register("rt").NewLocal()
+	for i := 0; i < 4; i++ {
+		lockEnter(lo, time.Millisecond)
+		lo.Released()
+	}
+	var buf bytes.Buffer
+	if err := p.Profile().WriteProfile(&buf, prof.Contention); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := prof.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsing our own profile: %v", err)
+	}
+	if len(parsed.SampleTypes) != 2 ||
+		parsed.SampleTypes[0] != (prof.PValueType{Type: "contentions", Unit: "count"}) ||
+		parsed.SampleTypes[1] != (prof.PValueType{Type: "delay", Unit: "nanoseconds"}) {
+		t.Fatalf("sample types = %+v, want contentions/count + delay/nanoseconds", parsed.SampleTypes)
+	}
+	if parsed.DefaultType != "delay" {
+		t.Errorf("default sample type %q, want delay", parsed.DefaultType)
+	}
+	if parsed.Period != 1 || parsed.PeriodType.Type != "contentions" {
+		t.Errorf("period %d/%+v, want 1 contentions/count", parsed.Period, parsed.PeriodType)
+	}
+	if parsed.TimeNanos == 0 {
+		t.Error("profile has no timestamp")
+	}
+	if len(parsed.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(parsed.Samples))
+	}
+	sm := parsed.Samples[0]
+	if sm.Labels["lock"] != "rt" {
+		t.Errorf("sample lock label %q, want rt", sm.Labels["lock"])
+	}
+	if sm.Values[0] != 4 {
+		t.Errorf("contentions value %d, want 4", sm.Values[0])
+	}
+	if sm.Values[1] <= 0 {
+		t.Errorf("delay value %d, want > 0", sm.Values[1])
+	}
+	if len(sm.Funcs) == 0 || !strings.Contains(sm.Funcs[0], "lockEnter") {
+		t.Fatalf("leaf frame = %v, want the shim lock method lockEnter first", sm.Funcs)
+	}
+	var caller bool
+	for _, f := range sm.Funcs {
+		if strings.Contains(f, "TestEncodeParseRoundTrip") {
+			caller = true
+		}
+	}
+	if !caller {
+		t.Errorf("no frame symbolizes to the test call site; stack: %v", sm.Funcs)
+	}
+}
+
+// TestHoldProfileEncoding: the hold metric exports holds/count +
+// held/nanoseconds and skips contention-only records.
+func TestHoldProfileEncoding(t *testing.T) {
+	p := prof.New(1)
+	lo := p.Register("h").NewLocal()
+	lockEnter(lo, 0)
+	time.Sleep(time.Millisecond)
+	lo.Released()
+	var buf bytes.Buffer
+	if err := p.Profile().WriteProfile(&buf, prof.Hold); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := prof.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.SampleTypes) != 2 ||
+		parsed.SampleTypes[0] != (prof.PValueType{Type: "holds", Unit: "count"}) ||
+		parsed.SampleTypes[1] != (prof.PValueType{Type: "held", Unit: "nanoseconds"}) {
+		t.Fatalf("sample types = %+v, want holds/count + held/nanoseconds", parsed.SampleTypes)
+	}
+	if len(parsed.Samples) != 1 || parsed.Samples[0].Values[0] != 1 || parsed.Samples[0].Values[1] <= 0 {
+		t.Fatalf("hold samples = %+v, want one sample with holds=1, held>0", parsed.Samples)
+	}
+}
+
+// TestFoldedOutput: the flamegraph exporter emits root-first
+// semicolon-joined stacks prefixed with the lock name, space, weight.
+func TestFoldedOutput(t *testing.T) {
+	p := prof.New(1)
+	lo := p.Register("fold").NewLocal()
+	lockEnter(lo, time.Millisecond)
+	lo.Released()
+	var buf bytes.Buffer
+	if err := p.Profile().WriteFolded(&buf, prof.Contention); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if out == "" {
+		t.Fatal("folded output is empty")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "fold;") {
+			t.Errorf("folded line %q does not start with the lock name", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("folded line %q is not 'stack weight'", line)
+		}
+		if !strings.Contains(fields[0], "lockEnter") {
+			t.Errorf("folded stack %q missing the leaf lock method", fields[0])
+		}
+		if !strings.HasSuffix(fields[0], "lockEnter") {
+			t.Errorf("folded stack %q should end with the leaf (root-first order)", fields[0])
+		}
+	}
+}
+
+// TestSnapshotSub: deltas subtract per (lock, stack), drop idle rows,
+// and stamp the interval duration.
+func TestSnapshotSub(t *testing.T) {
+	p := prof.New(1)
+	lo := p.Register("d").NewLocal()
+	lockEnter(lo, time.Millisecond)
+	lo.Released()
+	before := p.Profile()
+	const extra = 3
+	for i := 0; i < extra; i++ {
+		lockEnter(lo, time.Millisecond)
+		lo.Released()
+	}
+	after := p.Profile()
+	delta := after.Sub(before)
+	if len(delta.Records) != 1 {
+		t.Fatalf("delta has %d records, want 1", len(delta.Records))
+	}
+	if c := delta.Records[0].Contentions; c != extra {
+		t.Errorf("delta contentions = %d, want %d", c, extra)
+	}
+	if delta.DurationNanos <= 0 {
+		t.Error("delta has no duration")
+	}
+	// Identical snapshots: every row is idle and dropped.
+	if empty := after.Sub(after); len(empty.Records) != 0 {
+		t.Errorf("self-delta has %d records, want 0", len(empty.Records))
+	}
+}
+
+// TestGoToolPprofRaw shells out to `go tool pprof -raw` to prove the
+// encoding is accepted by the canonical consumer, not just our own
+// parser. Skipped when the toolchain is unavailable or in -short mode.
+func TestGoToolPprofRaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: not shelling out to go tool pprof")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	p := prof.New(1)
+	lo := p.Register("pprof").NewLocal()
+	for i := 0; i < 3; i++ {
+		lockEnter(lo, time.Millisecond)
+		lo.Released()
+	}
+	file := filepath.Join(t.TempDir(), "lock.pb.gz")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile().WriteProfile(f, prof.Contention); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-raw", file).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -raw: %v\n%s", err, out)
+	}
+	for _, want := range []string{"contentions/count", "delay/nanoseconds", "lockEnter", "lock:[pprof]"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pprof -raw output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package prof
+
+import (
+	"runtime"
+	"strings"
+)
+
+// Frame is one symbolized stack frame (inline-expanded: one PC can
+// yield several).
+type Frame struct {
+	Func string
+	File string
+	Line int
+}
+
+// pruneInternal drops leading (leaf-side) frames that belong to the
+// profiler plumbing itself. The capture skip count already lands on
+// the lock method, so normally nothing is pruned; this is the
+// belt-and-braces guard against inlining shifting a
+// prof/lockcore frame into the captured window.
+func pruneInternal(stack []uintptr) []uintptr {
+	for len(stack) > 0 {
+		f := leafFunc(stack[0])
+		if strings.HasPrefix(f, "ollock/internal/prof.") ||
+			strings.HasPrefix(f, "ollock/internal/lockcore.") {
+			stack = stack[1:]
+			continue
+		}
+		break
+	}
+	return stack
+}
+
+// leafFunc names the innermost function at pc ("" when unknown).
+func leafFunc(pc uintptr) string {
+	frames := runtime.CallersFrames([]uintptr{pc})
+	f, _ := frames.Next()
+	return f.Function
+}
+
+// expandPC symbolizes one PC into its inline-expanded frames,
+// innermost first (the runtime.CallersFrames order).
+func expandPC(pc uintptr) []Frame {
+	var out []Frame
+	frames := runtime.CallersFrames([]uintptr{pc})
+	for {
+		f, more := frames.Next()
+		if f.Function != "" || f.File != "" {
+			out = append(out, Frame{Func: f.Function, File: f.File, Line: f.Line})
+		}
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+// symbolizeStack expands a whole (pruned) stack, leaf-first, flattening
+// inline frames in place.
+func symbolizeStack(stack []uintptr) []Frame {
+	var out []Frame
+	for _, pc := range stack {
+		fs := expandPC(pc)
+		if len(fs) == 0 {
+			out = append(out, Frame{Func: "?", Line: 0})
+			continue
+		}
+		out = append(out, fs...)
+	}
+	return out
+}

@@ -177,7 +177,7 @@ func freeReaderNode(n *Node) {
 // succeeds only if n's group is still waiting (spin set) and its C-SNZI
 // is open (n is enqueued). On success the caller holds the lock once the
 // group's spin flag clears.
-func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
+func (p *Proc) tryJoinWaiting(n *Node, t0, pt int64) bool {
 	if n.kind != kindReader || !n.flag.Blocked() {
 		return false
 	}
@@ -200,6 +200,7 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 	}
 	n.flag.Wait(p.l.in.Wait, p.id, p.pi.TR)
 	p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
+	p.pi.ProfAcquired(pt, true)
 	return true
 }
 
@@ -208,6 +209,8 @@ func (p *Proc) tryJoinWaiting(n *Node, t0 int64) bool {
 func (p *Proc) RLock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
+	slow := false
 	var rNode *Node
 	defer func() {
 		if rNode != nil {
@@ -217,7 +220,7 @@ func (p *Proc) RLock() {
 	for {
 		// Fast path: the hint points at the last known waiting group.
 		if h := l.lastReader.Load(); h != nil {
-			if p.tryJoinWaiting(h, t0) {
+			if p.tryJoinWaiting(h, t0, pt) {
 				p.pi.Inc(lockcore.ROLLHintHit)
 				p.pi.Emit(lockcore.KindHintHit, 0, 0)
 				return
@@ -236,6 +239,7 @@ func (p *Proc) RLock() {
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
+				slow = true
 				continue
 			}
 			p.pi.Inc(lockcore.ROLLReadEnqueue)
@@ -247,9 +251,11 @@ func (p *Proc) RLock() {
 				p.ticket = t
 				rNode = nil
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.ProfAcquired(pt, slow)
 				return
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 			rNode = nil // in queue; the closing writer recycles it
 
 		case tail.kind == kindReader:
@@ -259,18 +265,21 @@ func (p *Proc) RLock() {
 				p.pi.Inc(lockcore.ROLLReadJoin)
 				p.departFrom = tail
 				p.ticket = t
-				if tail.flag.Blocked() && l.lastReader.Load() != tail {
+				blocked := tail.flag.Blocked()
+				if blocked && l.lastReader.Load() != tail {
 					l.lastReader.Store(tail)
 				}
-				if p.pi.Tracing() && tail.flag.Blocked() {
+				if p.pi.Tracing() && blocked {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
 				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
+				p.pi.ProfAcquired(pt, slow || blocked)
 				return
 			}
 			// Closed: tail changed; retry.
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 
 		default:
 			// Tail is a writer: search backward for a waiting reader
@@ -278,7 +287,7 @@ func (p *Proc) RLock() {
 			cur := tail.qPrev.Load()
 			for steps := 0; cur != nil && steps < searchLimit; steps++ {
 				if cur.kind == kindReader {
-					if p.tryJoinWaiting(cur, t0) {
+					if p.tryJoinWaiting(cur, t0, pt) {
 						return
 					}
 					break // reader node found but not joinable
@@ -294,6 +303,7 @@ func (p *Proc) RLock() {
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(tail)
 			if !l.tail.CompareAndSwap(tail, rNode) {
+				slow = true
 				continue
 			}
 			p.pi.Inc(lockcore.ROLLReadEnqueue)
@@ -312,9 +322,11 @@ func (p *Proc) RLock() {
 				}
 				node.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
+				p.pi.ProfAcquired(pt, true)
 				return
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			slow = true
 			rNode = nil
 		}
 	}
@@ -326,6 +338,7 @@ func (p *Proc) RUnlock() {
 	n := p.departFrom
 	if n.ind.Depart(p.ticket) {
 		p.pi.Released(lockcore.KindReadReleased)
+		p.pi.ProfReleased()
 		return
 	}
 	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
@@ -337,12 +350,14 @@ func (p *Proc) RUnlock() {
 	p.pi.Inc(lockcore.ROLLNodeRecycle)
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
 	p.pi.Released(lockcore.KindReadReleased)
+	p.pi.ProfReleased()
 }
 
 // Lock acquires the lock for writing.
 func (p *Proc) Lock() {
 	l := p.l
 	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
 	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
@@ -350,6 +365,7 @@ func (p *Proc) Lock() {
 	w.qPrev.Store(oldTail)
 	if oldTail == nil {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
@@ -360,6 +376,7 @@ func (p *Proc) Lock() {
 		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
 		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
@@ -387,11 +404,13 @@ func (p *Proc) Lock() {
 		freeReaderNode(oldTail)
 		l.in.Inc(lockcore.ROLLNodeRecycle, p.id)
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 		return
 	}
 	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
 }
 
@@ -402,6 +421,7 @@ func (p *Proc) Unlock() {
 	if w.qNext.Load() == nil {
 		if l.tail.CompareAndSwap(w, nil) {
 			p.pi.Released(lockcore.KindWriteReleased)
+			p.pi.ProfReleased()
 			return
 		}
 		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
@@ -412,6 +432,7 @@ func (p *Proc) Unlock() {
 	w.qNext.Store(nil)
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
 	p.pi.Released(lockcore.KindWriteReleased)
+	p.pi.ProfReleased()
 }
 
 // MaxProcs returns the ring size (diagnostic).

@@ -22,6 +22,7 @@ func TestAlgorithmPackageLayering(t *testing.T) {
 		"ollock/internal/obs":   true,
 		"ollock/internal/trace": true,
 		"ollock/internal/park":  true,
+		"ollock/internal/prof":  true,
 	}
 	fset := token.NewFileSet()
 	for _, pkg := range algorithmPkgs {

@@ -12,6 +12,7 @@ import (
 	"ollock/internal/mcs"
 	"ollock/internal/obs"
 	"ollock/internal/park"
+	"ollock/internal/prof"
 	"ollock/internal/roll"
 	"ollock/internal/snzi"
 	"ollock/internal/solaris"
@@ -260,7 +261,9 @@ func (l *BravoLock) lockStats() *obs.Stats { return l.stats }
 // WrapBias wraps base with the BRAVO biased reader fast path.
 func WrapBias(base Lock) *BravoLock { return wrapBias(base, 0) }
 
-func wrapBias(base Lock, mult int) *BravoLock { return wrapBiasStats(base, mult, nil, nil, nil) }
+func wrapBias(base Lock, mult int) *BravoLock {
+	return wrapBiasStats(base, mult, nil, nil, nil, nil)
+}
 
 // wrapBiasStats wraps base, sharing the instrumentation block between
 // the wrapper (bravo.* counters) and the underlying lock, so one
@@ -269,14 +272,18 @@ func wrapBias(base Lock, mult int) *BravoLock { return wrapBiasStats(base, mult,
 // when non-nil, is the flight-recorder handle shared with the base
 // lock (wrapper and base events interleave on one timeline). pol, when
 // non-nil, is the lock's shared wait policy; revocation drain waits
-// descend its ladder instead of spinning unboundedly.
-func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol *park.Policy) *BravoLock {
+// descend its ladder instead of spinning unboundedly. lp, when
+// non-nil, is the call-site profiler registration shared with the base
+// lock: the wrapper profiles fast-path reads and revocations, the base
+// everything that reaches it, so one profile covers the stack without
+// double counting.
+func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol *park.Policy, lp *prof.LockProf) *BravoLock {
 	if st == nil {
 		if c, ok := base.(statsCarrier); ok {
 			st = c.lockStats()
 		}
 	}
-	opts := []bravo.Option{bravo.WithInstr(lockcore.Instr{Stats: st, Trace: lt, Wait: pol})}
+	opts := []bravo.Option{bravo.WithInstr(lockcore.Instr{Stats: st, Trace: lt, Wait: pol, Prof: lp})}
 	if mult > 0 {
 		opts = append(opts, bravo.WithInhibitMultiplier(mult))
 	}

@@ -1,8 +1,10 @@
 package ollock
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"ollock/internal/doctor"
@@ -28,6 +30,7 @@ type Metrics struct {
 	sampler *metrics.Sampler
 	cfg     doctor.Config
 	wd      *TraceWatchdog
+	prof    *Profiler
 }
 
 // MetricsOption configures NewMetrics.
@@ -38,6 +41,7 @@ type metricsConfig struct {
 	ring   int
 	cfg    doctor.Config
 	wd     *TraceWatchdog
+	prof   *Profiler
 }
 
 // MetricsPeriod sets the sampling period (default one second; floor one
@@ -70,6 +74,15 @@ func MetricsWatchdog(wd *TraceWatchdog) MetricsOption {
 	return func(c *metricsConfig) { c.wd = wd }
 }
 
+// MetricsProfiler folds a call-site profiler's attribution into
+// Diagnose: contention-shaped findings (writer starvation, bias
+// thrash) carry the hottest contended call site of the diagnosed lock
+// (matched by name, so the Profiler registration and the stats block
+// must share it — Profiler.Register and WithStats take the same name).
+func MetricsProfiler(p *Profiler) MetricsOption {
+	return func(c *metricsConfig) { c.prof = p }
+}
+
 // NewMetrics creates an idle metrics pipeline. Register locks with
 // WithMetrics, then either call Start for continuous background
 // sampling or Sample manually at moments of your choosing.
@@ -83,8 +96,9 @@ func NewMetrics(opts ...MetricsOption) *Metrics {
 		reg: reg,
 		sampler: metrics.New(reg,
 			metrics.WithPeriod(c.period), metrics.WithRing(c.ring)),
-		cfg: c.cfg,
-		wd:  c.wd,
+		cfg:  c.cfg,
+		wd:   c.wd,
+		prof: c.prof,
 	}
 }
 
@@ -136,12 +150,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 // most severe first; an empty slice means every sampled lock looks
 // healthy. A fresh sample is taken first so the evaluated window
 // reaches now. When a watchdog is attached its current stalls are
-// folded into the matching locks' windows.
+// folded into the matching locks' windows; when a profiler is attached
+// (MetricsProfiler) contention findings carry the hottest contended
+// call site.
 func (m *Metrics) Diagnose(d time.Duration) []Finding {
 	m.sampler.SampleNow()
 	windows := doctor.WindowsFrom(m.sampler, m.reg, d)
 	if m.wd != nil {
 		windows = doctor.AttachStalls(windows, m.wd.CheckNow())
+	}
+	if m.prof != nil {
+		snap := m.prof.Profile()
+		windows = doctor.AttachHotSites(windows, func(lock string) (doctor.CallSite, bool) {
+			site, ok := snap.HottestSite(lock)
+			if !ok {
+				return doctor.CallSite{}, false
+			}
+			return doctor.CallSite{
+				Site:        fmt.Sprintf("%s (%s:%d)", site.Func, filepath.Base(site.File), site.Line),
+				Contentions: site.Contentions,
+				DelayNs:     site.DelayNs,
+			}, true
+		})
 	}
 	return doctor.Diagnose(m.cfg, windows)
 }

@@ -49,6 +49,7 @@ import (
 	"ollock/internal/lockcore"
 	"ollock/internal/obs"
 	"ollock/internal/park"
+	"ollock/internal/prof"
 	"ollock/internal/rind"
 	"ollock/internal/roll"
 	"ollock/internal/trace"
@@ -155,6 +156,9 @@ type KindInfo struct {
 	// Instrumented reports whether WithStats attaches counters to the
 	// kind (uninstrumented kinds accept the option but record nothing).
 	Instrumented bool
+	// Profiled reports whether the kind accepts WithProfile (its
+	// acquire/release paths carry call-site profiler hooks).
+	Profiled bool
 	// Biased marks the pre-biased wrapper kinds (bravo-*), equivalent
 	// to New of the base kind with WithBias.
 	Biased bool
@@ -172,6 +176,7 @@ func kindInfo(d lockcore.KindDesc) KindInfo {
 		Priority:     d.Caps.Priority,
 		BoundedProcs: d.Caps.BoundedProcs,
 		Instrumented: d.Caps.Instrumented,
+		Profiled:     d.Caps.Profiled,
 		Biased:       d.ForceBias,
 		Figure5:      d.Figure5,
 	}
@@ -275,6 +280,7 @@ type newConfig struct {
 	indicator IndicatorKind
 	wait      WaitMode
 	lt        *trace.LockTrace
+	lp        *prof.LockProf
 	metrics   *Metrics
 }
 
@@ -423,6 +429,9 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	if desc.Caps.BoundedProcs && maxProcs < 1 {
 		return nil, fmt.Errorf("ollock: lock kind %q requires maxProcs >= 1 (got %d)", kind, maxProcs)
 	}
+	if cfg.lp != nil && !desc.Caps.Profiled {
+		return nil, fmt.Errorf("ollock: lock kind %q does not take a profiler (WithProfile)", kind)
+	}
 	var st *obs.Stats
 	if cfg.withStats {
 		name := cfg.statsName
@@ -460,7 +469,7 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	if !ok {
 		return nil, fmt.Errorf("ollock: lock kind %q has no registered constructor", kind)
 	}
-	base := build(maxProcs, buildArgs{st: st, lt: cfg.lt, pol: pol, factory: factory})
+	base := build(maxProcs, buildArgs{st: st, lt: cfg.lt, pol: pol, lp: cfg.lp, factory: factory})
 	if cfg.withStats && cfg.statsName != "" {
 		st.PublishExpvar()
 	}
@@ -468,25 +477,29 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		cfg.metrics.reg.Register(st)
 	}
 	if bias {
-		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol), nil
+		// The wrapper shares the base lock's profiler registration:
+		// wrapper-owned events (fast-path reads, revocations) and base
+		// events land in one per-lock profile.
+		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol, cfg.lp), nil
 	}
 	return base, nil
 }
 
 // buildArgs carries the cross-cutting pieces New assembles — the stats
-// block, trace handle, wait policy, and read-indicator factory — into a
-// kind's registered constructor.
+// block, trace handle, wait policy, profiler registration, and
+// read-indicator factory — into a kind's registered constructor.
 type buildArgs struct {
 	st      *obs.Stats
 	lt      *trace.LockTrace
 	pol     *park.Policy
+	lp      *prof.LockProf
 	factory rind.Factory
 }
 
 // instr bundles the instrumentation arguments into the lockcore.Instr
 // the algorithm packages take.
 func (a buildArgs) instr() lockcore.Instr {
-	return lockcore.Instr{Stats: a.st, Trace: a.lt, Wait: a.pol}
+	return lockcore.Instr{Stats: a.st, Trace: a.lt, Wait: a.pol, Prof: a.lp}
 }
 
 // builders maps base kind names to constructors. The bravo-* wrapper

@@ -39,6 +39,7 @@ func TestKindsMatchRegistry(t *testing.T) {
 		if info.Indicator != d.Caps.Indicator || info.Wait != d.Caps.Wait ||
 			info.Upgrade != d.Caps.Upgrade || info.Priority != d.Caps.Priority ||
 			info.BoundedProcs != d.Caps.BoundedProcs || info.Instrumented != d.Caps.Instrumented ||
+			info.Profiled != d.Caps.Profiled ||
 			info.Biased != d.ForceBias || info.Figure5 != d.Figure5 {
 			t.Errorf("KindInfos()[%d] (%s) = %+v, disagrees with registry descriptor %+v", i, d.Name, info, d)
 		}
@@ -244,6 +245,32 @@ func TestCapabilityMatrix(t *testing.T) {
 					})
 				}
 			}
+		}
+	}
+}
+
+// TestProfiledCapability: New accepts WithProfile exactly where the
+// registry's Profiled flag says it does, and rejects it elsewhere with
+// the uniform capability error naming the kind.
+func TestProfiledCapability(t *testing.T) {
+	p := ollock.NewProfiler(1)
+	for _, info := range ollock.KindInfos() {
+		lp := p.Register(string(info.Kind))
+		l, err := ollock.New(info.Kind, 4, ollock.WithProfile(lp))
+		if info.Profiled {
+			if err != nil {
+				t.Errorf("New(%s, WithProfile) rejected a kind the registry marks Profiled: %v", info.Kind, err)
+				continue
+			}
+			smoke(t, l, info, info.Biased)
+			continue
+		}
+		if err == nil {
+			t.Errorf("New(%s, WithProfile) accepted a kind the registry marks unprofiled", info.Kind)
+			continue
+		}
+		if !strings.Contains(err.Error(), "does not take a profiler") || !strings.Contains(err.Error(), string(info.Kind)) {
+			t.Errorf("capability error %q is not the uniform form naming kind %q", err, info.Kind)
 		}
 	}
 }

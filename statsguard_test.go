@@ -270,6 +270,122 @@ func TestWaitPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestProfileMissPathZeroAllocs pins the sampled-miss side of the
+// profiler's zero-overhead-off contract: with WithProfile attached but
+// the election counter never firing (an astronomically high rate),
+// every acquisition pays exactly the pacer increment-and-compare —
+// which must not allocate on either the read or the write path.
+func TestProfileMissPathZeroAllocs(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL, ollock.KindBravoGOLL, ollock.KindBravoROLL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			prof := ollock.NewProfiler(1 << 30)
+			l := ollock.MustNew(kind, 4, ollock.WithProfile(prof.Register(string(kind))))
+			p := l.NewProc()
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("profiled (miss path) RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				p.Lock()
+				p.Unlock()
+			}); n != 0 {
+				t.Fatalf("profiled (miss path) Lock/Unlock allocates %.1f times per op, want 0", n)
+			}
+		})
+	}
+}
+
+// TestProfileSampledPathZeroAllocs pins the elected-sample path: even
+// when every acquisition is sampled (rate 1), the capture uses a
+// fixed-size PC array and the table's preallocated records, so the
+// profiled fast path stays allocation-free end to end.
+func TestProfileSampledPathZeroAllocs(t *testing.T) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.FOLL, ollock.ROLL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			prof := ollock.NewProfiler(1)
+			l := ollock.MustNew(kind, 4, ollock.WithProfile(prof.Register(string(kind))))
+			p := l.NewProc()
+			if n := testing.AllocsPerRun(200, func() {
+				p.RLock()
+				p.RUnlock()
+			}); n != 0 {
+				t.Fatalf("fully sampled RLock/RUnlock allocates %.1f times per op, want 0", n)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				p.Lock()
+				p.Unlock()
+			}); n != 0 {
+				t.Fatalf("fully sampled Lock/Unlock allocates %.1f times per op, want 0", n)
+			}
+			if len(prof.Profile().Records) == 0 {
+				t.Fatal("rate-1 profiling recorded nothing")
+			}
+		})
+	}
+}
+
+// TestProfileMissOverheadBounded is the profiler throughput tripwire,
+// same best-of-trials shape as TestStatsReadOverheadBounded: with the
+// pacer never electing, the profiled read path must reach at least 85%
+// of the unprofiled throughput — the miss path is one increment and
+// one compare, and anything heavier (a clock read, a stack walk, a
+// table probe on the un-elected path) fails by far more than 15%.
+func TestProfileMissOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard, skipped with -short")
+	}
+	const ops = 200_000
+	const trials = 5
+	measure := func(opts ...ollock.Option) float64 {
+		best := 0.0
+		for trial := 0; trial < trials; trial++ {
+			p := ollock.MustNew(ollock.ROLL, 4, opts...).NewProc()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				p.RLock()
+				p.RUnlock()
+			}
+			if rate := float64(ops) / float64(time.Since(start)); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	for attempt := 0; ; attempt++ {
+		off := measure()
+		prof := ollock.NewProfiler(1 << 30)
+		on := measure(ollock.WithProfile(prof.Register("roll")))
+		if on >= 0.85*off {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("profiled (miss path) read path at %.0f%% of unprofiled throughput, want >= 85%%", 100*on/off)
+		}
+	}
+}
+
+// BenchmarkReadPathProfile makes the profile-off/miss/sampled deltas
+// visible in `go test -bench`: off is the nil-guarded branch, miss
+// pays the pacer, sampled pays the stack walk and table merge.
+func BenchmarkReadPathProfile(b *testing.B) {
+	for _, kind := range []ollock.Kind{ollock.GOLL, ollock.ROLL} {
+		kind := kind
+		b.Run(string(kind)+"/profile=off", func(b *testing.B) { readThroughput(b, kind) })
+		b.Run(string(kind)+"/profile=miss", func(b *testing.B) {
+			prof := ollock.NewProfiler(1 << 30)
+			readThroughput(b, kind, ollock.WithProfile(prof.Register(string(kind))))
+		})
+		b.Run(string(kind)+"/profile=sampled", func(b *testing.B) {
+			prof := ollock.NewProfiler(1)
+			readThroughput(b, kind, ollock.WithProfile(prof.Register(string(kind))))
+		})
+	}
+}
+
 // TestWaitOverheadBounded is the wait-policy throughput tripwire, same
 // best-of-trials shape as TestStatsReadOverheadBounded: on an
 // uncontended 100%-read loop the adaptive policy must reach at least
