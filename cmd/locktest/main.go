@@ -35,8 +35,13 @@ func main() {
 	upgrade := flag.Bool("upgrade", false, "also exercise TryUpgrade/Downgrade on locks that support it")
 	latency := flag.Bool("latency", false, "also report per-kind acquisition latency")
 	list := flag.Bool("list", false, "list available locks and exit")
+	chaosRun := flag.Bool("chaos", false, "run the chaos cancellation torture matrix (every cancellable kind x indicator x wait policy under fault injection) and exit")
+	chaosTimeout := flag.Duration("chaos-timeout", 2*time.Minute, "per-cell watchdog for -chaos")
 	flag.Parse()
 
+	if *chaosRun {
+		chaosMain(*threads, *ops, *seed, *chaosTimeout)
+	}
 	if *list {
 		for _, impl := range locksuite.Locks {
 			fmt.Println(impl.Name)

@@ -1,0 +1,74 @@
+package ollock
+
+import (
+	"context"
+	"time"
+)
+
+// This file declares the timed/cancellable acquisition surface of the
+// facade. The algorithms implement it natively (see ALGORITHMS.md §17
+// for the abandonment protocols); the facade only names the contract
+// and pins, with compile-time assertions, which kinds provide it.
+
+// TryProc is implemented by the Procs of every lock kind in this
+// package: non-blocking acquisition attempts alongside the blocking
+// four-method contract. For the queue-based baselines (KSUH, MCS-RW)
+// the Try methods are conservative — they can fail while a blocking
+// acquisition would have succeeded without waiting — but a true result
+// always means the lock is held.
+type TryProc interface {
+	Proc
+	// TryRLock acquires for reading without waiting; it reports success.
+	TryRLock() bool
+	// TryLock acquires for writing without waiting; it reports success.
+	TryLock() bool
+}
+
+// DeadlineProc is the timed/cancellable acquisition surface: it is
+// implemented by the Procs of the kinds whose KindInfo.Cancellable is
+// true (the OLL locks, their BRAVO-wrapped variants, and Central).
+//
+// A timed acquisition that gives up has acquired nothing and needs no
+// release; abandonment is safe at any point of the wait. Under the
+// hood a queued waiter that expires either unlinks itself (GOLL), or
+// marks its queue node abandoned so the next hand-off skips it and
+// recycles the node (FOLL/ROLL) — in both cases the lock's hand-off
+// and pool accounting stay exact, which the chaos torture runner
+// (cmd/locktest -chaos) and the locksuite cancellation battery verify.
+//
+// Expired timed acquisitions are counted per kind (goll.timeout,
+// foll.timeout, roll.timeout — see METRICS.md) and emit a "cancel"
+// trace event, so timeout storms show up in the doctor's findings.
+type DeadlineProc interface {
+	TryProc
+	// RLockFor acquires for reading, giving up after d; it reports
+	// whether the lock was acquired. A non-positive d still makes one
+	// immediate attempt (it never blocks).
+	RLockFor(d time.Duration) bool
+	// LockFor acquires for writing, giving up after d; it reports
+	// whether the lock was acquired.
+	LockFor(d time.Duration) bool
+	// RLockCtx acquires for reading, abandoning when ctx is done. It
+	// returns nil on acquisition and the context's error otherwise.
+	RLockCtx(ctx context.Context) error
+	// LockCtx acquires for writing, abandoning when ctx is done. It
+	// returns nil on acquisition and the context's error otherwise.
+	LockCtx(ctx context.Context) error
+}
+
+// Compile-time assertions: every kind's Proc is a TryProc, and every
+// Cancellable kind's Proc is a DeadlineProc. A locksuite test asserts
+// the converse — that the runtime Proc of each kind matches its
+// registry capability.
+var (
+	_ DeadlineProc = (*GOLLProc)(nil)
+	_ DeadlineProc = (*FOLLProc)(nil)
+	_ DeadlineProc = (*ROLLProc)(nil)
+	_ DeadlineProc = (*BravoProc)(nil)
+	_ DeadlineProc = (*CentralLock)(nil)
+
+	_ TryProc = (*KSUHProc)(nil)
+	_ TryProc = (*MCSRWProc)(nil)
+	_ TryProc = (*SolarisLock)(nil)
+	_ TryProc = (*HsiehProc)(nil)
+)

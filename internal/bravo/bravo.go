@@ -214,51 +214,62 @@ func (l *Lock) NewProc() *Proc {
 // biased fast path. Only meaningful between RLock and RUnlock.
 func (p *Proc) ReadFastPath() bool { return p.slot != nil }
 
-// RLock acquires the lock for reading. While the bias is armed this is
-// the BRAVO fast path: publish in the visible-readers table, re-check
-// the bias, done — no shared central state touched. Otherwise it is the
-// underlying lock's read acquisition plus the adaptive re-arm check.
-func (p *Proc) RLock() {
+// fastRead attempts the biased fast path: publish in the
+// visible-readers table, re-check the bias, done — no shared central
+// state touched. It reports whether the read acquisition completed;
+// on false the caller falls back to the underlying lock.
+func (p *Proc) fastRead(t0, pt int64) bool {
 	l := p.l
+	if l.bias.Load() == 0 {
+		return false
+	}
+	// Memoized slot first: after settling this CAS is on a line no
+	// other goroutine writes, so the whole fast path touches no
+	// contended memory.
+	s := p.cur
+	if !s.CompareAndSwap(nil, l) {
+		p.pi.Inc(lockcore.BravoSlotCollision)
+		s = nil
+		for i := uint64(0); i < maxProbes; i++ {
+			cand := &readers[(p.home+i)&tableMask]
+			if cand != p.cur && cand.Load() == nil && cand.CompareAndSwap(nil, l) {
+				s = cand
+				p.cur = cand
+				break
+			}
+		}
+	}
+	if s != nil {
+		// Publication must be visible before the re-check; both
+		// are sequentially consistent atomics.
+		if l.bias.Load() != 0 {
+			p.slot = s
+			p.pi.Inc(lockcore.BravoFastRead)
+			p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteBravoFast)
+			p.pi.ProfAcquired(pt, false)
+			return true
+		}
+		// A writer revoked between our publish and re-check: unpublish
+		// so its scan does not wait for us, and fall back to the slow
+		// path.
+		s.Store(nil)
+		p.pi.Emit(lockcore.KindBravoRecheckFail, 0, 0)
+	}
+	return false
+}
+
+// RLock acquires the lock for reading. While the bias is armed this is
+// the BRAVO fast path; otherwise it is the underlying lock's read
+// acquisition plus the adaptive re-arm check.
+func (p *Proc) RLock() {
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
-	if l.bias.Load() != 0 {
-		// Memoized slot first: after settling this CAS is on a line no
-		// other goroutine writes, so the whole fast path touches no
-		// contended memory.
-		s := p.cur
-		if !s.CompareAndSwap(nil, l) {
-			p.pi.Inc(lockcore.BravoSlotCollision)
-			s = nil
-			for i := uint64(0); i < maxProbes; i++ {
-				cand := &readers[(p.home+i)&tableMask]
-				if cand != p.cur && cand.Load() == nil && cand.CompareAndSwap(nil, l) {
-					s = cand
-					p.cur = cand
-					break
-				}
-			}
-		}
-		if s != nil {
-			// Publication must be visible before the re-check; both
-			// are sequentially consistent atomics.
-			if l.bias.Load() != 0 {
-				p.slot = s
-				p.pi.Inc(lockcore.BravoFastRead)
-				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteBravoFast)
-				p.pi.ProfAcquired(pt, false)
-				return
-			}
-			// A writer revoked between our publish and re-check:
-			// unpublish so its scan does not wait for us, and fall
-			// through to the slow path.
-			s.Store(nil)
-			p.pi.Emit(lockcore.KindBravoRecheckFail, 0, 0)
-		}
+	if p.fastRead(t0, pt) {
+		return
 	}
 	p.base.RLock()
 	p.pi.Inc(lockcore.BravoSlowRead)
-	if l.bias.Load() == 0 {
+	if p.l.bias.Load() == 0 {
 		p.slowReadArm()
 	}
 }
@@ -336,6 +347,20 @@ func (p *Proc) Unlock() {
 // succeed (the re-check fails) and nobody can re-arm the bias (that
 // requires the read lock).
 func (l *Lock) revoke(id int, tr *lockcore.TraceLocal) int {
+	drained, _ := l.revokeUntil(id, tr, lockcore.Deadline{})
+	return drained
+}
+
+// revokeUntil is revoke with a bound: each per-slot drain wait also
+// watches dl. On expiry the bias is restored — this must happen BEFORE
+// the caller releases the underlying write lock, since the bias may
+// only transition to 1 while the base lock is held (otherwise a
+// fast-path read could overlap a writer that skipped revocation) — the
+// abort is counted under bravo.revoke.abort, and the inhibition window
+// is not charged (no revocation cost was actually paid out). Returns
+// the number of published readers encountered and whether the
+// revocation completed.
+func (l *Lock) revokeUntil(id int, tr *lockcore.TraceLocal, dl lockcore.Deadline) (int, bool) {
 	l.in.Inc(lockcore.BravoRevoke, id)
 	// Sample the drain wait only when instrumented: the clock reads are
 	// off the reader fast path, but revocation frequency is part of the
@@ -347,7 +372,11 @@ func (l *Lock) revoke(id int, tr *lockcore.TraceLocal) int {
 		s := &readers[i]
 		if s.Load() == l {
 			drained++
-			lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return s.Load() != l })
+			if !lockcore.WaitCondUntil(l.in.Wait, id, tr, func() bool { return s.Load() != l }, dl) {
+				l.in.Inc(lockcore.BravoRevokeAbort, id)
+				l.bias.Store(1)
+				return drained, false
+			}
 		}
 	}
 	l.in.SpanObserve(lockcore.BravoDrainWait, id, start)
@@ -355,7 +384,7 @@ func (l *Lock) revoke(id int, tr *lockcore.TraceLocal) int {
 	// published reader, paid back by future slow-path reads before the
 	// bias may return.
 	l.inhibit.Store(uint64(TableSize+drainWeight*drained) * l.mult)
-	return drained
+	return drained, true
 }
 
 // DumpLockState renders the wrapper's live state for the trace

@@ -123,15 +123,30 @@ type Signals struct {
 	Revocations uint64
 	// Parks counts true descheduling events (park.park).
 	Parks uint64
+	// Timeouts and Cancels count abandoned timed acquisitions, split by
+	// expiry cause (deadline vs. context), summed over the per-kind
+	// counters.
+	Timeouts uint64
+	Cancels  uint64
 	// RevocationsPerRead and ParksPerAcquire are the churn ratios the
 	// thrash and storm rules threshold (0 when the denominator is 0).
 	RevocationsPerRead float64
 	ParksPerAcquire    float64
+	// TimeoutsPerAttempt is the fraction of acquisition attempts
+	// (successes plus abandonments) that were abandoned.
+	TimeoutsPerAttempt float64
 }
 
 // writeWaitHists lists the per-kind write-acquire histograms; a
 // window carries whichever its lock kind owns.
 var writeWaitHists = []string{"goll.write.wait", "foll.write.wait", "roll.write.wait"}
+
+// timeoutCounters and cancelCounters list the per-kind abandonment
+// counters a timed acquisition bumps on expiry (deadline vs. context).
+var (
+	timeoutCounters = []string{"goll.timeout", "foll.timeout", "roll.timeout"}
+	cancelCounters  = []string{"goll.cancel", "foll.cancel", "roll.cancel"}
+)
 
 // SignalsOf derives the shared quantities from one window.
 func SignalsOf(w Window) Signals {
@@ -142,11 +157,20 @@ func SignalsOf(w Window) Signals {
 	}
 	s.Revocations = w.delta("bravo.revoke")
 	s.Parks = w.delta("park.park")
+	for _, name := range timeoutCounters {
+		s.Timeouts += w.delta(name)
+	}
+	for _, name := range cancelCounters {
+		s.Cancels += w.delta(name)
+	}
 	if s.Reads > 0 {
 		s.RevocationsPerRead = float64(s.Revocations) / float64(s.Reads)
 	}
 	if acq := s.Reads + s.Writes; acq > 0 {
 		s.ParksPerAcquire = float64(s.Parks) / float64(acq)
+	}
+	if att := s.Reads + s.Writes + s.Timeouts + s.Cancels; att > 0 {
+		s.TimeoutsPerAttempt = float64(s.Timeouts+s.Cancels) / float64(att)
 	}
 	return s
 }
@@ -168,6 +192,11 @@ type Config struct {
 	// waiters deschedule more often than they acquire.
 	ParksPerAcquireStorm float64
 	StormMinParks        uint64
+	// TimeoutsPerAttemptStorm and StormMinTimeouts fire
+	// acquire-timeout-storm when abandonments are both numerous and a
+	// large fraction of all acquisition attempts.
+	TimeoutsPerAttemptStorm float64
+	StormMinTimeouts        uint64
 }
 
 // DefaultConfig returns the thresholds tuned for nanosecond-domain
@@ -180,6 +209,9 @@ func DefaultConfig() Config {
 		ThrashMinRevokes:     8,
 		ParksPerAcquireStorm: 1.0,
 		StormMinParks:        64,
+
+		TimeoutsPerAttemptStorm: 0.25,
+		StormMinTimeouts:        32,
 	}
 }
 
@@ -193,6 +225,7 @@ func Diagnose(cfg Config, windows []Window) []Finding {
 		out = append(out, ruleWriterStarvation(cfg, w, sig)...)
 		out = append(out, ruleBiasThrash(cfg, w, sig)...)
 		out = append(out, ruleParkStorm(cfg, w, sig)...)
+		out = append(out, ruleAcquireTimeoutStorm(cfg, w, sig)...)
 		out = append(out, ruleIndicatorStall(w)...)
 	}
 	return out
@@ -279,6 +312,38 @@ func ruleParkStorm(cfg Config, w Window, sig Signals) []Finding {
 		Evidence: ev,
 		Advice:   "reduce oversubscription, or use WaitArray (TWA) so long-term waiters spin on private slots instead of churning the scheduler",
 	}}
+}
+
+func ruleAcquireTimeoutStorm(cfg Config, w Window, sig Signals) []Finding {
+	abandoned := sig.Timeouts + sig.Cancels
+	if abandoned < cfg.StormMinTimeouts || sig.TimeoutsPerAttempt < cfg.TimeoutsPerAttemptStorm {
+		return nil
+	}
+	ev := []Evidence{
+		{Name: "acquire.timeouts", Value: float64(sig.Timeouts), Unit: "count"},
+		{Name: "acquire.cancels", Value: float64(sig.Cancels), Unit: "count"},
+		{Name: "timeouts.per.attempt", Value: sig.TimeoutsPerAttempt, Unit: "ratio"},
+	}
+	if pt := w.delta("park.timeout"); pt > 0 {
+		ev = append(ev, Evidence{Name: "park.timeout", Value: float64(pt), Unit: "count"})
+	}
+	for _, name := range writeWaitHists {
+		if h, ok := w.Hists[name]; ok && h.Count > 0 {
+			ev = append(ev, Evidence{Name: name + ".p99", Value: float64(h.P99), Unit: "ns"})
+			break
+		}
+	}
+	f := Finding{
+		Rule:     "acquire-timeout-storm",
+		Lock:     w.Lock,
+		Severity: Warning,
+		Summary: fmt.Sprintf("%d of every 100 acquisition attempts abandoned (%d timeouts, %d cancels in %.1fs) — deadlines are shorter than the lock's acquisition latency",
+			int(sig.TimeoutsPerAttempt*100), sig.Timeouts, sig.Cancels, w.Seconds),
+		Evidence: ev,
+		Advice:   "lengthen the deadlines (or stop passing near-expired contexts), shrink the critical sections that set the acquisition latency, or treat the timeouts as backpressure and shed load at the callers",
+	}
+	attachHotSite(&f, w)
+	return []Finding{f}
 }
 
 // attachHotSite copies the window's profiler attribution, if any, onto

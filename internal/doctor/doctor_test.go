@@ -22,11 +22,12 @@ func ruleSet(findings []Finding) map[string]bool {
 // the rule it demonstrates — and the healthy control to none.
 func TestScenariosFireTheirRule(t *testing.T) {
 	want := map[string]string{
-		"healthy":           "",
-		"writer-starvation": "writer-starvation",
-		"bias-thrash":       "bias-thrash",
-		"park-storm":        "park-storm",
-		"indicator-stall":   "indicator-stall",
+		"healthy":               "",
+		"writer-starvation":     "writer-starvation",
+		"bias-thrash":           "bias-thrash",
+		"park-storm":            "park-storm",
+		"acquire-timeout-storm": "acquire-timeout-storm",
+		"indicator-stall":       "indicator-stall",
 	}
 	if got := ScenarioNames(); len(got) != len(want) {
 		t.Fatalf("scenario list %v does not cover expectations", got)
@@ -142,6 +143,40 @@ func TestParkStormThresholds(t *testing.T) {
 	}
 	if f := Diagnose(cfg, []Window{mk(500, 10_000)}); len(f) != 0 {
 		t.Fatalf("low-ratio storm fired: %v", f)
+	}
+}
+
+func TestAcquireTimeoutStormThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	mk := func(timeouts, cancels, reads uint64) Window {
+		return Window{
+			Lock:    "l",
+			Seconds: 10,
+			Deltas: map[string]uint64{
+				"foll.timeout":      timeouts,
+				"roll.cancel":       cancels,
+				"csnzi.arrive.root": reads,
+			},
+		}
+	}
+	f := Diagnose(cfg, []Window{mk(400, 100, 500)})
+	if len(f) != 1 || f[0].Rule != "acquire-timeout-storm" {
+		t.Fatalf("storm window did not fire: %v", f)
+	}
+	if !strings.Contains(f[0].Summary, "400 timeouts, 100 cancels") {
+		t.Errorf("summary does not split the causes: %q", f[0].Summary)
+	}
+	// Numerous but a small fraction of attempts: quiet.
+	if f := Diagnose(cfg, []Window{mk(400, 100, 1_000_000)}); len(f) != 0 {
+		t.Fatalf("low-ratio window fired: %v", f)
+	}
+	// High fraction but below the absolute floor: quiet.
+	if f := Diagnose(cfg, []Window{mk(cfg.StormMinTimeouts-1, 0, 1)}); len(f) != 0 {
+		t.Fatalf("min-timeouts guard did not hold: %v", f)
+	}
+	// No attempts at all: quiet (no divide-by-zero, no phantom ratio).
+	if f := Diagnose(cfg, []Window{{Lock: "l", Seconds: 10, Deltas: map[string]uint64{}}}); len(f) != 0 {
+		t.Fatalf("empty window fired: %v", f)
 	}
 }
 

@@ -101,6 +101,25 @@ var scenarios = map[string]func() []Window{
 			},
 		}}
 	},
+	"acquire-timeout-storm": func() []Window {
+		// Timed acquisitions with deadlines well under the lock's
+		// acquisition latency: most attempts expire in the queue and
+		// roll their arrivals back instead of acquiring.
+		return []Window{{
+			Lock:    "impatient",
+			Seconds: 10,
+			Deltas: map[string]uint64{
+				"csnzi.arrive.root": 8_000,
+				"csnzi.arrive.tree": 2_000,
+				"goll.timeout":      30_000,
+				"goll.cancel":       6_000,
+				"park.timeout":      20_000,
+			},
+			Hists: map[string]HistWindow{
+				"goll.write.wait": {Count: 500, Sum: 500 * 2_000_000, P50: 1_500_000, P99: 4_000_000, Max: 9_000_000},
+			},
+		}}
+	},
 	"indicator-stall": func() []Window {
 		// A watchdog-caught drain stall: the counters look quiet — the
 		// lock is stuck, not busy.

@@ -44,6 +44,23 @@ const (
 	allocInUse
 )
 
+// Node grant states: the one-word race between a hand-off and an
+// abandonment. A node enters the queue gLive; whoever hands the lock to
+// it first CASes gLive→gGranted and only then clears its flag, while a
+// writer abandoning a timed acquisition CASes gLive→gAbandoned and
+// walks away. Exactly one CAS wins, so a grant is never delivered to an
+// abandoned node (the granter skips it; see grant) and an abandonment
+// never swallows an in-flight grant (the canceler that loses the race
+// must collect the acquisition and release it normally). Reader nodes
+// are reset to gLive at every enqueue but never abandoned — canceling
+// readers leave through the indicator's Depart accounting, which keeps
+// the §4.2.1 pool invariant intact.
+const (
+	gLive uint32 = iota
+	gGranted
+	gAbandoned
+)
+
 // Node is a queue node. Writer nodes belong to one thread each; reader
 // nodes live in the lock's ring pool and are shared by groups of
 // readers.
@@ -54,6 +71,8 @@ type Node struct {
 	// policy-aware so blocked threads can yield or park instead of
 	// burning CPU; see internal/park via lockcore.
 	flag lockcore.Flag
+	// gstate is the grant/abandon race word (see the g* constants).
+	gstate atomic.Uint32
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -175,14 +194,55 @@ func freeReaderNode(n *Node) {
 	n.allocState.Store(allocFree)
 }
 
+// grant hands the lock to n, skipping nodes whose writers abandoned
+// their acquisition. Every hand-off site routes through here: winning
+// the gstate CAS commits the grant before the flag is cleared, and
+// losing it means the node's writer timed out, so ownership passes to
+// the successor instead — waiting for the enqueue/link race to settle
+// exactly as Unlock does, and emptying the queue if the abandoned node
+// was the tail. Skipped writer nodes are garbage (their procs already
+// replaced them); reader nodes are never abandoned, so for them the
+// CAS always succeeds.
+func (l *RWLock) grant(n *Node, id int, tr *lockcore.TraceLocal) {
+	for {
+		if n.gstate.CompareAndSwap(gLive, gGranted) {
+			n.flag.Clear(l.in.Wait)
+			return
+		}
+		succ := n.qNext.Load()
+		if succ == nil {
+			if l.tail.CompareAndSwap(n, nil) {
+				return // abandoned tail: the queue is now empty
+			}
+			lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return n.qNext.Load() != nil })
+			succ = n.qNext.Load()
+		}
+		n.qNext.Store(nil)
+		n = succ
+	}
+}
+
 // RLock acquires the lock for reading.
-func (p *Proc) RLock() {
+func (p *Proc) RLock() { p.rlock(lockcore.Deadline{}) }
+
+// rlock is the read-acquisition core, shared by RLock (zero deadline,
+// which never expires) and the timed variants in deadline.go. It
+// reports whether the lock was acquired.
+func (p *Proc) rlock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
 	slow := false
 	var rNode *Node
 	for {
+		if !dl.None() && dl.Expired() {
+			// Not enqueued and holding no arrival: just walk away.
+			if rNode != nil {
+				freeReaderNode(rNode)
+			}
+			p.abandon(0, dl)
+			return false
+		}
 		tail := l.tail.Load()
 		switch {
 		case tail == nil:
@@ -193,6 +253,7 @@ func (p *Proc) RLock() {
 				rNode = p.allocReaderNode()
 			}
 			rNode.flag.Set(false)
+			rNode.gstate.Store(gLive)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
 				slow = true
@@ -207,7 +268,7 @@ func (p *Proc) RLock() {
 				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				p.pi.ProfAcquired(pt, slow)
-				return
+				return true
 			}
 			// A writer closed the node between Open and Arrive. The node
 			// is in the queue; the closer owns its cleanup. Retry with a
@@ -223,6 +284,7 @@ func (p *Proc) RLock() {
 				rNode = p.allocReaderNode()
 			}
 			rNode.flag.Set(true)
+			rNode.gstate.Store(gLive)
 			rNode.qNext.Store(nil)
 			if !l.tail.CompareAndSwap(tail, rNode) {
 				slow = true
@@ -234,15 +296,19 @@ func (p *Proc) RLock() {
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
-				p.departFrom = rNode
-				p.ticket = t
 				if p.pi.Tracing() && rNode.flag.Blocked() {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				rNode.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				if !rNode.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+					p.departAbandoned(rNode, t)
+					p.abandon(lockcore.PhaseSpinWait, dl)
+					return false
+				}
+				p.departFrom = rNode
+				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				p.pi.ProfAcquired(pt, true)
-				return
+				return true
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			slow = true
@@ -256,16 +322,20 @@ func (p *Proc) RLock() {
 				if rNode != nil {
 					freeReaderNode(rNode) // allocated but never enqueued
 				}
-				p.departFrom = tail
-				p.ticket = t
 				blocked := tail.flag.Blocked()
 				if p.pi.Tracing() && blocked {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				if !tail.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+					p.departAbandoned(tail, t)
+					p.abandon(lockcore.PhaseSpinWait, dl)
+					return false
+				}
+				p.departFrom = tail
+				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 				p.pi.ProfAcquired(pt, slow || blocked)
-				return
+				return true
 			}
 			// Arrive failed: a writer closed the node after enqueuing
 			// behind it, so the tail must have changed. Retry.
@@ -289,7 +359,7 @@ func (p *Proc) RUnlock() {
 	// qNext is set.
 	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
-	succ.flag.Clear(p.l.in.Wait)
+	p.l.grant(succ, p.id, p.pi.TR)
 	n.qNext.Store(nil) // clean up before recycling
 	freeReaderNode(n)
 	p.pi.Inc(lockcore.FOLLNodeRecycle)
@@ -300,34 +370,44 @@ func (p *Proc) RUnlock() {
 
 // Lock acquires the lock for writing, exactly as in the MCS mutex except
 // for the reader-node predecessor handling.
-func (p *Proc) Lock() {
+func (p *Proc) Lock() { p.lock(lockcore.Deadline{}) }
+
+// lock is the write-acquisition core, shared by Lock (zero deadline)
+// and the timed variants in deadline.go. It reports whether the lock
+// was acquired.
+func (p *Proc) lock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
 	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
+	w.gstate.Store(gLive)
 	oldTail := l.tail.Swap(w)
 	if oldTail == nil {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
-		return // free lock acquired
+		return true // free lock acquired
 	}
 	w.flag.Set(true)
 	oldTail.qNext.Store(w)
 	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
 		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
-		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+		if !w.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+			return p.cancelWriteWait(dl, t0, pt, lockcore.PhaseQueueWait)
+		}
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
 		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	// Reader predecessor. Its C-SNZI may not be open yet (the enqueuer
 	// opens it just after the enqueue; see also node recycling): wait
-	// until it is, then close it to stop further readers joining.
+	// until it is, then close it to stop further readers joining. This
+	// wait is deliberately unbounded even on timed paths — the enqueuer
+	// opens the indicator within a few instructions of the enqueue.
 	p.pi.BeginAt(t0, lockcore.PhaseDrainWait)
 	lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool {
 		_, open := oldTail.ind.Query()
@@ -338,20 +418,32 @@ func (p *Proc) Lock() {
 	if closedEmpty {
 		// Closed empty: no readers will signal us. Wait for the
 		// predecessor node's own grant and recycle it ourselves.
-		oldTail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+		if !oldTail.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+			// Duty-phase abandonment: closing the predecessor committed
+			// us to recycling it and to the write acquisition that
+			// follows — neither can be unwound. Detach both onto a
+			// reaper that finishes the protocol verbatim and releases.
+			p.wNode = &Node{kind: kindWriter}
+			go l.reapClosedEmpty(w, oldTail, p.id)
+			p.abandon(lockcore.PhaseDrainWait, dl)
+			return false
+		}
 		oldTail.qNext.Store(nil)
 		freeReaderNode(oldTail)
 		l.in.Inc(lockcore.FOLLNodeRecycle, p.id)
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	// Readers exist: the last departer will signal us.
-	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	if !w.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+		return p.cancelWriteWait(dl, t0, pt, lockcore.PhaseDrainWait)
+	}
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
 	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.FOLLWriteWait, p.id, w0)
+	return true
 }
 
 // Unlock releases a write acquisition.
@@ -367,11 +459,26 @@ func (p *Proc) Unlock() {
 		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
-	succ.flag.Clear(l.in.Wait)
+	l.grant(succ, p.id, p.pi.TR)
 	w.qNext.Store(nil) // clean up
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
 	p.pi.Released(lockcore.KindWriteReleased)
 	p.pi.ProfReleased()
+}
+
+// unlockNode is the release protocol on an explicit node, for reapers
+// releasing an acquisition whose proc already walked away (the proc's
+// wNode was replaced, so p.Unlock no longer reaches the queued node).
+func (l *RWLock) unlockNode(w *Node, id int, tr *lockcore.TraceLocal) {
+	if w.qNext.Load() == nil {
+		if l.tail.CompareAndSwap(w, nil) {
+			return
+		}
+		lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return w.qNext.Load() != nil })
+	}
+	succ := w.qNext.Load()
+	l.grant(succ, id, tr)
+	w.qNext.Store(nil)
 }
 
 // MaxProcs returns the ring size (diagnostic).

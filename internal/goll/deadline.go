@@ -1,0 +1,76 @@
+// Timed/cancellable acquisition surface for the GOLL lock. The cores
+// live in goll.go (rlock/lock, deadline-threaded); this file adds the
+// duration and context sugar plus the shared abandonment bookkeeping.
+// See ALGORITHMS.md §17 for the abandonment protocol.
+package goll
+
+import (
+	"context"
+	"time"
+
+	"ollock/internal/lockcore"
+)
+
+// abandon finalizes a failed timed acquisition: the kind's timeout or
+// cancel counter (split by expiry cause), one KindCancel trace event,
+// and — when ph is nonzero — the open wait-phase span's close.
+func (p *Proc) abandon(ph lockcore.Phase, timeout, cancel lockcore.Event, dl lockcore.Deadline) {
+	p.l.in.Inc(lockcore.CancelEvent(timeout, cancel, dl), p.id)
+	p.pi.Emit(lockcore.KindCancel, 0, lockcore.CancelArg(dl))
+	if ph != 0 {
+		p.pi.End(ph)
+	}
+}
+
+// RLockDeadline acquires for reading, abandoning on expiry; it reports
+// whether the lock was acquired. A zero deadline never expires.
+func (p *Proc) RLockDeadline(dl lockcore.Deadline) bool { return p.rlock(dl) }
+
+// LockDeadline acquires for writing, abandoning on expiry; it reports
+// whether the lock was acquired.
+func (p *Proc) LockDeadline(dl lockcore.Deadline) bool { return p.lock(dl) }
+
+// RLockFor acquires for reading, giving up after d. The try-first shape
+// keeps the uncontended timed acquisition at untimed speed: anchoring
+// the deadline costs a clock read, which only a failed immediate
+// attempt — the one a non-positive d is owed anyway — has to pay.
+func (p *Proc) RLockFor(d time.Duration) bool {
+	if p.TryRLock() {
+		return true
+	}
+	return p.rlock(lockcore.After(d))
+}
+
+// LockFor acquires for writing, giving up after d.
+func (p *Proc) LockFor(d time.Duration) bool {
+	if p.TryLock() {
+		return true
+	}
+	return p.lock(lockcore.After(d))
+}
+
+// RLockCtx acquires for reading, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (p *Proc) RLockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dl := lockcore.FromContext(ctx)
+	if p.rlock(dl) {
+		return nil
+	}
+	return dl.Err()
+}
+
+// LockCtx acquires for writing, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (p *Proc) LockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dl := lockcore.FromContext(ctx)
+	if p.lock(dl) {
+		return nil
+	}
+	return dl.Err()
+}

@@ -116,7 +116,24 @@ func (l *RWLock) NewProc() *Proc {
 // a single C-SNZI arrival; otherwise the reader enqueues itself and is
 // handed the lock (with a pre-made direct arrival) by a releasing
 // writer.
-func (p *Proc) RLock() {
+func (p *Proc) RLock() { p.rlock(lockcore.Deadline{}) }
+
+// rlock is the deadline-threaded read-acquire core; a zero deadline
+// reproduces the untimed paths (the timed branches cost one None/
+// Expired branch each, nothing on the conflict-free fast path).
+//
+// Cancellation protocol: a queued GOLL reader holds no indicator
+// arrival — its DirectTicket is only a token telling RUnlock how to
+// depart an arrival the *releaser* makes on its behalf
+// (OpenWithArrivals). Abandonment is therefore pure queue surgery:
+// take the metalock, unlink the entry if it is still queued, done —
+// there is nothing to roll back in the C-SNZI. Losing the unlink race
+// means a releaser already dequeued us into a hand-off batch and a
+// signal (plus our pre-made arrival) is in flight: the canceling
+// reader waits the short remainder out, then gives the acquisition
+// straight back through the normal release path, so the hand-off
+// chain never stalls on an abandoned waiter.
+func (p *Proc) rlock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
@@ -126,7 +143,7 @@ func (p *Proc) RLock() {
 		if p.ticket.Arrived() {
 			p.pi.Acquired(lockcore.KindReadAcquired, t0, p.ticket.TraceRoute())
 			p.pi.ProfAcquired(pt, slow)
-			return
+			return true
 		}
 		if !slow {
 			// Open the arrive phase retroactively: the fast path never
@@ -135,6 +152,10 @@ func (p *Proc) RLock() {
 			p.pi.BeginAt(t0, lockcore.PhaseArrive)
 		}
 		p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+		if !dl.None() && dl.Expired() {
+			p.abandon(lockcore.PhaseArrive, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+			return false
+		}
 		l.meta.LockWith(l.in.Wait)
 		if _, open := l.cs.Query(); open {
 			// The closer released before we got the mutex; retry the
@@ -149,10 +170,29 @@ func (p *Proc) RLock() {
 		// (OpenWithArrivals), so we will depart directly.
 		p.ticket = l.cs.DirectTicket()
 		p.pi.Begin(lockcore.PhaseQueueWait)
+		if e.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+			p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteDirect)
+			p.pi.ProfAcquired(pt, true)
+			return true
+		}
+		// Expired while queued: the metalock decides who owns the entry.
+		l.meta.LockWith(l.in.Wait)
+		canceled := l.q.Cancel(e)
+		l.meta.Unlock()
+		if canceled {
+			p.abandon(lockcore.PhaseQueueWait, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+			return false
+		}
+		// A releaser dequeued us first: the signal and our pre-made
+		// direct arrival are in flight. Collect the acquisition (the
+		// timed-out waiter cell re-arms, so re-waiting is safe), then
+		// give it back.
 		e.WaitWith(l.in.Wait, p.id, p.pi.TR)
 		p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteDirect)
 		p.pi.ProfAcquired(pt, true)
-		return
+		p.RUnlock()
+		p.abandon(0, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+		return false
 	}
 }
 
@@ -172,6 +212,17 @@ func (p *Proc) RUnlock() {
 	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
 	l.meta.LockWith(l.in.Wait)
 	batch := l.q.DequeueHandoff(waitq.Reader)
+	if batch == nil {
+		// The closer(s) we drained behind all abandoned their waits
+		// between our Depart and the metalock: nobody to hand to, so
+		// reopen the indicator ourselves.
+		l.cs.Open()
+		l.meta.Unlock()
+		p.pi.Emit(lockcore.KindIndOpen, 0, 0)
+		p.pi.Released(lockcore.KindReadReleased)
+		p.pi.ProfReleased()
+		return
+	}
 	if batch.Kind == waitq.Reader {
 		// Readers overtook the waiting writer: move the lock straight to
 		// the read-acquired state, keeping it closed while writers wait.
@@ -188,7 +239,22 @@ func (p *Proc) RUnlock() {
 
 // Lock acquires the lock for writing: one CAS (CloseIfEmpty) when the
 // lock is free, otherwise close-and-enqueue under the queue mutex.
-func (p *Proc) Lock() {
+func (p *Proc) Lock() { p.lock(lockcore.Deadline{}) }
+
+// lock is the deadline-threaded write-acquire core; a zero deadline
+// reproduces the untimed paths.
+//
+// A canceled queued writer unlinks itself under the metalock and
+// leaves the indicator closed — deliberately. Reopening would need to
+// know whether other writers still wait and whether readers hold the
+// surplus, all racing fresh arrivals; instead the protocol leans on
+// the invariant that a closed indicator always has a live owner (the
+// write holder, or the read group whose last departer hands off), and
+// every owner's release path now tolerates an empty queue (the nil-
+// batch branches in RUnlock/Unlock reopen it). The canceled writer's
+// only trace is one already-failed reader retry round, not a stalled
+// lock.
+func (p *Proc) lock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
@@ -197,9 +263,13 @@ func (p *Proc) Lock() {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	p.pi.BeginAt(t0, lockcore.PhaseArrive)
+	if !dl.None() && dl.Expired() {
+		p.abandon(lockcore.PhaseArrive, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+		return false
+	}
 	l.meta.LockWith(l.in.Wait)
 	if l.cs.Close() {
 		// The lock drained between our fast path and here; Close
@@ -208,7 +278,7 @@ func (p *Proc) Lock() {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	// The indicator is now closed over the readers holding it (by our
 	// Close, or an earlier writer's); their last departer hands off.
@@ -217,10 +287,27 @@ func (p *Proc) Lock() {
 	l.meta.Unlock()
 	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
 	p.pi.Begin(lockcore.PhaseQueueWait)
-	e.WaitWith(l.in.Wait, p.id, p.pi.TR)
+	if !e.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+		l.meta.LockWith(l.in.Wait)
+		canceled := l.q.Cancel(e)
+		l.meta.Unlock()
+		if canceled {
+			p.abandon(lockcore.PhaseQueueWait, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+			return false
+		}
+		// A releaser already handed us the lock; collect it, release it,
+		// report failure.
+		e.WaitWith(l.in.Wait, p.id, p.pi.TR)
+		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+		p.pi.ProfAcquired(pt, true)
+		p.Unlock()
+		p.abandon(0, lockcore.GOLLTimeout, lockcore.GOLLCancel, dl)
+		return false
+	}
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
 	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.GOLLWriteWait, p.id, w0)
+	return true
 }
 
 // Unlock releases a write acquisition, handing ownership to the next

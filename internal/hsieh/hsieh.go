@@ -77,5 +77,23 @@ func (p *Proc) Unlock() {
 	}
 }
 
+// TryRLock acquires for reading without waiting: one try at the private
+// mutex.
+func (p *Proc) TryRLock() bool { return p.l.slots[p.id].m.TryLock() }
+
+// TryLock acquires for writing without waiting: try every private mutex
+// in ascending order, rolling back on the first failure.
+func (p *Proc) TryLock() bool {
+	for i := range p.l.slots {
+		if !p.l.slots[i].m.TryLock() {
+			for j := i - 1; j >= 0; j-- {
+				p.l.slots[j].m.Unlock()
+			}
+			return false
+		}
+	}
+	return true
+}
+
 // MaxProcs returns the number of slots (diagnostic).
 func (l *RWLock) MaxProcs() int { return len(l.slots) }

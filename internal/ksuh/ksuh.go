@@ -179,6 +179,36 @@ func (l *RWLock) Unlock(n *Node) {
 	l.splice(n)
 }
 
+// TryRLock acquires for reading without waiting, using n as the
+// thread's node; it reports success. Conservative: it succeeds only
+// when the queue is empty (every holder — reader or writer — keeps its
+// node queued until release, so an empty tail means the lock is free).
+func (l *RWLock) TryRLock(n *Node) bool {
+	if l.tail.Load() != nil {
+		return false
+	}
+	n.reset(kindReader)
+	if !l.tail.CompareAndSwap(nil, n) {
+		return false
+	}
+	l.activate(n)
+	return true
+}
+
+// TryLock acquires for writing without waiting, using n as the thread's
+// node; it reports success. Conservative, like TryRLock.
+func (l *RWLock) TryLock(n *Node) bool {
+	if l.tail.Load() != nil {
+		return false
+	}
+	n.reset(kindWriter)
+	if !l.tail.CompareAndSwap(nil, n) {
+		return false
+	}
+	n.waiting.Store(false)
+	return true
+}
+
 // splice removes n from the queue. If n was the head, the successor
 // becomes head and is activated.
 func (l *RWLock) splice(n *Node) {

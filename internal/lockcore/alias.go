@@ -7,6 +7,9 @@
 package lockcore
 
 import (
+	"context"
+	"time"
+
 	"ollock/internal/obs"
 	"ollock/internal/park"
 	"ollock/internal/trace"
@@ -24,10 +27,14 @@ const (
 	GOLLUpgradeAttempt = obs.GOLLUpgradeAttempt
 	GOLLUpgradeFail    = obs.GOLLUpgradeFail
 	GOLLDowngrade      = obs.GOLLDowngrade
+	GOLLTimeout        = obs.GOLLTimeout
+	GOLLCancel         = obs.GOLLCancel
 
 	FOLLReadJoin    = obs.FOLLReadJoin
 	FOLLReadEnqueue = obs.FOLLReadEnqueue
 	FOLLNodeRecycle = obs.FOLLNodeRecycle
+	FOLLTimeout     = obs.FOLLTimeout
+	FOLLCancel      = obs.FOLLCancel
 
 	ROLLReadJoin    = obs.ROLLReadJoin
 	ROLLReadEnqueue = obs.ROLLReadEnqueue
@@ -35,12 +42,15 @@ const (
 	ROLLOvertake    = obs.ROLLOvertake
 	ROLLHintHit     = obs.ROLLHintHit
 	ROLLHintMiss    = obs.ROLLHintMiss
+	ROLLTimeout     = obs.ROLLTimeout
+	ROLLCancel      = obs.ROLLCancel
 
 	BravoFastRead      = obs.BravoFastRead
 	BravoSlowRead      = obs.BravoSlowRead
 	BravoBiasArm       = obs.BravoBiasArm
 	BravoRevoke        = obs.BravoRevoke
 	BravoSlotCollision = obs.BravoSlotCollision
+	BravoRevokeAbort   = obs.BravoRevokeAbort
 )
 
 // Histograms the algorithm packages sample.
@@ -81,6 +91,8 @@ const (
 
 	KindBravoRecheckFail = trace.KindBravoRecheckFail
 	KindBravoRevoke      = trace.KindBravoRevoke
+
+	KindCancel = trace.KindCancel
 )
 
 // Phases the algorithm packages open and close.
@@ -123,4 +135,47 @@ type (
 // WaitCond waits (via the policy's ladder) until cond reports true.
 func WaitCond(pol *Policy, id int, tr *TraceLocal, cond func() bool) {
 	park.WaitCond(pol, id, tr, cond)
+}
+
+// WaitCondUntil is WaitCond with a bound: true once cond holds, false
+// if dl expired first.
+func WaitCondUntil(pol *Policy, id int, tr *TraceLocal, cond func() bool, dl Deadline) bool {
+	return park.WaitCondUntil(pol, id, tr, cond, dl)
+}
+
+// Deadline is the bound on one timed acquisition — an absolute expiry
+// time, a context, both, or neither. The zero value means "no bound"
+// and routes every wait to the untimed code paths, which is how the
+// plain RLock/Lock entry points share their slow paths with the timed
+// ones at the cost of one branch. See internal/park for the timeout/
+// unpark race protocol.
+type Deadline = park.Deadline
+
+// After returns a deadline d from now.
+func After(d time.Duration) Deadline { return park.DeadlineAfter(d) }
+
+// At returns a deadline at the absolute time t.
+func At(t time.Time) Deadline { return park.DeadlineAt(t) }
+
+// FromContext returns a deadline driven by ctx (cancellation and
+// ctx's own deadline, if any).
+func FromContext(ctx context.Context) Deadline { return park.DeadlineCtx(ctx) }
+
+// CancelArg is the KindCancel trace event's Arg word for dl: 0 for a
+// clock expiry, 1 for a context cancellation.
+func CancelArg(dl Deadline) uint64 {
+	if dl.Canceled() {
+		return 1
+	}
+	return 0
+}
+
+// CancelEvent picks the counter for an abandoned acquisition out of
+// the kind's (timeout, cancel) pair: context cancellations count as
+// cancel, clock expiries as timeout.
+func CancelEvent(timeout, cancel Event, dl Deadline) Event {
+	if dl.Canceled() {
+		return cancel
+	}
+	return timeout
 }

@@ -18,6 +18,7 @@ package lockcore
 import (
 	"time"
 
+	"ollock/internal/chaos"
 	"ollock/internal/obs"
 	"ollock/internal/park"
 	"ollock/internal/prof"
@@ -27,21 +28,23 @@ import (
 // Instr bundles a lock's optional instrumentation: the striped counter
 // block (nil = stats off), the flight-recorder handle (nil = tracing
 // off), the wait policy (nil = pure spinning, the paper's behavior),
-// and the call-site profiler handle (nil = profiling off). The zero
-// value is a fully-off bundle; every method is safe on it, costing one
-// predictable nil-check branch per call.
+// the call-site profiler handle (nil = profiling off), and the chaos
+// fault injector (nil = no fault injection; torture runs only). The
+// zero value is a fully-off bundle; every method is safe on it,
+// costing one predictable nil-check branch per call.
 type Instr struct {
 	Stats *obs.Stats
 	Trace *trace.LockTrace
 	Wait  *park.Policy
 	Prof  *prof.LockProf
+	Chaos *chaos.Injector
 }
 
 // NewProc mints the per-proc view: a buffered counter handle, a
-// per-proc trace ring, and a profiler sampling handle, each nil when
-// the corresponding layer is off.
+// per-proc trace ring, a profiler sampling handle, and a chaos fault
+// stream, each nil when the corresponding layer is off.
 func (in Instr) NewProc(id int) ProcInstr {
-	return ProcInstr{LC: in.Stats.NewLocal(id), TR: in.Trace.NewLocal(id), PR: in.Prof.NewLocal()}
+	return ProcInstr{LC: in.Stats.NewLocal(id), TR: in.Trace.NewLocal(id), PR: in.Prof.NewLocal(), CH: in.Chaos.NewProc(id)}
 }
 
 // Enabled reports whether the stats layer is on.
@@ -86,6 +89,7 @@ type ProcInstr struct {
 	LC *obs.Local
 	TR *trace.Local
 	PR *prof.Local
+	CH *chaos.Proc
 }
 
 // Inc counts one event through the proc's buffer (no-op when stats are
@@ -99,8 +103,17 @@ func (pi ProcInstr) Tracing() bool { return pi.TR != nil }
 // Now returns the trace clock, or 0 when tracing is off.
 func (pi ProcInstr) Now() int64 { return pi.TR.Now() }
 
-// Emit records one trace event (no-op when tracing is off).
-func (pi ProcInstr) Emit(k TraceKind, ph Phase, arg uint64) { pi.TR.Emit(k, ph, arg) }
+// Emit records one trace event (no-op when tracing is off). Under a
+// chaos injector it first perturbs the caller: the algorithms emit
+// exactly at their protocol steps (enqueue published, indicator
+// closed, hand-off decided), so the injection lands on the
+// linearization points without any dedicated hooks — and works with
+// tracing off, since the perturbation precedes the nil-guarded ring
+// write.
+func (pi ProcInstr) Emit(k TraceKind, ph Phase, arg uint64) {
+	pi.CH.Perturb()
+	pi.TR.Emit(k, ph, arg)
+}
 
 // Begin opens a wait-phase span (no-op when tracing is off).
 func (pi ProcInstr) Begin(ph Phase) { pi.TR.Begin(ph) }

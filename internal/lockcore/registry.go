@@ -27,6 +27,10 @@ type Caps struct {
 	// profiler hooks (WithProfile; the OLL locks and their biased
 	// wrappers).
 	Profiled bool
+	// Cancellable: the kind's Procs implement timed/cancellable
+	// acquisition (RLockFor/LockFor and RLockCtx/LockCtx — the
+	// DeadlineProc interface) with safe abandonment.
+	Cancellable bool
 }
 
 // KindDesc describes one lock kind: the single source from which the
@@ -71,19 +75,19 @@ func MatrixIndicators() []string { return []string{"central", "sharded"} }
 var descs = []KindDesc{
 	{
 		Name: "goll", Doc: "general OLL lock (§3): wait queue, priorities, upgrade/downgrade",
-		Caps:    Caps{Indicator: true, Wait: true, Upgrade: true, Priority: true, Instrumented: true, Profiled: true},
+		Caps:    Caps{Indicator: true, Wait: true, Upgrade: true, Priority: true, Instrumented: true, Profiled: true, Cancellable: true},
 		Scopes:  []string{"csnzi", "goll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
 	{
 		Name: "foll", Doc: "FIFO distributed-queue OLL lock (§4.2)",
-		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
+		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true, Cancellable: true},
 		Scopes:  []string{"csnzi", "foll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
 	{
 		Name: "roll", Doc: "reader-preference distributed-queue OLL lock (§4.3)",
-		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
+		Caps:    Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true, Cancellable: true},
 		Scopes:  []string{"csnzi", "roll"},
 		Figure5: true, IndicatorMatrix: true,
 	},
@@ -104,17 +108,17 @@ var descs = []KindDesc{
 	},
 	{
 		Name: "central", Doc: "naive centralized counter+flag baseline",
-		Caps: Caps{Wait: true},
+		Caps: Caps{Wait: true, Cancellable: true},
 	},
 	{
 		Name: "bravo-goll", Doc: "GOLL under the BRAVO biased reader fast path",
-		Caps:      Caps{Indicator: true, Wait: true, Instrumented: true, Profiled: true},
+		Caps:      Caps{Indicator: true, Wait: true, Instrumented: true, Profiled: true, Cancellable: true},
 		Scopes:    []string{"csnzi", "goll"},
 		ForceBias: true, BiasBase: "goll",
 	},
 	{
 		Name: "bravo-roll", Doc: "ROLL under the BRAVO biased reader fast path",
-		Caps:      Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true},
+		Caps:      Caps{Indicator: true, Wait: true, BoundedProcs: true, Instrumented: true, Profiled: true, Cancellable: true},
 		Scopes:    []string{"csnzi", "roll"},
 		ForceBias: true, BiasBase: "roll",
 	},

@@ -70,6 +70,17 @@ type Upgrader interface {
 	Downgrade()
 }
 
+// TryProc is implemented by procs with non-blocking acquisition. Every
+// implementation in Locks provides it (the suite asserts so); the
+// queue-per-holder baselines (KSUH, MCS-RW) are conservative — their
+// tries succeed only on an empty queue, so a try may fail alongside an
+// active reader — while the rest guarantee reader overlap.
+type TryProc interface {
+	Proc
+	TryRLock() bool
+	TryLock() bool
+}
+
 // ctors maps registry kind names to constructors; statCtors to the
 // instrumented variants (absent for uninstrumented kinds). A sync test
 // in the module root asserts these tables and the registry agree.
@@ -183,10 +194,12 @@ type ksuhProc struct {
 	n ksuh.Node
 }
 
-func (p *ksuhProc) RLock()   { p.l.RLock(&p.n) }
-func (p *ksuhProc) RUnlock() { p.l.RUnlock(&p.n) }
-func (p *ksuhProc) Lock()    { p.l.Lock(&p.n) }
-func (p *ksuhProc) Unlock()  { p.l.Unlock(&p.n) }
+func (p *ksuhProc) RLock()         { p.l.RLock(&p.n) }
+func (p *ksuhProc) RUnlock()       { p.l.RUnlock(&p.n) }
+func (p *ksuhProc) Lock()          { p.l.Lock(&p.n) }
+func (p *ksuhProc) Unlock()        { p.l.Unlock(&p.n) }
+func (p *ksuhProc) TryRLock() bool { return p.l.TryRLock(&p.n) }
+func (p *ksuhProc) TryLock() bool  { return p.l.TryLock(&p.n) }
 
 func newKSUH(maxProcs int) ProcMaker {
 	l := ksuh.New()
@@ -198,10 +211,12 @@ type mcsRWProc struct {
 	n mcs.RWNode
 }
 
-func (p *mcsRWProc) RLock()   { p.l.RLock(&p.n) }
-func (p *mcsRWProc) RUnlock() { p.l.RUnlock(&p.n) }
-func (p *mcsRWProc) Lock()    { p.l.Lock(&p.n) }
-func (p *mcsRWProc) Unlock()  { p.l.Unlock(&p.n) }
+func (p *mcsRWProc) RLock()         { p.l.RLock(&p.n) }
+func (p *mcsRWProc) RUnlock()       { p.l.RUnlock(&p.n) }
+func (p *mcsRWProc) Lock()          { p.l.Lock(&p.n) }
+func (p *mcsRWProc) Unlock()        { p.l.Unlock(&p.n) }
+func (p *mcsRWProc) TryRLock() bool { return p.l.TryRLock(&p.n) }
+func (p *mcsRWProc) TryLock() bool  { return p.l.TryLock(&p.n) }
 
 func newMCSRW(maxProcs int) ProcMaker {
 	l := mcs.NewRWLock()
@@ -316,10 +331,12 @@ func newBravoROLLStats(maxProcs int) (ProcMaker, *obs.Stats) {
 
 type stdRWProc struct{ l *sync.RWMutex }
 
-func (p stdRWProc) RLock()   { p.l.RLock() }
-func (p stdRWProc) RUnlock() { p.l.RUnlock() }
-func (p stdRWProc) Lock()    { p.l.Lock() }
-func (p stdRWProc) Unlock()  { p.l.Unlock() }
+func (p stdRWProc) RLock()         { p.l.RLock() }
+func (p stdRWProc) RUnlock()       { p.l.RUnlock() }
+func (p stdRWProc) Lock()          { p.l.Lock() }
+func (p stdRWProc) Unlock()        { p.l.Unlock() }
+func (p stdRWProc) TryRLock() bool { return p.l.TryRLock() }
+func (p stdRWProc) TryLock() bool  { return p.l.TryLock() }
 
 func newStdRW(maxProcs int) ProcMaker {
 	l := new(sync.RWMutex)

@@ -150,5 +150,55 @@ func (l *RWLock) Unlock(n *RWNode) {
 	}
 }
 
+// TryRLock acquires for reading without waiting, using n as the
+// thread's queue node; it reports success. Conservative: it succeeds
+// only when the queue is empty (an active writer or any waiter keeps
+// its node queued, so an empty tail means readers-only or free).
+func (l *RWLock) TryRLock(n *RWNode) bool {
+	if l.tail.Load() != nil {
+		return false
+	}
+	n.class = classReader
+	n.next.Store(nil)
+	n.state.Store(stBlocked | succNone)
+	if !l.tail.CompareAndSwap(nil, n) {
+		return false
+	}
+	l.readerCount.Add(1)
+	n.clearBlocked()
+	// Chain wake, as in RLock: admit a reader that queued behind us
+	// while we were publishing.
+	if n.state.Load()&succClassMask == succReader {
+		atomicx.SpinUntil(func() bool { return n.next.Load() != nil })
+		l.readerCount.Add(1)
+		n.next.Load().clearBlocked()
+	}
+	return true
+}
+
+// TryLock acquires for writing without waiting, using n as the thread's
+// queue node; it reports success. Conservative: it succeeds only when
+// the queue is empty and no reader is active. A reader in the middle of
+// its release (queue node gone, count not yet decremented) can make the
+// enqueue land before the count reaches zero; the residual wait is
+// bounded by that release, which then hands the lock to us.
+func (l *RWLock) TryLock(n *RWNode) bool {
+	if l.readerCount.Load() != 0 || l.tail.Load() != nil {
+		return false
+	}
+	n.class = classWriter
+	n.next.Store(nil)
+	n.state.Store(stBlocked | succNone)
+	if !l.tail.CompareAndSwap(nil, n) {
+		return false
+	}
+	l.nextWriter.Store(n)
+	if l.readerCount.Load() == 0 && l.nextWriter.Swap(nil) == n {
+		n.clearBlocked()
+	}
+	atomicx.SpinUntil(func() bool { return !n.blocked() })
+	return true
+}
+
 // Readers returns the active reader count (diagnostic).
 func (l *RWLock) Readers() int { return int(int32(l.readerCount.Load())) }

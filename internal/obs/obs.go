@@ -83,6 +83,12 @@ const (
 	GOLLUpgradeFail
 	// GOLLDowngrade counts write->read downgrades.
 	GOLLDowngrade
+	// GOLLTimeout counts GOLL acquisitions abandoned on deadline
+	// expiry (RLockFor/LockFor returning false).
+	GOLLTimeout
+	// GOLLCancel counts GOLL acquisitions abandoned on context
+	// cancellation (RLockCtx/LockCtx observing ctx.Done).
+	GOLLCancel
 
 	// FOLLReadJoin counts readers that joined an existing reader
 	// node's group (the C-SNZI sharing of §4.2: no tail write).
@@ -93,6 +99,12 @@ const (
 	// FOLLNodeRecycle counts reader nodes returned to the ring pool
 	// (§4.2.1 availability accounting).
 	FOLLNodeRecycle
+	// FOLLTimeout counts FOLL acquisitions abandoned on deadline
+	// expiry.
+	FOLLTimeout
+	// FOLLCancel counts FOLL acquisitions abandoned on context
+	// cancellation.
+	FOLLCancel
 
 	// ROLLReadJoin counts readers that joined the reader node at the
 	// tail (FOLL-style join, no overtaking involved).
@@ -111,6 +123,12 @@ const (
 	// ROLLHintMiss counts reads that found a stale hint (set but not
 	// joinable) and had to fall back to the search/enqueue path.
 	ROLLHintMiss
+	// ROLLTimeout counts ROLL acquisitions abandoned on deadline
+	// expiry.
+	ROLLTimeout
+	// ROLLCancel counts ROLL acquisitions abandoned on context
+	// cancellation.
+	ROLLCancel
 
 	// BravoFastRead counts read acquisitions that took the biased
 	// visible-readers fast path.
@@ -127,6 +145,10 @@ const (
 	// BravoSlotCollision counts fast-path attempts whose memoized slot
 	// was occupied, forcing a probe (table pressure signal).
 	BravoSlotCollision
+	// BravoRevokeAbort counts revocations abandoned on deadline expiry:
+	// the writer re-armed the bias, released the underlying lock, and
+	// reported failure (graceful degradation under slow readers).
+	BravoRevokeAbort
 
 	// ParkYield counts waits that exhausted their hot-spin budget and
 	// escalated to the Gosched ladder (one per wait episode).
@@ -140,6 +162,9 @@ const (
 	// ParkArrayWait counts waits that moved onto a private waiting-
 	// array slot (TWA long-term waiting; one per wait episode).
 	ParkArrayWait
+	// ParkTimeout counts timed waits that expired before the grant —
+	// the park layer's view of every abandoned acquisition above it.
+	ParkTimeout
 
 	// NumEvents is the number of declared events (not itself an
 	// event).
@@ -157,24 +182,32 @@ var eventNames = [NumEvents]string{
 	GOLLUpgradeAttempt: "goll.upgrade.attempt",
 	GOLLUpgradeFail:    "goll.upgrade.fail",
 	GOLLDowngrade:      "goll.downgrade",
+	GOLLTimeout:        "goll.timeout",
+	GOLLCancel:         "goll.cancel",
 	FOLLReadJoin:       "foll.read.join",
 	FOLLReadEnqueue:    "foll.read.enqueue",
 	FOLLNodeRecycle:    "foll.node.recycle",
+	FOLLTimeout:        "foll.timeout",
+	FOLLCancel:         "foll.cancel",
 	ROLLReadJoin:       "roll.read.join",
 	ROLLReadEnqueue:    "roll.read.enqueue",
 	ROLLNodeRecycle:    "roll.node.recycle",
 	ROLLOvertake:       "roll.overtake",
 	ROLLHintHit:        "roll.hint.hit",
 	ROLLHintMiss:       "roll.hint.miss",
+	ROLLTimeout:        "roll.timeout",
+	ROLLCancel:         "roll.cancel",
 	BravoFastRead:      "bravo.read.fast",
 	BravoSlowRead:      "bravo.read.slow",
 	BravoBiasArm:       "bravo.bias.arm",
 	BravoRevoke:        "bravo.revoke",
 	BravoSlotCollision: "bravo.slot.collision",
+	BravoRevokeAbort:   "bravo.revoke.abort",
 	ParkYield:          "park.yield",
 	ParkPark:           "park.park",
 	ParkUnpark:         "park.unpark",
 	ParkArrayWait:      "park.array.wait",
+	ParkTimeout:        "park.timeout",
 }
 
 // String returns the event's stable dotted name.

@@ -1,0 +1,245 @@
+// Timed/cancellable acquisition surface for the ROLL lock. The cores
+// live in roll.go (rlock/lock, deadline-threaded); this file adds the
+// abandonment machinery and the try/duration/context sugar. Reader
+// abandonment is simpler than FOLL's: ROLL closes a group's indicator
+// only after the group activates, so a canceling reader that draws the
+// last ticket of a closed group always finds the grant already
+// delivered and discharges the hand-off duty inline — no reaper.
+// Writer abandonment needs one extra reaper instead: the deferred
+// close of a reader predecessor belongs to the abandoning writer's
+// queue position and cannot be dropped. See ALGORITHMS.md §17.
+package roll
+
+import (
+	"context"
+	"time"
+
+	"ollock/internal/lockcore"
+	"ollock/internal/rind"
+)
+
+// abandon finalizes a failed timed acquisition: the kind's timeout or
+// cancel counter (split by expiry cause), one KindCancel trace event,
+// and — when ph is nonzero — the open wait-phase span's close.
+func (p *Proc) abandon(ph lockcore.Phase, dl lockcore.Deadline) {
+	p.l.in.Inc(lockcore.CancelEvent(lockcore.ROLLTimeout, lockcore.ROLLCancel, dl), p.id)
+	p.pi.Emit(lockcore.KindCancel, 0, lockcore.CancelArg(dl))
+	if ph != 0 {
+		p.pi.End(ph)
+	}
+}
+
+// departAbandoned retracts a read arrival whose wait timed out. The
+// common case is a plain Depart; drawing the group's last ticket from
+// a closed indicator means this canceler inherited the last-departer
+// duty. Closed implies activated here (the closing writer waits for
+// the spin flag to clear before closing), so the duty is always
+// dischargeable immediately.
+func (p *Proc) departAbandoned(n *Node, t rind.Ticket) {
+	if n.ind.Depart(t) {
+		return
+	}
+	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
+	succ := n.qNext.Load()
+	p.l.grant(succ, p.id, p.pi.TR)
+	n.qNext.Store(nil)
+	freeReaderNode(n)
+	p.pi.Inc(lockcore.ROLLNodeRecycle)
+	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, true))
+}
+
+// reapWriterDrain is the detached duty of a writer that timed out while
+// waiting for its reader predecessor's activation: perform the deferred
+// close once the group activates, recycle the node if the close drained
+// it (otherwise collect the last departer's grant), and release the
+// write acquisition the protocol forced through. No trace ring here —
+// rings are single-writer and belong to the proc's goroutine.
+func (l *RWLock) reapWriterDrain(w, oldTail *Node, id int) {
+	oldTail.flag.Wait(l.in.Wait, id, nil)
+	if oldTail.ind.Close() {
+		w.qPrev.Store(nil) // head now
+		oldTail.qNext.Store(nil)
+		freeReaderNode(oldTail)
+		l.in.Inc(lockcore.ROLLNodeRecycle, id)
+	} else {
+		w.flag.Wait(l.in.Wait, id, nil)
+	}
+	l.unlockNode(w, id, nil)
+}
+
+// cancelWriteWait abandons a write acquisition blocked on its own grant
+// flag. Winning the gstate race detaches the queued node (the grant
+// chain will skip and orphan it, so the proc gets a fresh one); losing
+// it means a grant is already in flight — collect the acquisition and
+// release it through the normal path. Returns false either way.
+func (p *Proc) cancelWriteWait(dl lockcore.Deadline, t0, pt int64, ph lockcore.Phase) bool {
+	l := p.l
+	w := p.wNode
+	if w.gstate.CompareAndSwap(gLive, gAbandoned) {
+		p.wNode = &Node{kind: kindWriter}
+		p.abandon(ph, dl)
+		return false
+	}
+	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
+	p.pi.ProfAcquired(pt, true)
+	p.Unlock()
+	p.abandon(0, dl)
+	return false
+}
+
+// TryRLock acquires for reading without waiting; it reports success.
+// Waiting groups are not joined (that would block), so this is the
+// FOLL-shaped subset: an empty queue or an active reader group at the
+// tail.
+func (p *Proc) TryRLock() bool {
+	l := p.l
+	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
+	tail := l.tail.Load()
+	switch {
+	case tail == nil:
+		rNode := p.allocReaderNode()
+		rNode.flag.Set(false)
+		rNode.gstate.Store(gLive)
+		rNode.qNext.Store(nil)
+		rNode.qPrev.Store(nil)
+		if !l.tail.CompareAndSwap(nil, rNode) {
+			freeReaderNode(rNode)
+			return false
+		}
+		p.pi.Inc(lockcore.ROLLReadEnqueue)
+		p.pi.Emit(lockcore.KindGroupEnqueue, 0, 0)
+		rNode.ind.Open()
+		t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
+		if !t.Arrived() {
+			// A writer closed the node already; the closer owns cleanup.
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			return false
+		}
+		p.departFrom, p.ticket = rNode, t
+		p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
+		p.pi.ProfAcquired(pt, false)
+		return true
+	case tail.kind == kindReader && !tail.flag.Blocked():
+		t := tail.ind.ArriveLocal(p.id, p.pi.LC)
+		if !t.Arrived() {
+			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
+			return false
+		}
+		if tail.flag.Blocked() {
+			// The node was recycled and re-enqueued waiting between the
+			// two loads; we joined a blocked group. Back out.
+			p.departAbandoned(tail, t)
+			return false
+		}
+		p.pi.Inc(lockcore.ROLLReadJoin)
+		p.departFrom, p.ticket = tail, t
+		p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
+		p.pi.ProfAcquired(pt, false)
+		return true
+	}
+	return false
+}
+
+// TryLock acquires for writing without waiting; it reports success.
+func (p *Proc) TryLock() bool {
+	l := p.l
+	if l.tail.Load() != nil {
+		return false
+	}
+	t0 := p.pi.Now()
+	pt := p.pi.ProfTick()
+	w := p.wNode
+	w.qNext.Store(nil)
+	w.qPrev.Store(nil)
+	w.gstate.Store(gLive)
+	if !l.tail.CompareAndSwap(nil, w) {
+		return false
+	}
+	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
+	p.pi.ProfAcquired(pt, false)
+	return true
+}
+
+// RLockDeadline acquires for reading, abandoning on expiry; it reports
+// whether the lock was acquired. A zero deadline never expires.
+func (p *Proc) RLockDeadline(dl lockcore.Deadline) bool { return p.rlock(dl) }
+
+// LockDeadline acquires for writing, abandoning on expiry; it reports
+// whether the lock was acquired.
+func (p *Proc) LockDeadline(dl lockcore.Deadline) bool { return p.lock(dl) }
+
+// RLockFor acquires for reading, giving up after d. The try-first shape
+// keeps the uncontended timed acquisition at untimed speed: anchoring
+// the deadline costs a clock read, which only a failed immediate
+// attempt — the one a non-positive d is owed anyway — has to pay.
+func (p *Proc) RLockFor(d time.Duration) bool {
+	if p.TryRLock() {
+		return true
+	}
+	return p.rlock(lockcore.After(d))
+}
+
+// LockFor acquires for writing, giving up after d.
+func (p *Proc) LockFor(d time.Duration) bool {
+	if p.TryLock() {
+		return true
+	}
+	return p.lock(lockcore.After(d))
+}
+
+// RLockCtx acquires for reading, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (p *Proc) RLockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dl := lockcore.FromContext(ctx)
+	if p.rlock(dl) {
+		return nil
+	}
+	return dl.Err()
+}
+
+// LockCtx acquires for writing, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (p *Proc) LockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dl := lockcore.FromContext(ctx)
+	if p.lock(dl) {
+		return nil
+	}
+	return dl.Err()
+}
+
+// NodesInUse returns the number of allocated ring-pool nodes
+// (diagnostic; exact only at quiescence).
+func (l *RWLock) NodesInUse() int {
+	c := 0
+	for i := range l.ring {
+		if l.ring[i].allocState.Load() == allocInUse {
+			c++
+		}
+	}
+	return c
+}
+
+// Idle reports whether the lock is free (diagnostic; exact only at
+// quiescence): either the queue is empty, or the tail is a drained
+// reader group — an open, zero-surplus, unblocked reader node, which
+// is how the lock rests after read-mostly traffic (the node stays in
+// place for future readers to join).
+func (l *RWLock) Idle() bool {
+	n := l.tail.Load()
+	if n == nil {
+		return true
+	}
+	if n.kind != kindReader || n.flag.Blocked() {
+		return false
+	}
+	nonzero, open := n.ind.Query()
+	return open && !nonzero
+}

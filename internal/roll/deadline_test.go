@@ -1,0 +1,146 @@
+package roll
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ollock/internal/lockcore"
+	"ollock/internal/obs"
+)
+
+func holdWrite(l *RWLock) func() {
+	p := l.NewProc()
+	p.Lock()
+	return p.Unlock
+}
+
+func TestWriteTimeoutBehindWriter(t *testing.T) {
+	st := obs.New()
+	l := New(4, WithInstr(lockcore.Instr{Stats: st}))
+	release := holdWrite(l)
+	p := l.NewProc()
+	if p.LockFor(20 * time.Millisecond) {
+		t.Fatal("LockFor succeeded while lock held")
+	}
+	if got := st.Count(obs.ROLLTimeout); got != 1 {
+		t.Fatalf("roll.timeout = %d, want 1", got)
+	}
+	release()
+	// The abandoned node must be skipped: the lock must still work.
+	if !p.LockFor(time.Second) {
+		t.Fatal("LockFor failed on free lock")
+	}
+	p.Unlock()
+	if !l.Idle() {
+		t.Fatal("queue not empty at quiescence")
+	}
+}
+
+func TestReadCtxCancelBehindWriter(t *testing.T) {
+	st := obs.New()
+	l := New(4, WithInstr(lockcore.Instr{Stats: st}))
+	release := holdWrite(l)
+	p := l.NewProc()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.RLockCtx(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("RLockCtx = %v, want context.DeadlineExceeded", err)
+	}
+	if got := st.Count(obs.ROLLCancel); got != 1 {
+		t.Fatalf("roll.cancel = %d, want 1", got)
+	}
+	release()
+	if !p.RLockFor(time.Second) {
+		t.Fatal("RLockFor failed on free lock")
+	}
+	p.RUnlock()
+}
+
+// TestWriterDrainTimeoutReaper drives the reapWriterDrain path: a
+// writer times out while waiting for its waiting reader predecessor
+// group to activate (the pre-close reader-preference wait). The
+// detached reaper must still perform the deferred close and pass the
+// lock on, and the pool must drain to zero.
+func TestWriterDrainTimeoutReaper(t *testing.T) {
+	l := New(8)
+	release := holdWrite(l)
+
+	// A waiting reader group forms behind the held lock... via a writer
+	// predecessor so its spin flag is set: enqueue writer W1 (blocks),
+	// then a reader group behind W1.
+	w1 := l.NewProc()
+	w1done := make(chan struct{})
+	go func() {
+		w1.Lock()
+		w1.Unlock()
+		close(w1done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	var rg sync.WaitGroup
+	rAcquired := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			p := l.NewProc()
+			p.RLock()
+			rAcquired <- struct{}{}
+			time.Sleep(30 * time.Millisecond)
+			p.RUnlock()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // group is waiting behind W1
+
+	// W2 enqueues behind the waiting reader group and times out before
+	// the group activates (W1 still blocked behind the held lock).
+	w2 := l.NewProc()
+	if w2.LockFor(20 * time.Millisecond) {
+		t.Fatal("W2 LockFor succeeded while queue blocked")
+	}
+
+	release() // W1 runs, then the reader group, then W2's reaper
+	<-w1done
+	rg.Wait()
+
+	// Everything must drain: the reaper closes the group's indicator,
+	// recycles the node, and releases W2's forced acquisition.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.NodesInUse() != 0 || !l.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatalf("at quiescence: NodesInUse=%d Idle=%v", l.NodesInUse(), l.Idle())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// And the lock must still work.
+	if !w2.LockFor(time.Second) {
+		t.Fatal("LockFor failed after reaper drain")
+	}
+	w2.Unlock()
+}
+
+func TestTrySemantics(t *testing.T) {
+	l := New(4)
+	p1 := l.NewProc()
+	p2 := l.NewProc()
+	if !p1.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	if p2.TryLock() || p2.TryRLock() {
+		t.Fatal("Try succeeded while write-held")
+	}
+	p1.Unlock()
+	if !p1.TryRLock() {
+		t.Fatal("TryRLock failed on free lock")
+	}
+	if !p2.TryRLock() {
+		t.Fatal("TryRLock (join) failed on read-held lock")
+	}
+	if p2.TryLock() {
+		t.Fatal("TryLock succeeded while read-held")
+	}
+	p1.RUnlock()
+	p2.RUnlock()
+}

@@ -51,6 +51,18 @@ const (
 	allocInUse
 )
 
+// Node grant states — the one-word hand-off/abandonment race, identical
+// to the FOLL protocol: granters CAS gLive→gGranted before clearing the
+// flag, canceling writers CAS gLive→gAbandoned and walk away, and the
+// loser of the word defers to the winner (see grant). Reader nodes are
+// reset to gLive at every enqueue but never abandoned; canceling
+// readers leave through Depart accounting.
+const (
+	gLive uint32 = iota
+	gGranted
+	gAbandoned
+)
+
 // searchLimit bounds the backward walk. Stale prev pointers through
 // recycled nodes can mislead the walk; bounding it keeps the fallback
 // (enqueue a fresh node, i.e. FOLL behaviour) prompt.
@@ -67,6 +79,8 @@ type Node struct {
 	// lockcore. Its Blocked bit doubles as the "group still waiting"
 	// join condition.
 	flag lockcore.Flag
+	// gstate is the grant/abandon race word (see the g* constants).
+	gstate atomic.Uint32
 	// Reader-node-only fields.
 	ind        rind.Indicator // closed whenever the node is not enqueued
 	allocState atomic.Uint32
@@ -173,17 +187,50 @@ func freeReaderNode(n *Node) {
 	n.allocState.Store(allocFree)
 }
 
+// grant hands the lock to n, skipping nodes whose writers abandoned
+// their acquisition (the FOLL grant protocol plus ROLL's backward
+// link: the node actually granted becomes the queue head, so its qPrev
+// is cleared before its flag). Skipped writer nodes are garbage — their
+// procs already replaced them; reader nodes are never abandoned, so
+// for them the CAS always succeeds.
+func (l *RWLock) grant(n *Node, id int, tr *lockcore.TraceLocal) {
+	for {
+		if n.gstate.CompareAndSwap(gLive, gGranted) {
+			n.qPrev.Store(nil) // n becomes head
+			n.flag.Clear(l.in.Wait)
+			return
+		}
+		succ := n.qNext.Load()
+		if succ == nil {
+			if l.tail.CompareAndSwap(n, nil) {
+				return // abandoned tail: the queue is now empty
+			}
+			lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return n.qNext.Load() != nil })
+			succ = n.qNext.Load()
+		}
+		n.qNext.Store(nil)
+		n = succ
+	}
+}
+
+// Join attempt outcomes (tryJoinWaiting).
+const (
+	joinNo       = iota // node not joinable; keep looking
+	joinAcquired        // joined and acquired
+	joinCanceled        // joined, then the deadline expired
+)
+
 // tryJoinWaiting attempts to join the waiting reader group at n. It
-// succeeds only if n's group is still waiting (spin set) and its C-SNZI
-// is open (n is enqueued). On success the caller holds the lock once the
-// group's spin flag clears.
-func (p *Proc) tryJoinWaiting(n *Node, t0, pt int64) bool {
+// joins only if n's group is still waiting (spin set) and its C-SNZI
+// is open (n is enqueued); the caller holds the lock once the group's
+// spin flag clears, unless the deadline expires first.
+func (p *Proc) tryJoinWaiting(n *Node, t0, pt int64, dl lockcore.Deadline) int {
 	if n.kind != kindReader || !n.flag.Blocked() {
-		return false
+		return joinNo
 	}
 	t := n.ind.ArriveLocal(p.id, p.pi.LC)
 	if !t.Arrived() {
-		return false
+		return joinNo
 	}
 	p.pi.Inc(lockcore.ROLLOvertake)
 	p.pi.Emit(lockcore.KindOvertake, 0, 0)
@@ -193,20 +240,29 @@ func (p *Proc) tryJoinWaiting(n *Node, t0, pt int64) bool {
 	if p.l.lastReader.Load() != n {
 		p.l.lastReader.Store(n)
 	}
-	p.departFrom = n
-	p.ticket = t
 	if p.pi.Tracing() && n.flag.Blocked() {
 		p.pi.Begin(lockcore.PhaseSpinWait)
 	}
-	n.flag.Wait(p.l.in.Wait, p.id, p.pi.TR)
+	if !n.flag.WaitUntil(p.l.in.Wait, p.id, p.pi.TR, dl) {
+		p.departAbandoned(n, t)
+		p.abandon(lockcore.PhaseSpinWait, dl)
+		return joinCanceled
+	}
+	p.departFrom = n
+	p.ticket = t
 	p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 	p.pi.ProfAcquired(pt, true)
-	return true
+	return joinAcquired
 }
 
 // RLock acquires the lock for reading, preferring to join an existing
 // waiting reader group over enqueuing behind writers.
-func (p *Proc) RLock() {
+func (p *Proc) RLock() { p.rlock(lockcore.Deadline{}) }
+
+// rlock is the read-acquisition core, shared by RLock (zero deadline,
+// which never expires) and the timed variants in deadline.go. It
+// reports whether the lock was acquired.
+func (p *Proc) rlock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
@@ -218,12 +274,21 @@ func (p *Proc) RLock() {
 		}
 	}()
 	for {
+		if !dl.None() && dl.Expired() {
+			// Not enqueued and holding no arrival: just walk away
+			// (the defer returns any unenqueued node).
+			p.abandon(0, dl)
+			return false
+		}
 		// Fast path: the hint points at the last known waiting group.
 		if h := l.lastReader.Load(); h != nil {
-			if p.tryJoinWaiting(h, t0, pt) {
+			switch p.tryJoinWaiting(h, t0, pt, dl) {
+			case joinAcquired:
 				p.pi.Inc(lockcore.ROLLHintHit)
 				p.pi.Emit(lockcore.KindHintHit, 0, 0)
-				return
+				return true
+			case joinCanceled:
+				return false
 			}
 			p.pi.Inc(lockcore.ROLLHintMiss)
 			p.pi.Emit(lockcore.KindHintMiss, 0, 0)
@@ -236,6 +301,7 @@ func (p *Proc) RLock() {
 				rNode = p.allocReaderNode()
 			}
 			rNode.flag.Set(false)
+			rNode.gstate.Store(gLive)
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(nil)
 			if !l.tail.CompareAndSwap(nil, rNode) {
@@ -252,7 +318,7 @@ func (p *Proc) RLock() {
 				rNode = nil
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				p.pi.ProfAcquired(pt, slow)
-				return
+				return true
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			slow = true
@@ -263,8 +329,6 @@ func (p *Proc) RLock() {
 			t := tail.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
 				p.pi.Inc(lockcore.ROLLReadJoin)
-				p.departFrom = tail
-				p.ticket = t
 				blocked := tail.flag.Blocked()
 				if blocked && l.lastReader.Load() != tail {
 					l.lastReader.Store(tail)
@@ -272,10 +336,16 @@ func (p *Proc) RLock() {
 				if p.pi.Tracing() && blocked {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				tail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				if !tail.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+					p.departAbandoned(tail, t)
+					p.abandon(lockcore.PhaseSpinWait, dl)
+					return false
+				}
+				p.departFrom = tail
+				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, lockcore.RouteJoin)
 				p.pi.ProfAcquired(pt, slow || blocked)
-				return
+				return true
 			}
 			// Closed: tail changed; retry.
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
@@ -287,8 +357,8 @@ func (p *Proc) RLock() {
 			cur := tail.qPrev.Load()
 			for steps := 0; cur != nil && steps < searchLimit; steps++ {
 				if cur.kind == kindReader {
-					if p.tryJoinWaiting(cur, t0, pt) {
-						return
+					if st := p.tryJoinWaiting(cur, t0, pt, dl); st != joinNo {
+						return st == joinAcquired
 					}
 					break // reader node found but not joinable
 				}
@@ -300,6 +370,7 @@ func (p *Proc) RLock() {
 				rNode = p.allocReaderNode()
 			}
 			rNode.flag.Set(true)
+			rNode.gstate.Store(gLive)
 			rNode.qNext.Store(nil)
 			rNode.qPrev.Store(tail)
 			if !l.tail.CompareAndSwap(tail, rNode) {
@@ -312,18 +383,22 @@ func (p *Proc) RLock() {
 			rNode.ind.Open()
 			t := rNode.ind.ArriveLocal(p.id, p.pi.LC)
 			if t.Arrived() {
-				p.departFrom = rNode
-				p.ticket = t
 				l.lastReader.Store(rNode)
 				node := rNode
 				rNode = nil
 				if p.pi.Tracing() && node.flag.Blocked() {
 					p.pi.Begin(lockcore.PhaseSpinWait)
 				}
-				node.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+				if !node.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+					p.departAbandoned(node, t)
+					p.abandon(lockcore.PhaseSpinWait, dl)
+					return false
+				}
+				p.departFrom = node
+				p.ticket = t
 				p.pi.Acquired(lockcore.KindReadAcquired, t0, t.TraceRoute())
 				p.pi.ProfAcquired(pt, true)
-				return
+				return true
 			}
 			p.pi.Emit(lockcore.KindArriveFail, 0, 0)
 			slow = true
@@ -343,8 +418,7 @@ func (p *Proc) RUnlock() {
 	}
 	p.pi.Emit(lockcore.KindIndDrain, 0, 0)
 	succ := n.qNext.Load()
-	succ.qPrev.Store(nil) // succ becomes head
-	succ.flag.Clear(p.l.in.Wait)
+	p.l.grant(succ, p.id, p.pi.TR)
 	n.qNext.Store(nil)
 	freeReaderNode(n)
 	p.pi.Inc(lockcore.ROLLNodeRecycle)
@@ -354,34 +428,44 @@ func (p *Proc) RUnlock() {
 }
 
 // Lock acquires the lock for writing.
-func (p *Proc) Lock() {
+func (p *Proc) Lock() { p.lock(lockcore.Deadline{}) }
+
+// lock is the write-acquisition core, shared by Lock (zero deadline)
+// and the timed variants in deadline.go. It reports whether the lock
+// was acquired.
+func (p *Proc) lock(dl lockcore.Deadline) bool {
 	l := p.l
 	t0 := p.pi.Now()
 	pt := p.pi.ProfTick()
 	w0 := l.in.SpanStart()
 	w := p.wNode
 	w.qNext.Store(nil)
+	w.gstate.Store(gLive)
 	oldTail := l.tail.Swap(w)
 	w.qPrev.Store(oldTail)
 	if oldTail == nil {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, false)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	w.flag.Set(true)
 	oldTail.qNext.Store(w)
 	p.pi.Emit(lockcore.KindQueueEnqueue, 0, 1)
 	if oldTail.kind == kindWriter {
 		p.pi.BeginAt(t0, lockcore.PhaseQueueWait)
-		w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+		if !w.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+			return p.cancelWriteWait(dl, t0, pt, lockcore.PhaseQueueWait)
+		}
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
 		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
-		return
+		return true
 	}
 	// Reader-node predecessor. First wait out the enqueue/Open window
 	// (node recycling: the C-SNZI is closed until the enqueuer opens it).
+	// Deliberately unbounded even on timed paths — the enqueuer opens
+	// the indicator within a few instructions of the enqueue.
 	p.pi.BeginAt(t0, lockcore.PhaseDrainWait)
 	lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool {
 		_, open := oldTail.ind.Query()
@@ -393,7 +477,16 @@ func (p *Proc) Lock() {
 	// close only once the group is activated, after which no waiting
 	// reader targets it (the backward search joins only spin==true
 	// nodes).
-	oldTail.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	if !oldTail.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+		// Duty-phase abandonment: nobody else will ever close this
+		// group's indicator (the deferred close belongs to this queue
+		// position), so the duty cannot be dropped — detach it onto a
+		// reaper that finishes the protocol verbatim and releases.
+		p.wNode = &Node{kind: kindWriter}
+		go l.reapWriterDrain(w, oldTail, p.id)
+		p.abandon(lockcore.PhaseDrainWait, dl)
+		return false
+	}
 	closedEmpty := oldTail.ind.Close()
 	p.pi.Emit(lockcore.KindIndClose, 0, 0)
 	if closedEmpty {
@@ -406,12 +499,15 @@ func (p *Proc) Lock() {
 		p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteRoot)
 		p.pi.ProfAcquired(pt, true)
 		l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
-		return
+		return true
 	}
-	w.flag.Wait(l.in.Wait, p.id, p.pi.TR)
+	if !w.flag.WaitUntil(l.in.Wait, p.id, p.pi.TR, dl) {
+		return p.cancelWriteWait(dl, t0, pt, lockcore.PhaseDrainWait)
+	}
 	p.pi.Acquired(lockcore.KindWriteAcquired, t0, lockcore.RouteDirect)
 	p.pi.ProfAcquired(pt, true)
 	l.in.SpanObserve(lockcore.ROLLWriteWait, p.id, w0)
+	return true
 }
 
 // Unlock releases a write acquisition.
@@ -427,12 +523,26 @@ func (p *Proc) Unlock() {
 		lockcore.WaitCond(l.in.Wait, p.id, p.pi.TR, func() bool { return w.qNext.Load() != nil })
 	}
 	succ := w.qNext.Load()
-	succ.qPrev.Store(nil)
-	succ.flag.Clear(l.in.Wait)
+	l.grant(succ, p.id, p.pi.TR)
 	w.qNext.Store(nil)
 	p.pi.Emit(lockcore.KindHandoff, 0, lockcore.PackHandoff(1, succ.kind == kindWriter))
 	p.pi.Released(lockcore.KindWriteReleased)
 	p.pi.ProfReleased()
+}
+
+// unlockNode is the release protocol on an explicit node, for reapers
+// releasing an acquisition whose proc already walked away (the proc's
+// wNode was replaced, so p.Unlock no longer reaches the queued node).
+func (l *RWLock) unlockNode(w *Node, id int, tr *lockcore.TraceLocal) {
+	if w.qNext.Load() == nil {
+		if l.tail.CompareAndSwap(w, nil) {
+			return
+		}
+		lockcore.WaitCond(l.in.Wait, id, tr, func() bool { return w.qNext.Load() != nil })
+	}
+	succ := w.qNext.Load()
+	l.grant(succ, id, tr)
+	w.qNext.Store(nil)
 }
 
 // MaxProcs returns the ring size (diagnostic).

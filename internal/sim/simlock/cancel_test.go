@@ -1,0 +1,169 @@
+package simlock
+
+import (
+	"strings"
+	"testing"
+
+	"ollock/internal/sim"
+	"ollock/internal/xrand"
+)
+
+// The acceptance property of the scripted scenarios: replaying a
+// script yields byte-identical logs (the simulator is a pure function
+// of its inputs, and the cancellation paths must not break that — a
+// host-time leak or map-order dependency would show up here).
+func TestCancelScriptsReplayByteIdentical(t *testing.T) {
+	for _, name := range CancelScripts() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first := RunCancelScript(name)
+			if first == "" {
+				t.Fatal("empty script log")
+			}
+			second := RunCancelScript(name)
+			if first != second {
+				t.Errorf("replay diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+			}
+		})
+	}
+}
+
+// Each script's log must show the outcome it was built to stage.
+func TestCancelScriptOutcomes(t *testing.T) {
+	cases := []struct {
+		script string
+		want   []string
+	}{
+		{"goll-read-timeout", []string{
+			"rlock-until +1000 -> timeout",
+			"blocking rlock -> acquired",
+			"goll.timeout=1",
+		}},
+		{"goll-write-timeout-reopen", []string{
+			"lock-until +1000 -> timeout",
+			"blocking lock -> acquired (indicator was reopened)",
+			"goll.timeout=1",
+		}},
+		{"goll-queue-cancel-multi", []string{
+			"rlock-until +1000 -> timeout",
+			"rlock-until +2000 -> timeout",
+			"rlock-until +30000 -> acquired",
+			"goll.timeout=2",
+		}},
+		{"central-timeout", []string{
+			"rlock-until +500 -> timeout",
+			"lock-until +500 -> timeout",
+			"rlock-until +50000 -> acquired",
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.script, func(t *testing.T) {
+			log := RunCancelScript(tc.script)
+			for _, want := range tc.want {
+				if !strings.Contains(log, want) {
+					t.Errorf("log missing %q:\n%s", want, log)
+				}
+			}
+		})
+	}
+}
+
+func TestRunCancelScriptUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown script name")
+		}
+	}()
+	RunCancelScript("no-such-script")
+}
+
+// verifyCancelExclusion runs a randomized mix of blocking and timed
+// acquisitions against one simulated lock with the exclusion invariant
+// checked inside every critical section — the sim counterpart of the
+// host chaos torture's invariant checks, minus real preemption.
+func verifyCancelExclusion(t *testing.T, name string, mk func(m *sim.Machine, n int) Lock) {
+	t.Helper()
+	const threads, ops = 8, 120
+	m := sim.New(scriptConfig())
+	l := mk(m, threads)
+	var readers, writers, violations, timeouts int
+	for i := 0; i < threads; i++ {
+		p := l.NewProc(i).(CancelProc)
+		rng := xrand.New(uint64(i)*0x9E3779B9 + 12345)
+		m.Spawn(func(c *sim.Ctx) {
+			for j := 0; j < ops; j++ {
+				readBody := func() {
+					readers++
+					if writers != 0 {
+						violations++
+					}
+					c.Work(20)
+					readers--
+				}
+				writeBody := func() {
+					writers++
+					if writers != 1 || readers != 0 {
+						violations++
+					}
+					c.Work(20)
+					writers--
+				}
+				d := int64(50 + rng.Intn(800))
+				switch draw := rng.Intn(100); {
+				case draw < 30:
+					p.RLock(c)
+					readBody()
+					p.RUnlock(c)
+				case draw < 50:
+					p.Lock(c)
+					writeBody()
+					p.Unlock(c)
+				case draw < 80:
+					if p.RLockUntil(c, c.Now()+d) {
+						readBody()
+						p.RUnlock(c)
+					} else {
+						timeouts++
+					}
+				default:
+					if p.LockUntil(c, c.Now()+d) {
+						writeBody()
+						p.Unlock(c)
+					} else {
+						timeouts++
+					}
+				}
+			}
+		})
+	}
+	m.Run()
+	if violations != 0 {
+		t.Errorf("%s: %d exclusion violations", name, violations)
+	}
+	if timeouts == 0 {
+		t.Errorf("%s: no acquisition ever timed out — deadlines too generous to exercise the cancel paths", name)
+	}
+}
+
+// TestCancelExclusion covers the two sim kinds with timed acquisition,
+// the GOLL over each read-indicator variant (the cancel path touches
+// the indicator only through the Indicator interface, but the nil-batch
+// reopen must hold for every implementation).
+func TestCancelExclusion(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(m *sim.Machine, n int) Lock
+	}{
+		{"central", func(m *sim.Machine, n int) Lock { return NewCentral(m, n) }},
+		{"goll", func(m *sim.Machine, n int) Lock { return NewGOLL(m, n) }},
+		{"goll-central", func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-central", CentralIndicator) }},
+		{"goll-sharded", func(m *sim.Machine, n int) Lock { return NewGOLLInd(m, n, "goll-sharded", ShardedIndicator) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			verifyCancelExclusion(t, tc.name, tc.mk)
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package simlock
+
+import (
+	"fmt"
+	"strings"
+
+	"ollock/internal/sim"
+)
+
+// Deterministic cancellation scripts: small fixed casts of simulated
+// threads exercising the timed-acquisition paths at hand-placed
+// deadlines, each producing a cycle-stamped text log. The simulator is
+// a pure function of its inputs, so a script's log is byte-identical
+// across runs and Go versions — the replay property the cancellation
+// tests pin (the host chaos torture proves the protocols under real
+// preemption; the scripts prove the exact interleavings stay exact).
+
+// scriptLog accumulates one script's cycle-stamped lines. Host memory
+// is safe here: simulated threads execute one at a time.
+type scriptLog struct{ b strings.Builder }
+
+func (s *scriptLog) logf(c *sim.Ctx, id int, format string, args ...any) {
+	fmt.Fprintf(&s.b, "%8d p%d %s\n", c.Now(), id, fmt.Sprintf(format, args...))
+}
+
+// hostf records a host-side line (machine teardown, final counters)
+// outside any simulated thread's clock.
+func (s *scriptLog) hostf(format string, args ...any) {
+	fmt.Fprintf(&s.b, "%8s -- %s\n", "", fmt.Sprintf(format, args...))
+}
+
+// scriptConfig is the fixed machine every script runs on: one chip,
+// two cores, no jitter (jitter is deterministic too, but zero keeps the
+// logs legible when costs are retuned).
+func scriptConfig() sim.Config {
+	return sim.Config{
+		Chips:          1,
+		ThreadsPerChip: 8,
+		ThreadsPerCore: 4,
+		CostLocal:      1,
+		CostCore:       3,
+		CostShared:     30,
+		CostRemote:     120,
+		CostOp:         3,
+		MaxSteps:       1 << 22,
+	}
+}
+
+// okName renders an acquisition outcome.
+func okName(ok bool) string {
+	if ok {
+		return "acquired"
+	}
+	return "timeout"
+}
+
+var cancelScripts = []struct {
+	name string
+	run  func(log *scriptLog)
+}{
+	{name: "goll-read-timeout", run: scriptGOLLReadTimeout},
+	{name: "goll-write-timeout-reopen", run: scriptGOLLWriteTimeoutReopen},
+	{name: "goll-queue-cancel-multi", run: scriptGOLLQueueCancelMulti},
+	{name: "central-timeout", run: scriptCentralTimeout},
+}
+
+// CancelScripts returns the scripted cancellation scenario names, in
+// run order.
+func CancelScripts() []string {
+	out := make([]string, len(cancelScripts))
+	for i, s := range cancelScripts {
+		out[i] = s.name
+	}
+	return out
+}
+
+// RunCancelScript executes the named scripted scenario and returns its
+// cycle-stamped log. It panics on unknown names (script names are
+// compile-time constants of the test suite).
+func RunCancelScript(name string) string {
+	for _, s := range cancelScripts {
+		if s.name == name {
+			var log scriptLog
+			s.run(&log)
+			return log.b.String()
+		}
+	}
+	panic("simlock: unknown cancellation script " + name)
+}
+
+// scriptGOLLReadTimeout: a writer holds the lock across a reader's
+// deadline; the reader's timed acquisition enqueues, expires, unlinks
+// from the wait queue, then a blocking retry succeeds via the writer's
+// release hand-off.
+func scriptGOLLReadTimeout(log *scriptLog) {
+	m := sim.New(scriptConfig())
+	l := NewGOLL(m, 2)
+	w, r := l.NewProc(0), l.NewProc(1)
+	m.Spawn(func(c *sim.Ctx) {
+		w.Lock(c)
+		log.logf(c, 0, "write lock held")
+		c.Work(5000)
+		w.Unlock(c)
+		log.logf(c, 0, "write lock released")
+	})
+	m.Spawn(func(c *sim.Ctx) {
+		c.Work(200) // let the writer take the lock first
+		rp := r.(CancelProc)
+		dl := c.Now() + 1000
+		ok := rp.RLockUntil(c, dl)
+		log.logf(c, 1, "rlock-until +1000 -> %s", okName(ok))
+		if ok {
+			r.RUnlock(c)
+		}
+		r.RLock(c)
+		log.logf(c, 1, "blocking rlock -> acquired")
+		r.RUnlock(c)
+		log.logf(c, 1, "released")
+	})
+	cycles := m.Run()
+	log.hostf("run complete at %d cycles", cycles)
+	sn := l.Stats().Snapshot()
+	log.hostf("goll.timeout=%d goll.handoff=%d", sn.Counter("goll.timeout"), sn.Counter("goll.handoff"))
+}
+
+// scriptGOLLWriteTimeoutReopen: a writer times out of the wait queue
+// while a reader holds the lock, leaving the indicator it closed with
+// an empty queue — the reader's release must reopen it through the
+// drain's nil-batch hand-off, proven by the writer's later blocking
+// acquisition succeeding on the root fast path.
+func scriptGOLLWriteTimeoutReopen(log *scriptLog) {
+	m := sim.New(scriptConfig())
+	l := NewGOLL(m, 2)
+	r, w := l.NewProc(0), l.NewProc(1)
+	m.Spawn(func(c *sim.Ctx) {
+		r.RLock(c)
+		log.logf(c, 0, "read lock held")
+		c.Work(6000)
+		r.RUnlock(c)
+		log.logf(c, 0, "read lock released (drain reopens closed indicator)")
+	})
+	m.Spawn(func(c *sim.Ctx) {
+		c.Work(200) // let the reader arrive first
+		wp := w.(CancelProc)
+		ok := wp.LockUntil(c, c.Now()+1000)
+		log.logf(c, 1, "lock-until +1000 -> %s", okName(ok))
+		if ok {
+			w.Unlock(c)
+		}
+		c.Work(10000) // stay away until the reader's release has drained
+		w.Lock(c)
+		log.logf(c, 1, "blocking lock -> acquired (indicator was reopened)")
+		w.Unlock(c)
+		log.logf(c, 1, "released")
+	})
+	cycles := m.Run()
+	log.hostf("run complete at %d cycles", cycles)
+	sn := l.Stats().Snapshot()
+	log.hostf("goll.timeout=%d csnzi.open=%d", sn.Counter("goll.timeout"), sn.Counter("csnzi.open"))
+}
+
+// scriptGOLLQueueCancelMulti: three readers queue behind a long writer
+// hold with staggered deadlines; the short two unlink mid-queue (the
+// removal must not disturb the surviving entry), the long one collects
+// the release hand-off.
+func scriptGOLLQueueCancelMulti(log *scriptLog) {
+	m := sim.New(scriptConfig())
+	l := NewGOLL(m, 4)
+	w := l.NewProc(0)
+	rs := []Proc{l.NewProc(1), l.NewProc(2), l.NewProc(3)}
+	m.Spawn(func(c *sim.Ctx) {
+		w.Lock(c)
+		log.logf(c, 0, "write lock held")
+		c.Work(8000)
+		w.Unlock(c)
+		log.logf(c, 0, "write lock released")
+	})
+	deadlines := []int64{1000, 2000, 30000}
+	for i, r := range rs {
+		id, r, dl := i+1, r, deadlines[i]
+		m.Spawn(func(c *sim.Ctx) {
+			c.Work(int64(200 + 100*id)) // staggered arrivals behind the writer
+			ok := r.(CancelProc).RLockUntil(c, c.Now()+dl)
+			log.logf(c, id, "rlock-until +%d -> %s", dl, okName(ok))
+			if ok {
+				r.RUnlock(c)
+				log.logf(c, id, "released")
+			}
+		})
+	}
+	cycles := m.Run()
+	log.hostf("run complete at %d cycles", cycles)
+	sn := l.Stats().Snapshot()
+	log.hostf("goll.timeout=%d goll.handoff=%d", sn.Counter("goll.timeout"), sn.Counter("goll.handoff"))
+}
+
+// scriptCentralTimeout: the retry-loop backout shape on the naive
+// centralized lock — timed read and write attempts under a long write
+// hold expire, then a generous deadline succeeds after the release.
+func scriptCentralTimeout(log *scriptLog) {
+	m := sim.New(scriptConfig())
+	l := NewCentral(m, 2)
+	w, r := l.NewProc(0), l.NewProc(1)
+	m.Spawn(func(c *sim.Ctx) {
+		w.Lock(c)
+		log.logf(c, 0, "write lock held")
+		c.Work(5000)
+		w.Unlock(c)
+		log.logf(c, 0, "write lock released")
+	})
+	m.Spawn(func(c *sim.Ctx) {
+		c.Work(200)
+		rp := r.(CancelProc)
+		ok := rp.RLockUntil(c, c.Now()+500)
+		log.logf(c, 1, "rlock-until +500 -> %s", okName(ok))
+		ok = rp.LockUntil(c, c.Now()+500)
+		log.logf(c, 1, "lock-until +500 -> %s", okName(ok))
+		ok = rp.RLockUntil(c, c.Now()+50000)
+		log.logf(c, 1, "rlock-until +50000 -> %s", okName(ok))
+		if ok {
+			r.RUnlock(c)
+			log.logf(c, 1, "released")
+		}
+	})
+	cycles := m.Run()
+	log.hostf("run complete at %d cycles", cycles)
+}

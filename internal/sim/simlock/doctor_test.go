@@ -56,6 +56,9 @@ func simConfig() doctor.Config {
 		ThrashMinRevokes:     3,
 		ParksPerAcquireStorm: 0.5,
 		StormMinParks:        8,
+
+		TimeoutsPerAttemptStorm: 0.25,
+		StormMinTimeouts:        8,
 	}
 }
 

@@ -163,6 +163,8 @@ func TestScriptedCountersExact(t *testing.T) {
 			"goll.upgrade.attempt": 0,
 			"goll.upgrade.fail":    0,
 			"goll.downgrade":       0,
+			"goll.timeout":         0,
+			"goll.cancel":          0,
 		}},
 		// FOLL: one reader enqueues the group node, two join it; the
 		// failed arrivals are probes against ring nodes that start
@@ -178,6 +180,8 @@ func TestScriptedCountersExact(t *testing.T) {
 			"foll.read.enqueue": 1,
 			"foll.read.join":    2,
 			"foll.node.recycle": 0,
+			"foll.timeout":      0,
+			"foll.cancel":       0,
 		}},
 		// ROLL: same group shape as FOLL; the deferred close means the
 		// group stays open (close=0), and with the writer behind the
@@ -195,6 +199,8 @@ func TestScriptedCountersExact(t *testing.T) {
 			"roll.overtake":     0,
 			"roll.hint.hit":     0,
 			"roll.hint.miss":    0,
+			"roll.timeout":      0,
+			"roll.cancel":       0,
 		}},
 	} {
 		t.Run(tc.kind, func(t *testing.T) {

@@ -108,6 +108,21 @@ func (l *RWLock) Lock() {
 	}
 }
 
+// TryRLock acquires for reading without waiting: one attempt at the
+// fast-path CAS under the same compatibility condition RLock uses. A
+// CAS lost to a concurrent update reports failure rather than retrying.
+func (l *RWLock) TryRLock() bool {
+	w := l.word.Load()
+	return w&(writeLocked|writeWanted) == 0 && l.word.CompareAndSwap(w, w+readerOne)
+}
+
+// TryLock acquires for writing without waiting: one attempt at the
+// fast-path CAS on a fully free word.
+func (l *RWLock) TryLock() bool {
+	w := l.word.Load()
+	return w&(writeLocked|readerMask|hasWaiters) == 0 && l.word.CompareAndSwap(w, w|writeLocked)
+}
+
 // RUnlock releases a read acquisition. If this is the last reader and
 // threads are waiting, ownership is handed over directly.
 func (l *RWLock) RUnlock() {

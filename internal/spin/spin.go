@@ -108,6 +108,14 @@ func (w *Waiter) WaitWith(pol *park.Policy, id int, tr *trace.Local) {
 	w.w.Wait(pol, id, tr)
 }
 
+// WaitUntil is WaitWith with a bound: true once signaled, false if dl
+// expired first. A timed-out Waiter is left armed — the caller may
+// WaitWith again to collect a signal that is still on its way (which
+// the GOLL cancellation protocol does after losing the dequeue race).
+func (w *Waiter) WaitUntil(pol *park.Policy, id int, tr *trace.Local, dl park.Deadline) bool {
+	return w.w.WaitUntil(pol, id, tr, dl)
+}
+
 // Signal releases the thread blocked in Wait (or lets a future Wait
 // return immediately).
 func (w *Waiter) Signal() {

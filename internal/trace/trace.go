@@ -65,6 +65,8 @@ const (
 	KindPark   // waiter left the direct-spin path; Arg: 0 channel park, 1 array slot, 2 sleep ladder
 	KindUnpark // parked waiter woken by a grant; Arg mirrors the KindPark mechanism
 
+	KindCancel // acquisition abandoned; Arg: 0 deadline expiry, 1 context cancellation
+
 	NumKinds
 )
 
@@ -88,6 +90,7 @@ var kindNames = [NumKinds]string{
 	KindStall:            "stall",
 	KindPark:             "park",
 	KindUnpark:           "unpark",
+	KindCancel:           "cancel",
 }
 
 func (k Kind) String() string {

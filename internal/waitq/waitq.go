@@ -43,6 +43,7 @@ type Entry struct {
 	w          spin.Waiter
 	prev, next *Entry
 	q          *Queue
+	linked     bool
 }
 
 // Wait blocks the calling thread until the entry is signaled by a
@@ -55,6 +56,15 @@ func (e *Entry) Wait() { e.w.Wait() }
 // and tr (nil ok) receives park/unpark trace events.
 func (e *Entry) WaitWith(pol *park.Policy, id int, tr *trace.Local) {
 	e.w.WaitWith(pol, id, tr)
+}
+
+// WaitUntil is WaitWith with a bound: true once the entry is signaled
+// by a hand-off, false if dl expired first. After a false return the
+// entry may still be dequeued and signaled by a concurrent releaser —
+// the canceling thread must take the queue mutex and consult Cancel to
+// learn which side won.
+func (e *Entry) WaitUntil(pol *park.Policy, id int, tr *trace.Local, dl park.Deadline) bool {
+	return e.w.WaitUntil(pol, id, tr, dl)
 }
 
 // Kind returns the entry's intention.
@@ -86,7 +96,23 @@ func (q *Queue) Enqueue(kind Kind, priority int) *Entry {
 	} else {
 		q.numReaders++
 	}
+	e.linked = true
 	return e
+}
+
+// Cancel unlinks e if it is still queued, reporting whether it did.
+// Like every Queue method it requires the owning lock's mutex — that
+// serialization is what makes the return value decisive: true means no
+// hand-off will ever signal e (the canceling thread owns the
+// abandonment); false means a releaser already dequeued e into a batch
+// and a signal is coming (the canceling thread must wait it out and
+// then give the acquisition back).
+func (q *Queue) Cancel(e *Entry) bool {
+	if !e.linked {
+		return false
+	}
+	q.remove(e)
+	return true
 }
 
 // Len returns the number of waiting threads.
@@ -115,6 +141,7 @@ func (q *Queue) remove(e *Entry) {
 		q.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
+	e.linked = false
 	if e.kind == Writer {
 		q.numWriters--
 	} else {

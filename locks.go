@@ -1,8 +1,12 @@
 package ollock
 
 import (
+	"context"
+	"time"
+
 	"ollock/internal/bravo"
 	"ollock/internal/central"
+	"ollock/internal/chaos"
 	"ollock/internal/csnzi"
 	"ollock/internal/foll"
 	"ollock/internal/goll"
@@ -57,9 +61,11 @@ func NewSNZI(opts ...snzi.Option) *SNZI { return snzi.New(opts...) }
 type GOLLLock struct {
 	l     *goll.RWLock
 	stats *obs.Stats
+	chaos *chaos.Injector
 }
 
-func (l *GOLLLock) lockStats() *obs.Stats { return l.stats }
+func (l *GOLLLock) lockStats() *obs.Stats      { return l.stats }
+func (l *GOLLLock) lockChaos() *chaos.Injector { return l.chaos }
 
 // NewGOLL returns a GOLL lock. It has no participant limit.
 func NewGOLL() *GOLLLock { return &GOLLLock{l: goll.New()} }
@@ -86,9 +92,11 @@ func (l *GOLLLock) NewProc() Proc { return l.l.NewProc() }
 type FOLLLock struct {
 	l     *foll.RWLock
 	stats *obs.Stats
+	chaos *chaos.Injector
 }
 
-func (l *FOLLLock) lockStats() *obs.Stats { return l.stats }
+func (l *FOLLLock) lockStats() *obs.Stats      { return l.stats }
+func (l *FOLLLock) lockChaos() *chaos.Injector { return l.chaos }
 
 // NewFOLL returns a FOLL lock for up to maxProcs goroutines.
 func NewFOLL(maxProcs int) *FOLLLock { return &FOLLLock{l: foll.New(maxProcs)} }
@@ -101,15 +109,27 @@ type FOLLProc = foll.Proc
 // maxProcs).
 func (l *FOLLLock) NewProc() Proc { return l.l.NewProc() }
 
+// NodesInUse returns the number of queue nodes currently checked out of
+// the ring pool (diagnostic; stable only while the lock is quiescent).
+// A quiescent lock must report 1 — the pool invariant torture runs
+// check after cancellation storms.
+func (l *FOLLLock) NodesInUse() int { return l.l.NodesInUse() }
+
+// Idle reports whether the lock is quiescent: no holder and no queued
+// waiter (diagnostic; the answer can be stale under concurrency).
+func (l *FOLLLock) Idle() bool { return l.l.Idle() }
+
 // --- ROLL ---
 
 // ROLLLock is the reader-preference distributed-queue OLL lock.
 type ROLLLock struct {
 	l     *roll.RWLock
 	stats *obs.Stats
+	chaos *chaos.Injector
 }
 
-func (l *ROLLLock) lockStats() *obs.Stats { return l.stats }
+func (l *ROLLLock) lockStats() *obs.Stats      { return l.stats }
+func (l *ROLLLock) lockChaos() *chaos.Injector { return l.chaos }
 
 // NewROLL returns a ROLL lock for up to maxProcs goroutines.
 func NewROLL(maxProcs int) *ROLLLock { return &ROLLLock{l: roll.New(maxProcs)} }
@@ -121,6 +141,15 @@ type ROLLProc = roll.Proc
 // NewProc returns a handle for the calling goroutine (panics beyond
 // maxProcs).
 func (l *ROLLLock) NewProc() Proc { return l.l.NewProc() }
+
+// NodesInUse returns the number of queue nodes currently checked out of
+// the ring pool (diagnostic; stable only while the lock is quiescent).
+// A quiescent lock must report 1.
+func (l *ROLLLock) NodesInUse() int { return l.l.NodesInUse() }
+
+// Idle reports whether the lock is quiescent: no holder and no queued
+// waiter (diagnostic; the answer can be stale under concurrency).
+func (l *ROLLLock) Idle() bool { return l.l.Idle() }
 
 // --- KSUH ---
 
@@ -151,6 +180,14 @@ func (p *KSUHProc) Lock() { p.l.Lock(&p.n) }
 // Unlock releases a write acquisition.
 func (p *KSUHProc) Unlock() { p.l.Unlock(&p.n) }
 
+// TryRLock acquires for reading without waiting; it reports success.
+// Conservative: it succeeds only when the queue is empty.
+func (p *KSUHProc) TryRLock() bool { return p.l.TryRLock(&p.n) }
+
+// TryLock acquires for writing without waiting; it reports success.
+// Conservative, like TryRLock.
+func (p *KSUHProc) TryLock() bool { return p.l.TryLock(&p.n) }
+
 // --- MCS reader-writer ---
 
 // MCSRWLock is the Mellor-Crummey & Scott fair reader-writer lock.
@@ -179,6 +216,14 @@ func (p *MCSRWProc) Lock() { p.l.Lock(&p.n) }
 
 // Unlock releases a write acquisition.
 func (p *MCSRWProc) Unlock() { p.l.Unlock(&p.n) }
+
+// TryRLock acquires for reading without waiting; it reports success.
+// Conservative: it succeeds only when the queue is empty.
+func (p *MCSRWProc) TryRLock() bool { return p.l.TryRLock(&p.n) }
+
+// TryLock acquires for writing without waiting; it reports success.
+// Conservative, like TryRLock.
+func (p *MCSRWProc) TryLock() bool { return p.l.TryLock(&p.n) }
 
 // --- MCS mutex (bonus export: the substrate lock) ---
 
@@ -227,6 +272,12 @@ func (l *SolarisLock) Lock() { l.l.Lock() }
 // Unlock releases a write acquisition.
 func (l *SolarisLock) Unlock() { l.l.Unlock() }
 
+// TryRLock acquires for reading without waiting; it reports success.
+func (l *SolarisLock) TryRLock() bool { return l.l.TryRLock() }
+
+// TryLock acquires for writing without waiting; it reports success.
+func (l *SolarisLock) TryLock() bool { return l.l.TryLock() }
+
 // --- Hsieh–Weihl ---
 
 // HsiehLock is the Hsieh–Weihl private-mutex lock.
@@ -253,16 +304,19 @@ func (l *HsiehLock) NewProc() Proc { return l.l.NewProc() }
 // WrapBias or via New(kind, n, WithBias()).
 type BravoLock struct {
 	l     *bravo.Lock
+	base  Lock
 	stats *obs.Stats
+	chaos *chaos.Injector
 }
 
-func (l *BravoLock) lockStats() *obs.Stats { return l.stats }
+func (l *BravoLock) lockStats() *obs.Stats      { return l.stats }
+func (l *BravoLock) lockChaos() *chaos.Injector { return l.chaos }
 
 // WrapBias wraps base with the BRAVO biased reader fast path.
 func WrapBias(base Lock) *BravoLock { return wrapBias(base, 0) }
 
 func wrapBias(base Lock, mult int) *BravoLock {
-	return wrapBiasStats(base, mult, nil, nil, nil, nil)
+	return wrapBiasStats(base, mult, nil, nil, nil, nil, nil)
 }
 
 // wrapBiasStats wraps base, sharing the instrumentation block between
@@ -277,21 +331,27 @@ func wrapBias(base Lock, mult int) *BravoLock {
 // lock: the wrapper profiles fast-path reads and revocations, the base
 // everything that reaches it, so one profile covers the stack without
 // double counting.
-func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol *park.Policy, lp *prof.LockProf) *BravoLock {
+func wrapBiasStats(base Lock, mult int, st *obs.Stats, lt *trace.LockTrace, pol *park.Policy, lp *prof.LockProf, ch *chaos.Injector) *BravoLock {
 	if st == nil {
 		if c, ok := base.(statsCarrier); ok {
 			st = c.lockStats()
 		}
 	}
-	opts := []bravo.Option{bravo.WithInstr(lockcore.Instr{Stats: st, Trace: lt, Wait: pol, Prof: lp})}
+	opts := []bravo.Option{bravo.WithInstr(lockcore.Instr{Stats: st, Trace: lt, Wait: pol, Prof: lp, Chaos: ch})}
 	if mult > 0 {
 		opts = append(opts, bravo.WithInhibitMultiplier(mult))
 	}
 	return &BravoLock{
 		l:     bravo.New(func() bravo.BaseProc { return base.NewProc() }, opts...),
+		base:  base,
 		stats: st,
+		chaos: ch,
 	}
 }
+
+// Base returns the wrapped lock (diagnostic: torture runners reach the
+// base lock's pool accounting through it).
+func (l *BravoLock) Base() Lock { return l.base }
 
 // Biased reports whether the read bias is currently armed. Diagnostic;
 // the answer can be stale by the time it returns.
@@ -329,3 +389,25 @@ func (l *CentralLock) Lock() { l.l.Lock() }
 
 // Unlock releases a write acquisition.
 func (l *CentralLock) Unlock() { l.l.Unlock() }
+
+// TryRLock acquires for reading without waiting; it reports success.
+func (l *CentralLock) TryRLock() bool { return l.l.TryRLock() }
+
+// TryLock acquires for writing without waiting; it reports success.
+func (l *CentralLock) TryLock() bool { return l.l.TryLock() }
+
+// RLockFor acquires for reading, giving up after d; it reports whether
+// the lock was acquired.
+func (l *CentralLock) RLockFor(d time.Duration) bool { return l.l.RLockFor(d) }
+
+// LockFor acquires for writing, giving up after d; it reports whether
+// the lock was acquired.
+func (l *CentralLock) LockFor(d time.Duration) bool { return l.l.LockFor(d) }
+
+// RLockCtx acquires for reading, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (l *CentralLock) RLockCtx(ctx context.Context) error { return l.l.RLockCtx(ctx) }
+
+// LockCtx acquires for writing, abandoning when ctx is done. It
+// returns nil on acquisition and the context's error otherwise.
+func (l *CentralLock) LockCtx(ctx context.Context) error { return l.l.LockCtx(ctx) }

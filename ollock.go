@@ -44,6 +44,7 @@ package ollock
 import (
 	"fmt"
 
+	"ollock/internal/chaos"
 	"ollock/internal/foll"
 	"ollock/internal/goll"
 	"ollock/internal/lockcore"
@@ -159,6 +160,10 @@ type KindInfo struct {
 	// Profiled reports whether the kind accepts WithProfile (its
 	// acquire/release paths carry call-site profiler hooks).
 	Profiled bool
+	// Cancellable reports whether the kind's Procs implement
+	// DeadlineProc: timed (RLockFor/LockFor) and context-cancellable
+	// (RLockCtx/LockCtx) acquisition with safe abandonment.
+	Cancellable bool
 	// Biased marks the pre-biased wrapper kinds (bravo-*), equivalent
 	// to New of the base kind with WithBias.
 	Biased bool
@@ -177,6 +182,7 @@ func kindInfo(d lockcore.KindDesc) KindInfo {
 		BoundedProcs: d.Caps.BoundedProcs,
 		Instrumented: d.Caps.Instrumented,
 		Profiled:     d.Caps.Profiled,
+		Cancellable:  d.Caps.Cancellable,
 		Biased:       d.ForceBias,
 		Figure5:      d.Figure5,
 	}
@@ -282,6 +288,7 @@ type newConfig struct {
 	lt        *trace.LockTrace
 	lp        *prof.LockProf
 	metrics   *Metrics
+	chaos     *chaos.Injector
 }
 
 // WithBias wraps the created lock with the BRAVO biased reader fast path
@@ -330,6 +337,38 @@ func WithIndicator(k IndicatorKind) Option {
 // policy), and WithTrace (park/unpark events).
 func WithWait(m WaitMode) Option {
 	return func(c *newConfig) { c.wait = m }
+}
+
+// WithChaos arms a deterministic-schedule fault injector on the
+// created lock (torture testing only): the lock's instrumentation emit
+// sites — which mark exactly the protocol's linearization points
+// (enqueue published, indicator closed, hand-off decided) — gain
+// randomized delays, yields, and micro-sleeps drawn from a per-proc
+// schedule seeded by seed, widening the race windows a stress run
+// explores. The decisions each Proc makes are a pure function of
+// (seed, proc id, call index), so a failing seed re-biases the same
+// windows on re-run. Applies to the instrumented kinds (the OLL locks
+// and their BRAVO-wrapped variants); New returns an error for others.
+// Never enable in production: acquisitions are delayed on purpose.
+func WithChaos(seed uint64) Option {
+	return func(c *newConfig) { c.chaos = chaos.New(seed) }
+}
+
+// ChaosCountOf returns the number of faults injected so far into a
+// lock created with WithChaos. The second result is false when the
+// lock carries no injector.
+func ChaosCountOf(l Lock) (uint64, bool) {
+	c, ok := l.(chaosCarrier)
+	if !ok || c.lockChaos() == nil {
+		return 0, false
+	}
+	return c.lockChaos().Count(), true
+}
+
+// chaosCarrier is implemented by the lock wrappers that can carry a
+// chaos injector.
+type chaosCarrier interface {
+	lockChaos() *chaos.Injector
 }
 
 // WithStats attaches a striped instrumentation block to the created
@@ -432,6 +471,9 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	if cfg.lp != nil && !desc.Caps.Profiled {
 		return nil, fmt.Errorf("ollock: lock kind %q does not take a profiler (WithProfile)", kind)
 	}
+	if cfg.chaos != nil && !desc.Caps.Instrumented {
+		return nil, fmt.Errorf("ollock: lock kind %q does not take a chaos injector (WithChaos)", kind)
+	}
 	var st *obs.Stats
 	if cfg.withStats {
 		name := cfg.statsName
@@ -469,7 +511,7 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 	if !ok {
 		return nil, fmt.Errorf("ollock: lock kind %q has no registered constructor", kind)
 	}
-	base := build(maxProcs, buildArgs{st: st, lt: cfg.lt, pol: pol, lp: cfg.lp, factory: factory})
+	base := build(maxProcs, buildArgs{st: st, lt: cfg.lt, pol: pol, lp: cfg.lp, ch: cfg.chaos, factory: factory})
 	if cfg.withStats && cfg.statsName != "" {
 		st.PublishExpvar()
 	}
@@ -480,7 +522,7 @@ func New(kind Kind, maxProcs int, opts ...Option) (Lock, error) {
 		// The wrapper shares the base lock's profiler registration:
 		// wrapper-owned events (fast-path reads, revocations) and base
 		// events land in one per-lock profile.
-		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol, cfg.lp), nil
+		return wrapBiasStats(base, cfg.biasMult, st, cfg.lt, pol, cfg.lp, cfg.chaos), nil
 	}
 	return base, nil
 }
@@ -493,13 +535,14 @@ type buildArgs struct {
 	lt      *trace.LockTrace
 	pol     *park.Policy
 	lp      *prof.LockProf
+	ch      *chaos.Injector
 	factory rind.Factory
 }
 
 // instr bundles the instrumentation arguments into the lockcore.Instr
 // the algorithm packages take.
 func (a buildArgs) instr() lockcore.Instr {
-	return lockcore.Instr{Stats: a.st, Trace: a.lt, Wait: a.pol, Prof: a.lp}
+	return lockcore.Instr{Stats: a.st, Trace: a.lt, Wait: a.pol, Prof: a.lp, Chaos: a.ch}
 }
 
 // builders maps base kind names to constructors. The bravo-* wrapper
@@ -512,21 +555,21 @@ var builders = map[string]func(maxProcs int, a buildArgs) Lock{
 		if a.factory != nil {
 			gopts = append(gopts, goll.WithIndicator(a.factory()))
 		}
-		return &GOLLLock{l: goll.New(gopts...), stats: a.st}
+		return &GOLLLock{l: goll.New(gopts...), stats: a.st, chaos: a.ch}
 	},
 	"foll": func(n int, a buildArgs) Lock {
 		fopts := []foll.Option{foll.WithInstr(a.instr())}
 		if a.factory != nil {
 			fopts = append(fopts, foll.WithIndicator(a.factory))
 		}
-		return &FOLLLock{l: foll.New(n, fopts...), stats: a.st}
+		return &FOLLLock{l: foll.New(n, fopts...), stats: a.st, chaos: a.ch}
 	},
 	"roll": func(n int, a buildArgs) Lock {
 		ropts := []roll.Option{roll.WithInstr(a.instr())}
 		if a.factory != nil {
 			ropts = append(ropts, roll.WithIndicator(a.factory))
 		}
-		return &ROLLLock{l: roll.New(n, ropts...), stats: a.st}
+		return &ROLLLock{l: roll.New(n, ropts...), stats: a.st, chaos: a.ch}
 	},
 	"ksuh":    func(int, buildArgs) Lock { return NewKSUH() },
 	"mcs-rw":  func(int, buildArgs) Lock { return NewMCSRW() },

@@ -1,10 +1,12 @@
 package ollock_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ollock"
 	"ollock/internal/lockcore"
@@ -39,7 +41,7 @@ func TestKindsMatchRegistry(t *testing.T) {
 		if info.Indicator != d.Caps.Indicator || info.Wait != d.Caps.Wait ||
 			info.Upgrade != d.Caps.Upgrade || info.Priority != d.Caps.Priority ||
 			info.BoundedProcs != d.Caps.BoundedProcs || info.Instrumented != d.Caps.Instrumented ||
-			info.Profiled != d.Caps.Profiled ||
+			info.Profiled != d.Caps.Profiled || info.Cancellable != d.Caps.Cancellable ||
 			info.Biased != d.ForceBias || info.Figure5 != d.Figure5 {
 			t.Errorf("KindInfos()[%d] (%s) = %+v, disagrees with registry descriptor %+v", i, d.Name, info, d)
 		}
@@ -271,6 +273,86 @@ func TestProfiledCapability(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "does not take a profiler") || !strings.Contains(err.Error(), string(info.Kind)) {
 			t.Errorf("capability error %q is not the uniform form naming kind %q", err, info.Kind)
+		}
+	}
+}
+
+// TestCancellableCapability: every kind's proc offers the non-blocking
+// tries, the Cancellable flag advertises exactly the procs that offer
+// the full deadline surface, and an advertised surface actually works —
+// a timed acquisition on a free lock succeeds, one under a conflicting
+// holder expires.
+func TestCancellableCapability(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		info := info
+		t.Run(string(info.Kind), func(t *testing.T) {
+			l, err := ollock.New(info.Kind, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := l.NewProc()
+			if _, ok := p.(ollock.TryProc); !ok {
+				t.Fatalf("%s proc does not implement TryProc", info.Kind)
+			}
+			dp, ok := p.(ollock.DeadlineProc)
+			if ok != info.Cancellable {
+				t.Fatalf("%s proc implements DeadlineProc=%v, registry says Cancellable=%v", info.Kind, ok, info.Cancellable)
+			}
+			if !ok {
+				return
+			}
+			if !dp.RLockFor(time.Second) {
+				t.Fatal("RLockFor failed on a free lock")
+			}
+			dp.RUnlock()
+			if !dp.LockFor(time.Second) {
+				t.Fatal("LockFor failed on a free lock")
+			}
+			// Timed attempts against the held lock must expire, not hang.
+			p2 := l.NewProc().(ollock.DeadlineProc)
+			if p2.RLockFor(2 * time.Millisecond) {
+				t.Fatal("RLockFor succeeded while write-held")
+			}
+			if p2.LockFor(2 * time.Millisecond) {
+				t.Fatal("LockFor succeeded while write-held")
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := p2.RLockCtx(ctx); err == nil {
+				t.Fatal("RLockCtx nil error on a canceled context under a writer")
+			}
+			if err := p2.LockCtx(ctx); err == nil {
+				t.Fatal("LockCtx nil error on a canceled context under a writer")
+			}
+			dp.Unlock()
+			if err := p2.LockCtx(context.Background()); err != nil {
+				t.Fatalf("LockCtx on a free lock: %v", err)
+			}
+			p2.Unlock()
+		})
+	}
+}
+
+// TestChaosCapability: WithChaos rides the instrumentation seam, so New
+// accepts it exactly where the registry marks Instrumented, and a
+// constructed injector is reachable through ChaosCountOf.
+func TestChaosCapability(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		l, err := ollock.New(info.Kind, 4, ollock.WithChaos(1))
+		if !info.Instrumented {
+			if err == nil {
+				t.Errorf("New(%s, WithChaos) accepted a kind the registry marks uninstrumented", info.Kind)
+			} else if !strings.Contains(err.Error(), "does not take a chaos injector") || !strings.Contains(err.Error(), string(info.Kind)) {
+				t.Errorf("capability error %q is not the uniform form naming kind %q", err, info.Kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("New(%s, WithChaos) rejected an instrumented kind: %v", info.Kind, err)
+			continue
+		}
+		if _, ok := ollock.ChaosCountOf(l); !ok {
+			t.Errorf("ChaosCountOf(%s) not ok with an injector attached", info.Kind)
 		}
 	}
 }

@@ -386,6 +386,88 @@ func BenchmarkReadPathProfile(b *testing.B) {
 	}
 }
 
+// TestDeadlinePathZeroAllocs pins the uncontended timed acquisition:
+// the deadline plumbing defers its only allocation (the park timer) to
+// the park path, so an RLockFor/LockFor that succeeds without waiting
+// must be allocation-free — with and without stats attached — for every
+// cancellable kind.
+func TestDeadlinePathZeroAllocs(t *testing.T) {
+	for _, info := range ollock.KindInfos() {
+		if !info.Cancellable {
+			continue
+		}
+		info := info
+		t.Run(string(info.Kind), func(t *testing.T) {
+			for _, opts := range [][]ollock.Option{nil, {ollock.WithStats("")}} {
+				p := ollock.MustNew(info.Kind, 4, opts...).NewProc().(ollock.DeadlineProc)
+				if n := testing.AllocsPerRun(200, func() {
+					if !p.RLockFor(time.Hour) {
+						t.Fatal("uncontended RLockFor failed")
+					}
+					p.RUnlock()
+				}); n != 0 {
+					t.Fatalf("uncontended RLockFor allocates %.1f times per op, want 0", n)
+				}
+				if n := testing.AllocsPerRun(200, func() {
+					if !p.LockFor(time.Hour) {
+						t.Fatal("uncontended LockFor failed")
+					}
+					p.Unlock()
+				}); n != 0 {
+					t.Fatalf("uncontended LockFor allocates %.1f times per op, want 0", n)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlineReadOverheadBounded is the deadline-plumbing throughput
+// tripwire, same best-of-trials shape as TestStatsReadOverheadBounded:
+// an uncontended timed read (far deadline, never expires) must reach at
+// least 85% of the untimed read throughput. The timed path adds one
+// clock read at entry and strided expiry checks while spinning; putting
+// per-probe time.Now, a timer, or an allocation on it fails by far more
+// than 15%.
+func TestDeadlineReadOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard, skipped with -short")
+	}
+	const ops = 200_000
+	const trials = 5
+	measure := func(timed bool) float64 {
+		best := 0.0
+		for trial := 0; trial < trials; trial++ {
+			p := ollock.MustNew(ollock.GOLL, 4).NewProc().(ollock.DeadlineProc)
+			start := time.Now()
+			if timed {
+				for i := 0; i < ops; i++ {
+					p.RLockFor(time.Hour)
+					p.RUnlock()
+				}
+			} else {
+				for i := 0; i < ops; i++ {
+					p.RLock()
+					p.RUnlock()
+				}
+			}
+			if rate := float64(ops) / float64(time.Since(start)); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	for attempt := 0; ; attempt++ {
+		plain := measure(false)
+		timed := measure(true)
+		if timed >= 0.85*plain {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("timed read path at %.0f%% of untimed throughput, want >= 85%%", 100*timed/plain)
+		}
+	}
+}
+
 // TestWaitOverheadBounded is the wait-policy throughput tripwire, same
 // best-of-trials shape as TestStatsReadOverheadBounded: on an
 // uncontended 100%-read loop the adaptive policy must reach at least
